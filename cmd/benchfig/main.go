@@ -1,0 +1,77 @@
+// Command benchfig regenerates the data series behind the paper's
+// evaluation figures (Figures 2–7 of "Hand-Over-Hand Transactions with
+// Precise Memory Reclamation", SPAA 2017), printing TSV to stdout.
+//
+// Usage:
+//
+//	benchfig -fig 2            # regenerate Figure 2's series
+//	benchfig -fig all -quick   # fast smoke pass over every figure
+//	benchfig -fig 6 -threads 1,2,4,8 -trials 5
+//
+// Column semantics: mops is total throughput (million operations per
+// second, all threads combined); aborts_per_op and serial_per_op are TM
+// conflict and serial-fallback rates; peak_deferred is the reclamation
+// scheme's high-water mark of logically-deleted-but-unfreed nodes (always
+// zero for the revocable reservation variants — the paper's point).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hohtx/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2..7 or 'all'")
+	quick := flag.Bool("quick", false, "fast smoke mode (fewer ops/trials, 14-bit trees)")
+	threads := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+	trials := flag.Int("trials", 0, "trials per cell (default: 3, or 1 with -quick)")
+	seed := flag.Int64("seed", 0, "workload seed (default: fixed)")
+	ops := flag.Int("ops", 0, "per-thread operations per trial (default: 200000, paper uses 1e6)")
+	treebits := flag.Int("treebits", 0, "key bits for the big tree panels (default: 21 as in the paper)")
+	flag.Parse()
+
+	var ths []int
+	for _, part := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "benchfig: bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		ths = append(ths, n)
+	}
+	opts := bench.Opts{
+		Quick: *quick, Threads: ths, Trials: *trials, Seed: *seed,
+		OpsPerThread: *ops, TreeBits: *treebits, Out: os.Stdout,
+	}
+
+	var figs []int
+	if *fig == "all" {
+		figs = []int{2, 3, 4, 5, 6, 7}
+	} else {
+		n, err := strconv.Atoi(*fig)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: bad -fig %q\n", *fig)
+			os.Exit(2)
+		}
+		figs = []int{n}
+	}
+	for _, n := range figs {
+		fmt.Printf("# Figure %d%s\n", n, quickNote(*quick))
+		if err := bench.Figure(n, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: figure %d: %v\n", n, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func quickNote(q bool) string {
+	if q {
+		return " (quick mode: reduced ops/trials; 21-bit panels shrunk to 14-bit)"
+	}
+	return ""
+}

@@ -1,0 +1,126 @@
+// Command figtable renders benchfig TSV output as markdown tables, one per
+// (figure, panel): variants as rows, thread counts as columns, throughput
+// in Mops/s. EXPERIMENTS.md's recorded-results sections are generated with
+// it:
+//
+//	benchfig -fig 2 > fig2.tsv
+//	figtable fig2.tsv
+//	figtable -metric aborts fig2.tsv   # aborts/op instead of throughput
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type rowKey struct {
+	figure, panel, variant string
+}
+
+type table struct {
+	figure, panel string
+	variants      []string // insertion order
+	threads       []int
+	cells         map[string]map[int]string
+}
+
+func main() {
+	metric := flag.String("metric", "mops", "column to tabulate: mops, aborts, serial, deferred")
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figtable:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	col := map[string]int{"mops": 5, "aborts": 7, "serial": 8, "deferred": 9}[*metric]
+	if col == 0 {
+		fmt.Fprintf(os.Stderr, "figtable: unknown metric %q\n", *metric)
+		os.Exit(2)
+	}
+
+	var order []string
+	tables := map[string]*table{}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "figure\t") {
+			continue
+		}
+		f := strings.Split(line, "\t")
+		if len(f) < 10 {
+			continue
+		}
+		th, err := strconv.Atoi(f[3])
+		if err != nil {
+			continue
+		}
+		key := f[0] + "|" + f[1]
+		t, ok := tables[key]
+		if !ok {
+			t = &table{figure: f[0], panel: f[1], cells: map[string]map[int]string{}}
+			tables[key] = t
+			order = append(order, key)
+		}
+		if t.cells[f[2]] == nil {
+			t.cells[f[2]] = map[int]string{}
+			t.variants = append(t.variants, f[2])
+		}
+		t.cells[f[2]][th] = f[col]
+		found := false
+		for _, have := range t.threads {
+			if have == th {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.threads = append(t.threads, th)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "figtable:", err)
+		os.Exit(1)
+	}
+
+	label := map[string]string{
+		"mops": "Mops/s", "aborts": "aborts/op", "serial": "serial/op", "deferred": "peak deferred",
+	}[*metric]
+	for _, key := range order {
+		t := tables[key]
+		sort.Ints(t.threads)
+		fmt.Printf("### %s — %s (%s)\n\n", t.figure, t.panel, label)
+		fmt.Print("| variant |")
+		for _, th := range t.threads {
+			fmt.Printf(" %dT |", th)
+		}
+		fmt.Print("\n|---|")
+		for range t.threads {
+			fmt.Print("---|")
+		}
+		fmt.Println()
+		for _, v := range t.variants {
+			fmt.Printf("| %s |", v)
+			for _, th := range t.threads {
+				cell := t.cells[v][th]
+				if cell == "" {
+					cell = "—"
+				}
+				fmt.Printf(" %s |", cell)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module hohtx
+
+go 1.22

@@ -1,0 +1,271 @@
+// Package hohtx is the public API of this repository: concurrent ordered
+// sets built from hand-over-hand transactions with revocable reservations,
+// as introduced in "Hand-Over-Hand Transactions with Precise Memory
+// Reclamation" (Zhou, Luchangco, Spear; SPAA 2017).
+//
+// # What you get
+//
+// Four set implementations over uint64 keys — singly and doubly linked
+// lists and internal and external unbalanced binary search trees — that
+// split long traversals into small transactions linked by *revocable
+// reservations*. Removals reclaim node memory the instant the removing
+// operation commits (precise reclamation): there is no grace period, no
+// retire list, and the library can prove it (LiveNodes tracks allocation
+// exactly).
+//
+// # Quick start
+//
+//	set := hohtx.NewListSet(hohtx.Config{Threads: 8})
+//	set.Register(workerID)              // once per worker
+//	set.Insert(workerID, 42)
+//	ok := set.Lookup(workerID, 42)      // true
+//	set.Remove(workerID, 42)            // node memory is free on return
+//
+// Each concurrent worker must use a distinct id in [0, Threads). Keys must
+// be ≥ 1 and at most MaxKey.
+//
+// # Choosing a reservation scheme
+//
+// The six schemes trade Revoke cost against Get precision (§3 of the
+// paper). The relaxed schemes (XO, SO, V) revoke in O(1) and win nearly
+// every benchmark; RRVersioned (RR-V) additionally lets any number of
+// threads reserve the same node and is the best default together with
+// RRExclusive. The strict schemes (FA, DM, SA) never spuriously lose a
+// reservation, which makes one extra optimization sound in the doubly
+// linked list, but their Revoke visits every thread.
+package hohtx
+
+import (
+	"hohtx/internal/arena"
+	"hohtx/internal/core"
+	"hohtx/internal/list"
+	"hohtx/internal/sets"
+	"hohtx/internal/skiplist"
+	"hohtx/internal/stm"
+	"hohtx/internal/tree"
+)
+
+// Set is a concurrent ordered set of uint64 keys; see the package comment
+// for the threading contract.
+type Set = sets.Set
+
+// MemoryReporter is implemented by every Set in this package: LiveNodes
+// is the exact count of allocated nodes, DeferredNodes the count of
+// logically-deleted-but-unreclaimed ones (always 0 for the reservation
+// mechanisms — that is the paper's point).
+type MemoryReporter = sets.MemoryReporter
+
+// MaxKey is the largest usable key (the trees reserve the top values for
+// sentinels; the lists accept more but a uniform bound keeps code
+// portable across structures).
+const MaxKey = tree.MaxKey
+
+// Reservation selects one of the paper's six revocable reservation
+// implementations.
+type Reservation int
+
+const (
+	// RRVersioned is RR-V: relaxed, O(1) revoke, unlimited concurrent
+	// holders per node. The recommended default.
+	RRVersioned Reservation = iota
+	// RRExclusive is RR-XO: relaxed, O(1) revoke, one holder per hash
+	// slot.
+	RRExclusive
+	// RRSharedOwner is RR-SO: relaxed, O(A) revoke, up to A holders.
+	RRSharedOwner
+	// RRFullyAssoc is RR-FA: strict, O(threads) revoke.
+	RRFullyAssoc
+	// RRDirectMapped is RR-DM: strict, revoke scans one hash bucket.
+	RRDirectMapped
+	// RRSetAssoc is RR-SA: strict, revoke scans one bucket in each of A
+	// arrays.
+	RRSetAssoc
+)
+
+// kind maps the public enum to the internal implementation registry.
+func (r Reservation) kind() core.Kind {
+	switch r {
+	case RRExclusive:
+		return core.KindXO
+	case RRSharedOwner:
+		return core.KindSO
+	case RRFullyAssoc:
+		return core.KindFA
+	case RRDirectMapped:
+		return core.KindDM
+	case RRSetAssoc:
+		return core.KindSA
+	default:
+		return core.KindV
+	}
+}
+
+// String returns the paper's name for the scheme.
+func (r Reservation) String() string { return r.kind().String() }
+
+// Config tunes a set. The zero value is usable: 8 threads, RR-V
+// reservations, a window of 8 (lists) or 16 (trees), scatter enabled.
+type Config struct {
+	// Threads is the number of distinct worker ids that will call into
+	// the set concurrently.
+	Threads int
+	// Reservation selects the revocable reservation scheme.
+	Reservation Reservation
+	// Window is W, the maximum node visits per transaction. Smaller
+	// windows abort less under contention, larger ones commit less
+	// often; the paper's tuning is 16 up to 4 threads and 8 beyond for
+	// lists (§5.2). Zero picks a sensible default.
+	Window int
+	// NoScatter disables randomizing the first window's length. Leave
+	// scattering on unless you are reproducing the paper's ablation.
+	NoScatter bool
+	// SharedPool routes all node allocation through one contended pool
+	// (the paper's "jemalloc-pathology" configuration, Figure 5) instead
+	// of per-thread magazines. Only useful for experiments.
+	SharedPool bool
+	// SerialAfter is the number of failed speculative attempts before an
+	// operation's transaction falls back to a global serial lock. Zero
+	// uses the paper's settings (2 for lists, 8 for trees).
+	SerialAfter int
+	// SimulatePreemption injects scheduler yields inside transactions so
+	// that they interleave even on a single-core host. Leave it off on
+	// real multicore machines; turn it on to study conflict behavior
+	// (aborts, revocations, window tuning) where the hardware cannot
+	// produce true parallelism.
+	SimulatePreemption bool
+}
+
+func (c Config) listConfig(doubly bool) list.Config {
+	out := list.Config{
+		Mode:    list.ModeRR,
+		RRKind:  c.Reservation.kind(),
+		Threads: c.Threads,
+		Window:  core.Window{W: c.Window, NoScatter: c.NoScatter},
+	}
+	if c.SharedPool {
+		out.ArenaPolicy = arena.PolicyShared
+	}
+	if c.SerialAfter > 0 {
+		out.Profile = stm.HTMProfile(c.SerialAfter)
+	}
+	if c.SimulatePreemption {
+		out.YieldShift = 5
+	}
+	return out
+}
+
+func (c Config) treeConfig() tree.Config {
+	out := tree.Config{
+		Mode:    tree.ModeRR,
+		RRKind:  c.Reservation.kind(),
+		Threads: c.Threads,
+		Window:  core.Window{W: c.Window, NoScatter: c.NoScatter},
+	}
+	if c.SharedPool {
+		out.ArenaPolicy = arena.PolicyShared
+	}
+	if c.SerialAfter > 0 {
+		out.Profile = stm.HTMProfile(c.SerialAfter)
+	}
+	if c.SimulatePreemption {
+		out.YieldShift = 5
+	}
+	return out
+}
+
+// NewListSet returns a singly linked list set (best for small key ranges
+// and teaching; O(n) operations).
+func NewListSet(cfg Config) Set { return list.New(cfg.listConfig(false)) }
+
+// NewDoublyListSet returns a doubly linked list set; removals unlink in a
+// second, smaller transaction (§4.2), which reduces conflicts under
+// write-heavy loads.
+func NewDoublyListSet(cfg Config) Set { return list.NewDoubly(cfg.listConfig(true)) }
+
+// NewInternalTreeSet returns an unbalanced internal BST set (§4.3).
+func NewInternalTreeSet(cfg Config) Set { return tree.NewInternal(cfg.treeConfig()) }
+
+// NewExternalTreeSet returns an unbalanced external BST set; keys live in
+// leaves, making removals structurally simple (no successor swaps).
+func NewExternalTreeSet(cfg Config) Set { return tree.NewExternal(cfg.treeConfig()) }
+
+// NewHashSet returns a hash set of bucketed hand-over-hand chains — the
+// structure the paper's conclusion proposes as the next application of
+// revocable reservations. buckets is rounded up to a power of two; size it
+// for a small expected load factor (e.g. expected keys / 4).
+func NewHashSet(cfg Config, buckets int) Set {
+	return list.NewHashTable(cfg.listConfig(false), buckets)
+}
+
+// NewSkipListSet returns a skiplist set — the probabilistically balanced
+// answer to the paper's "balanced trees" future-work item: O(log n)
+// expected operations, one Revoke per removal regardless of node height,
+// and precise reclamation throughout.
+func NewSkipListSet(cfg Config) Set {
+	out := skiplist.Config{
+		Threads: cfg.Threads,
+		RRKind:  cfg.Reservation.kind(),
+		Window:  core.Window{W: cfg.Window, NoScatter: cfg.NoScatter},
+	}
+	if cfg.SharedPool {
+		out.ArenaPolicy = arena.PolicyShared
+	}
+	if cfg.SerialAfter > 0 {
+		out.Profile = stm.HTMProfile(cfg.SerialAfter)
+	}
+	if cfg.SimulatePreemption {
+		out.YieldShift = 5
+	}
+	return skiplist.New(out)
+}
+
+// Ascender is implemented by sets that support ordered iteration
+// (currently NewListSet and NewDoublyListSet; the hash set has no global
+// order to iterate). Ascend calls fn for each key >= from in
+// ascending order until fn returns false; the traversal is hand-over-hand
+// (the iterator's position is itself a revocable reservation) and weakly
+// consistent: keys present for the whole scan appear exactly once, and
+// concurrent removals still reclaim immediately.
+type Ascender interface {
+	Ascend(tid int, from uint64, fn func(key uint64) bool)
+}
+
+// OrderedMap is an ordered uint64→uint64 map over the external
+// hand-over-hand tree with precise reclamation; see NewOrderedMap.
+type OrderedMap = tree.Map
+
+// NewOrderedMap constructs an ordered map. It accepts the same Config as
+// the sets (window, reservation scheme, allocator policy).
+func NewOrderedMap(cfg Config) *OrderedMap {
+	return tree.NewMap(cfg.treeConfig())
+}
+
+// Tunable is implemented by every Set built by this package: SetWindow
+// adjusts the hand-over-hand window size W while the set is in use (0
+// restores the configured value). The paper proposes contention-driven
+// window tuning as future work; examples/tuner builds it on this knob and
+// on StatsOf's abort counts.
+type Tunable interface {
+	SetWindow(w int)
+}
+
+// TxStats summarizes a set's transactional behavior.
+type TxStats struct {
+	Commits uint64 // committed transactions
+	Aborts  uint64 // aborted speculative attempts
+	Serial  uint64 // commits that needed the serial fallback
+}
+
+// StatsOf extracts transaction statistics from any Set built by this
+// package (zero value for foreign implementations).
+func StatsOf(s Set) TxStats {
+	type reporter interface {
+		TxCommits() uint64
+		TxAborts() uint64
+		TxSerial() uint64
+	}
+	if r, ok := s.(reporter); ok {
+		return TxStats{Commits: r.TxCommits(), Aborts: r.TxAborts(), Serial: r.TxSerial()}
+	}
+	return TxStats{}
+}

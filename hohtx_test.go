@@ -1,0 +1,104 @@
+package hohtx
+
+import (
+	"sync"
+	"testing"
+)
+
+func constructors() map[string]func(Config) Set {
+	return map[string]func(Config) Set{
+		"list":  NewListSet,
+		"dlist": NewDoublyListSet,
+		"itree": NewInternalTreeSet,
+		"etree": NewExternalTreeSet,
+		"hash":  func(c Config) Set { return NewHashSet(c, 32) },
+		"skip":  NewSkipListSet,
+	}
+}
+
+func TestFacadeBasics(t *testing.T) {
+	for name, mk := range constructors() {
+		for r := RRVersioned; r <= RRSetAssoc; r++ {
+			s := mk(Config{Threads: 2, Reservation: r})
+			s.Register(0)
+			if !s.Insert(0, 10) || !s.Lookup(0, 10) || s.Insert(0, 10) {
+				t.Fatalf("%s/%s: insert/lookup broken", name, r)
+			}
+			if !s.Remove(0, 10) || s.Lookup(0, 10) {
+				t.Fatalf("%s/%s: remove broken", name, r)
+			}
+			st := StatsOf(s)
+			if st.Commits == 0 {
+				t.Fatalf("%s/%s: no commits recorded", name, r)
+			}
+		}
+	}
+}
+
+func TestFacadeMemoryReporting(t *testing.T) {
+	s := NewListSet(Config{Threads: 1})
+	mem, ok := s.(MemoryReporter)
+	if !ok {
+		t.Fatal("facade set does not report memory")
+	}
+	s.Register(0)
+	base := mem.LiveNodes()
+	s.Insert(0, 5)
+	if mem.LiveNodes() != base+1 {
+		t.Fatal("insert not visible in LiveNodes")
+	}
+	s.Remove(0, 5)
+	if mem.LiveNodes() != base {
+		t.Fatal("remove did not reclaim immediately")
+	}
+	if mem.DeferredNodes() != 0 {
+		t.Fatal("precise variant reported deferred nodes")
+	}
+}
+
+func TestFacadeConcurrent(t *testing.T) {
+	const threads = 4
+	for name, mk := range constructors() {
+		t.Run(name, func(t *testing.T) {
+			s := mk(Config{Threads: threads, Reservation: RRExclusive, Window: 4})
+			var wg sync.WaitGroup
+			for w := 0; w < threads; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					s.Register(tid)
+					for i := 0; i < 2000; i++ {
+						k := uint64(i%64) + 1
+						s.Insert(tid, k)
+						s.Lookup(tid, k)
+						s.Remove(tid, k)
+					}
+					s.Finish(tid)
+				}(w)
+			}
+			wg.Wait()
+			snap := s.Snapshot()
+			for i := 1; i < len(snap); i++ {
+				if snap[i-1] >= snap[i] {
+					t.Fatal("snapshot not sorted")
+				}
+			}
+		})
+	}
+}
+
+func TestReservationNames(t *testing.T) {
+	want := map[Reservation]string{
+		RRVersioned:    "RR-V",
+		RRExclusive:    "RR-XO",
+		RRSharedOwner:  "RR-SO",
+		RRFullyAssoc:   "RR-FA",
+		RRDirectMapped: "RR-DM",
+		RRSetAssoc:     "RR-SA",
+	}
+	for r, name := range want {
+		if r.String() != name {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), name)
+		}
+	}
+}

@@ -1,0 +1,409 @@
+// Package arena provides the explicit node allocator that underpins this
+// repository's "precise memory reclamation" claims.
+//
+// The paper's data structures are written in C++, where a removed node can
+// be handed to free() the instant the removing transaction commits, and
+// where touching freed memory is a real (and catastrophic) bug. Go's
+// garbage collector erases both properties, so this package restores them
+// synthetically:
+//
+//   - Nodes live in slab pages owned by an Arena. Alloc returns a Handle —
+//     a {generation, index} pair — and Free makes the slot immediately
+//     available for reuse. "Memory in use" is therefore an exact, observable
+//     quantity (Stats.Live), and reclamation delay is measurable in
+//     operations rather than being whenever the GC feels like it.
+//
+//   - Every Free bumps the slot's generation, so a stale Handle is
+//     *detectable*: Live reports whether a handle still names the object it
+//     was created for, double frees panic deterministically, and handles
+//     embedding generations make compare-and-swap on handles ABA-safe for
+//     the lock-free comparator structures.
+//
+// Dereferencing a stale handle through At is deliberately memory-safe (the
+// slot always exists); the transactional layer above guarantees any value
+// read through a stale handle can never commit, which mirrors how the
+// paper's HTM aborts a reader whose node is concurrently reclaimed.
+//
+// Because slots are recycled, objects containing stm cells must only be
+// re-initialized with transactional stores once they have ever been
+// reachable: a plain (non-transactional) write to a recycled cell would
+// bypass version management and could leak an inconsistent value into a
+// doomed-but-running reader. Freshly bump-allocated slots (never shared)
+// may use stm's Init.
+//
+// Two free-list policies reproduce the allocator sensitivity study in the
+// paper's Figure 5:
+//
+//   - PolicyLocal (Hoard-like): per-thread magazines absorb frees and serve
+//     allocations; only magazine overflow/underflow touches the shared pool,
+//     in batches.
+//
+//   - PolicyShared (the jemalloc pathology stand-in): every allocation and
+//     free takes the global pool lock, so batched deferred reclamation
+//     (e.g. a hazard-pointer scan freeing 64 nodes at once) stalls every
+//     other thread.
+package arena
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hohtx/internal/pad"
+)
+
+// Handle names an allocated slot. The zero Handle is "nil". Layout:
+// bits 0..31 slot index, bits 32..61 generation (odd while live), bits
+// 62..63 reserved for users (the lock-free structures pack mark/flag/tag
+// bits there; the arena never sets them and rejects handles carrying them).
+type Handle uint64
+
+// Nil is the zero Handle.
+const Nil Handle = 0
+
+// UserBits is the mask of handle bits the arena leaves to its users.
+const UserBits = uint64(3) << 62
+
+const (
+	idxBits   = 32
+	idxMask   = (1 << idxBits) - 1
+	genMask   = 0x3fffffff // 30 bits
+	userBit   = UserBits
+	genShift  = idxBits
+	pageShift = 12 // 4096 slots per page
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// makeHandle packs an index and a (odd, live) generation.
+func makeHandle(idx uint32, gen uint32) Handle {
+	return Handle(uint64(gen&genMask)<<genShift | uint64(idx))
+}
+
+// Index returns the slot index the handle names.
+func (h Handle) Index() uint32 { return uint32(h & idxMask) }
+
+// Gen returns the generation the handle was created with.
+func (h Handle) Gen() uint32 { return uint32(h>>genShift) & genMask }
+
+// IsNil reports whether the handle is the nil handle.
+func (h Handle) IsNil() bool { return h == Nil }
+
+// String renders the handle for debugging.
+func (h Handle) String() string {
+	if h.IsNil() {
+		return "hnil"
+	}
+	return fmt.Sprintf("h%d.g%d", h.Index(), h.Gen())
+}
+
+// Policy selects the free-list organization; see the package comment.
+type Policy uint8
+
+const (
+	// PolicyLocal uses per-thread magazines with batched overflow to a
+	// shared pool (Hoard-like).
+	PolicyLocal Policy = iota
+	// PolicyShared routes every allocation and free through one
+	// lock-protected shared pool (the contended-allocator stand-in).
+	PolicyShared
+)
+
+// String names the policy the way the paper's Figure 5 legend does:
+// "H-" Hoard-like local magazines, "J-" the contended shared pool.
+func (p Policy) String() string {
+	switch p {
+	case PolicyLocal:
+		return "local(H)"
+	case PolicyShared:
+		return "shared(J)"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes an Arena.
+type Config struct {
+	// Policy selects the free-list organization. Default PolicyLocal.
+	Policy Policy
+	// Threads is the number of distinct thread ids that will call
+	// Alloc/Free. Default 64.
+	Threads int
+	// MagazineSize caps a thread's private free list under PolicyLocal;
+	// overflow flushes half to the shared pool. Default 128.
+	MagazineSize int
+}
+
+type slot[T any] struct {
+	gen atomic.Uint32 // odd = live, even = free; bumped on every transition
+	val T
+}
+
+// page is one slab of slots. Pages are never released, which is what makes
+// dereferencing stale handles memory-safe.
+type page[T any] struct {
+	slots []slot[T]
+}
+
+// magazine is a thread-private stack of free slot indices.
+type magazine struct {
+	free []uint32
+	// Single-writer counters (the owning thread); read racily by Stats.
+	allocs atomic.Uint64
+	frees  atomic.Uint64
+	_      pad.Line
+}
+
+// Arena is a slab allocator for values of type T. Methods taking a tid are
+// safe for concurrent use as long as each concurrent caller passes a
+// distinct tid in [0, Config.Threads).
+type Arena[T any] struct {
+	cfg Config
+
+	pages atomic.Pointer[[]*page[T]] // grow-only vector of pages
+	next  atomic.Uint32              // bump pointer for never-used slots
+	_     pad.Line
+
+	growMu sync.Mutex
+
+	poolMu   sync.Mutex
+	pool     []uint32 // shared free indices
+	poolOps  atomic.Uint64
+	grows    atomic.Uint64
+	fresh    atomic.Uint64
+	_pad2    pad.Line
+	mags     []magazine
+	magCap   int
+	magFlush int
+}
+
+// New creates an Arena with the given configuration.
+func New[T any](cfg Config) *Arena[T] {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 64
+	}
+	if cfg.MagazineSize <= 0 {
+		cfg.MagazineSize = 128
+	}
+	a := &Arena[T]{
+		cfg:      cfg,
+		mags:     make([]magazine, cfg.Threads),
+		magCap:   cfg.MagazineSize,
+		magFlush: cfg.MagazineSize / 2,
+	}
+	empty := make([]*page[T], 0)
+	a.pages.Store(&empty)
+	return a
+}
+
+// Policy reports the arena's free-list policy.
+func (a *Arena[T]) Policy() Policy { return a.cfg.Policy }
+
+// At returns the object named by h. It never fails for any handle ever
+// returned by Alloc, even after the slot was freed or recycled (see the
+// package comment); it panics only on the nil handle, a foreign index, or a
+// handle carrying the user (mark) bit.
+func (a *Arena[T]) At(h Handle) *T {
+	if h.IsNil() {
+		panic("arena: At(Nil)")
+	}
+	if uint64(h)&userBit != 0 {
+		panic("arena: At on handle with user bit set; strip marks first")
+	}
+	idx := h.Index()
+	pages := *a.pages.Load()
+	return &pages[idx>>pageShift].slots[idx&pageMask].val
+}
+
+// Live reports whether h still names the allocation it was created by,
+// i.e. the slot has not been freed (or freed and recycled) since.
+func (a *Arena[T]) Live(h Handle) bool {
+	if h.IsNil() || uint64(h)&userBit != 0 {
+		return false
+	}
+	idx := h.Index()
+	pages := *a.pages.Load()
+	if int(idx>>pageShift) >= len(pages) {
+		return false
+	}
+	return pages[idx>>pageShift].slots[idx&pageMask].gen.Load()&genMask == h.Gen()
+}
+
+// Alloc returns a handle to a slot that is exclusively owned by the caller
+// until freed. The slot's contents are whatever the previous owner left
+// (recycled slots must be re-initialized transactionally; see the package
+// comment).
+func (a *Arena[T]) Alloc(tid int) Handle {
+	m := &a.mags[tid]
+	m.allocs.Add(1)
+	var idx uint32
+	var ok bool
+	if a.cfg.Policy == PolicyLocal {
+		if n := len(m.free); n > 0 {
+			idx, ok = m.free[n-1], true
+			m.free = m.free[:n-1]
+		} else if a.refill(m) {
+			n := len(m.free)
+			idx, ok = m.free[n-1], true
+			m.free = m.free[:n-1]
+		}
+	} else {
+		idx, ok = a.popShared()
+	}
+	if !ok {
+		idx = a.bumpAlloc()
+		a.fresh.Add(1)
+	}
+	s := a.slotAt(idx)
+	g := s.gen.Load() // even (free)
+	s.gen.Store(g + 1)
+	return makeHandle(idx, g+1)
+}
+
+// Free releases the slot named by h for immediate reuse. It panics if h is
+// nil, stale, or being freed twice (the arena-level analog of a double
+// free() aborting under a hardened allocator).
+func (a *Arena[T]) Free(tid int, h Handle) {
+	if h.IsNil() {
+		panic("arena: Free(Nil)")
+	}
+	if uint64(h)&userBit != 0 {
+		panic("arena: Free on handle with user bit set")
+	}
+	idx := h.Index()
+	s := a.slotAt(idx)
+	g := h.Gen()
+	cur := s.gen.Load()
+	if g&1 == 0 || cur&genMask != g || !s.gen.CompareAndSwap(cur, cur+1) {
+		panic(fmt.Sprintf("arena: double free or stale handle %v", h))
+	}
+	m := &a.mags[tid]
+	m.frees.Add(1)
+	if a.cfg.Policy == PolicyLocal {
+		m.free = append(m.free, idx)
+		if len(m.free) > a.magCap {
+			a.flush(m)
+		}
+		return
+	}
+	a.pushShared(idx)
+}
+
+// FreeBatch releases a batch of handles (used by the deferred-reclamation
+// baselines, whose batched frees are exactly the allocator-contention
+// trigger Figure 5 studies).
+func (a *Arena[T]) FreeBatch(tid int, hs []Handle) {
+	for _, h := range hs {
+		a.Free(tid, h)
+	}
+}
+
+func (a *Arena[T]) slotAt(idx uint32) *slot[T] {
+	pages := *a.pages.Load()
+	return &pages[idx>>pageShift].slots[idx&pageMask]
+}
+
+// refill moves up to magFlush indices from the shared pool into m.
+func (a *Arena[T]) refill(m *magazine) bool {
+	a.poolMu.Lock()
+	a.poolOps.Add(1)
+	n := a.magFlush
+	if n > len(a.pool) {
+		n = len(a.pool)
+	}
+	if n > 0 {
+		m.free = append(m.free, a.pool[len(a.pool)-n:]...)
+		a.pool = a.pool[:len(a.pool)-n]
+	}
+	a.poolMu.Unlock()
+	return n > 0
+}
+
+// flush moves magFlush indices from m to the shared pool.
+func (a *Arena[T]) flush(m *magazine) {
+	a.poolMu.Lock()
+	a.poolOps.Add(1)
+	cut := len(m.free) - a.magFlush
+	a.pool = append(a.pool, m.free[cut:]...)
+	a.poolMu.Unlock()
+	m.free = m.free[:cut]
+}
+
+func (a *Arena[T]) popShared() (uint32, bool) {
+	a.poolMu.Lock()
+	a.poolOps.Add(1)
+	n := len(a.pool)
+	if n == 0 {
+		a.poolMu.Unlock()
+		return 0, false
+	}
+	idx := a.pool[n-1]
+	a.pool = a.pool[:n-1]
+	a.poolMu.Unlock()
+	return idx, true
+}
+
+func (a *Arena[T]) pushShared(idx uint32) {
+	a.poolMu.Lock()
+	a.poolOps.Add(1)
+	a.pool = append(a.pool, idx)
+	a.poolMu.Unlock()
+}
+
+// bumpAlloc hands out a never-used slot index, growing the page vector as
+// needed.
+func (a *Arena[T]) bumpAlloc() uint32 {
+	for {
+		n := a.next.Load()
+		pages := *a.pages.Load()
+		if int(n) < len(pages)*pageSize {
+			if a.next.CompareAndSwap(n, n+1) {
+				return n
+			}
+			continue
+		}
+		a.grow(len(pages))
+	}
+}
+
+// grow appends one page if no other thread has done so already.
+func (a *Arena[T]) grow(seen int) {
+	a.growMu.Lock()
+	defer a.growMu.Unlock()
+	cur := *a.pages.Load()
+	if len(cur) != seen {
+		return // someone else grew while we waited
+	}
+	next := make([]*page[T], len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = &page[T]{slots: make([]slot[T], pageSize)}
+	a.pages.Store(&next)
+	a.grows.Add(1)
+}
+
+// Stats is a point-in-time snapshot of allocator activity.
+type Stats struct {
+	Allocs   uint64 // total allocations
+	Frees    uint64 // total frees
+	Live     uint64 // Allocs - Frees: objects currently allocated
+	Fresh    uint64 // allocations served by the bump pointer (new memory)
+	PoolOps  uint64 // shared-pool critical sections (contention proxy)
+	Pages    uint64 // slab pages allocated from the Go heap
+	Capacity uint64 // total slots backed by pages
+}
+
+// Stats aggregates per-thread counters. Totals may lag concurrent activity
+// by a few counts.
+func (a *Arena[T]) Stats() Stats {
+	var st Stats
+	for i := range a.mags {
+		st.Allocs += a.mags[i].allocs.Load()
+		st.Frees += a.mags[i].frees.Load()
+	}
+	st.Live = st.Allocs - st.Frees
+	st.Fresh = a.fresh.Load()
+	st.PoolOps = a.poolOps.Load()
+	st.Pages = uint64(len(*a.pages.Load()))
+	st.Capacity = st.Pages * pageSize
+	return st
+}

@@ -1,0 +1,301 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+type obj struct {
+	a, b uint64
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	a := New[obj](Config{Threads: 1})
+	h := a.Alloc(0)
+	if h.IsNil() {
+		t.Fatal("Alloc returned Nil")
+	}
+	p := a.At(h)
+	p.a, p.b = 1, 2
+	if !a.Live(h) {
+		t.Fatal("freshly allocated handle not live")
+	}
+	a.Free(0, h)
+	if a.Live(h) {
+		t.Fatal("freed handle still live")
+	}
+	st := a.Stats()
+	if st.Allocs != 1 || st.Frees != 1 || st.Live != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRecycleBumpsGeneration(t *testing.T) {
+	a := New[obj](Config{Threads: 1})
+	h1 := a.Alloc(0)
+	a.Free(0, h1)
+	h2 := a.Alloc(0)
+	if h2.Index() != h1.Index() {
+		t.Fatalf("expected slot reuse: %v then %v", h1, h2)
+	}
+	if h2.Gen() == h1.Gen() {
+		t.Fatal("recycled slot kept its generation")
+	}
+	if a.Live(h1) {
+		t.Fatal("stale handle reports live after recycle")
+	}
+	if !a.Live(h2) {
+		t.Fatal("new handle not live")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := New[obj](Config{Threads: 1})
+	h := a.Alloc(0)
+	a.Free(0, h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	a.Free(0, h)
+}
+
+func TestStaleFreePanics(t *testing.T) {
+	a := New[obj](Config{Threads: 1})
+	h1 := a.Alloc(0)
+	a.Free(0, h1)
+	_ = a.Alloc(0) // recycles the slot
+	defer func() {
+		if recover() == nil {
+			t.Fatal("free through stale handle did not panic")
+		}
+	}()
+	a.Free(0, h1)
+}
+
+func TestNilHandle(t *testing.T) {
+	a := New[obj](Config{Threads: 1})
+	if !Nil.IsNil() {
+		t.Fatal("Nil.IsNil() == false")
+	}
+	if a.Live(Nil) {
+		t.Fatal("Nil handle live")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(Nil) did not panic")
+		}
+	}()
+	_ = a.At(Nil)
+}
+
+func TestUserBitRejected(t *testing.T) {
+	a := New[obj](Config{Threads: 1})
+	h := a.Alloc(0)
+	marked := Handle(uint64(h) | userBit)
+	if a.Live(marked) {
+		t.Fatal("marked handle reported live")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(marked) did not panic")
+		}
+	}()
+	_ = a.At(marked)
+}
+
+func TestGrowthAcrossPages(t *testing.T) {
+	a := New[obj](Config{Threads: 1})
+	n := pageSize*2 + 3
+	hs := make([]Handle, n)
+	for i := range hs {
+		hs[i] = a.Alloc(0)
+		a.At(hs[i]).a = uint64(i)
+	}
+	for i := range hs {
+		if got := a.At(hs[i]).a; got != uint64(i) {
+			t.Fatalf("slot %d corrupted: %d", i, got)
+		}
+	}
+	st := a.Stats()
+	if st.Pages < 3 {
+		t.Fatalf("expected >= 3 pages, got %d", st.Pages)
+	}
+	if st.Live != uint64(n) {
+		t.Fatalf("live = %d, want %d", st.Live, n)
+	}
+}
+
+func TestMagazineOverflowToShared(t *testing.T) {
+	a := New[obj](Config{Threads: 2, MagazineSize: 8})
+	var hs []Handle
+	for i := 0; i < 64; i++ {
+		hs = append(hs, a.Alloc(0))
+	}
+	for _, h := range hs {
+		a.Free(0, h)
+	}
+	if a.Stats().PoolOps == 0 {
+		t.Fatal("magazine never flushed to shared pool")
+	}
+	// A different thread must be able to reuse those slots.
+	fresh := a.Stats().Fresh
+	for i := 0; i < 32; i++ {
+		_ = a.Alloc(1)
+	}
+	if a.Stats().Fresh != fresh {
+		t.Fatal("thread 1 bump-allocated instead of reusing freed slots")
+	}
+}
+
+func TestSharedPolicyReuses(t *testing.T) {
+	a := New[obj](Config{Threads: 2, Policy: PolicyShared})
+	h := a.Alloc(0)
+	a.Free(0, h)
+	h2 := a.Alloc(1)
+	if h2.Index() != h.Index() {
+		t.Fatal("shared policy did not reuse freed slot")
+	}
+	if a.Stats().PoolOps < 2 {
+		t.Fatal("shared policy bypassed the pool lock")
+	}
+}
+
+// TestConcurrentChurn hammers alloc/free from several goroutines and then
+// checks the books balance and no two live handles alias a slot.
+func TestConcurrentChurn(t *testing.T) {
+	for _, pol := range []Policy{PolicyLocal, PolicyShared} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			const workers = 8
+			const iters = 5000
+			a := New[obj](Config{Threads: workers, Policy: pol, MagazineSize: 16})
+			var wg sync.WaitGroup
+			liveSets := make([][]Handle, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					rng := uint64(tid)*2654435761 + 1
+					var mine []Handle
+					for i := 0; i < iters; i++ {
+						rng ^= rng << 13
+						rng ^= rng >> 7
+						rng ^= rng << 17
+						if rng&1 == 0 || len(mine) == 0 {
+							h := a.Alloc(tid)
+							a.At(h).a = uint64(tid)<<32 | uint64(i)
+							mine = append(mine, h)
+						} else {
+							k := int(rng % uint64(len(mine)))
+							a.Free(tid, mine[k])
+							mine[k] = mine[len(mine)-1]
+							mine = mine[:len(mine)-1]
+						}
+					}
+					liveSets[tid] = mine
+				}(w)
+			}
+			wg.Wait()
+
+			var live int
+			seen := make(map[uint32]Handle)
+			for tid, set := range liveSets {
+				for _, h := range set {
+					live++
+					if !a.Live(h) {
+						t.Fatalf("tid %d: live handle %v reports dead", tid, h)
+					}
+					if prev, dup := seen[h.Index()]; dup {
+						t.Fatalf("two live handles alias slot %d: %v and %v", h.Index(), prev, h)
+					}
+					seen[h.Index()] = h
+				}
+			}
+			st := a.Stats()
+			if st.Live != uint64(live) {
+				t.Fatalf("stats live = %d, actual %d", st.Live, live)
+			}
+		})
+	}
+}
+
+func TestFreeBatch(t *testing.T) {
+	a := New[obj](Config{Threads: 1, MagazineSize: 4})
+	var hs []Handle
+	for i := 0; i < 20; i++ {
+		hs = append(hs, a.Alloc(0))
+	}
+	a.FreeBatch(0, hs)
+	st := a.Stats()
+	if st.Frees != 20 || st.Live != 0 {
+		t.Fatalf("stats after batch free: %+v", st)
+	}
+	for _, h := range hs {
+		if a.Live(h) {
+			t.Fatal("batch-freed handle still live")
+		}
+	}
+}
+
+// TestHandleAlgebra property-checks pack/unpack round trips.
+func TestHandleAlgebra(t *testing.T) {
+	f := func(idx uint32, gen uint32) bool {
+		gen |= 1 // live generations are odd
+		h := makeHandle(idx, gen)
+		return h.Index() == idx && h.Gen() == gen&genMask && !h.IsNil()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAllocFreeSequences property-checks random alloc/free programs
+// against a reference model of which handles should be live.
+func TestQuickAllocFreeSequences(t *testing.T) {
+	f := func(script []byte) bool {
+		a := New[obj](Config{Threads: 1, MagazineSize: 4})
+		model := make(map[Handle]bool)
+		var order []Handle
+		for _, b := range script {
+			if b&1 == 0 || len(order) == 0 {
+				h := a.Alloc(0)
+				if model[h] {
+					return false // duplicate live handle
+				}
+				model[h] = true
+				order = append(order, h)
+			} else {
+				k := int(b>>1) % len(order)
+				h := order[k]
+				a.Free(0, h)
+				delete(model, h)
+				order = append(order[:k], order[k+1:]...)
+			}
+		}
+		for h := range model {
+			if !a.Live(h) {
+				return false
+			}
+		}
+		return a.Stats().Live == uint64(len(model))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandleString(t *testing.T) {
+	if Nil.String() != "hnil" {
+		t.Errorf("Nil.String() = %q", Nil.String())
+	}
+	h := makeHandle(5, 3)
+	if h.String() != "h5.g3" {
+		t.Errorf("String() = %q, want h5.g3", h.String())
+	}
+	if PolicyLocal.String() == PolicyShared.String() {
+		t.Error("policy names collide")
+	}
+}

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hohtx/internal/sets"
+)
+
+func tinyWorkload() Workload {
+	return Workload{KeyBits: 6, LookupPct: 33, OpsPerThread: 2000}
+}
+
+func TestPrefillFillsHalf(t *testing.T) {
+	s, err := Build(FamilySingly, VariantSpec{Name: "RR-XO"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tinyWorkload()
+	Prefill(s, w, 2, 1)
+	if got, want := len(s.Snapshot()), int(w.KeyRange()/2); got != want {
+		t.Fatalf("prefill size = %d, want %d", got, want)
+	}
+}
+
+func TestNextOpMix(t *testing.T) {
+	w := Workload{KeyBits: 8, LookupPct: 80}
+	state := uint64(99)
+	counts := [3]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		op, key := nextOp(w, &state)
+		if key < 1 || key > w.KeyRange() {
+			t.Fatalf("key %d out of range", key)
+		}
+		counts[op]++
+	}
+	lookPct := float64(counts[opLookup]) / n * 100
+	if lookPct < 78 || lookPct > 82 {
+		t.Fatalf("lookup fraction %.1f%%, want ~80%%", lookPct)
+	}
+	insRemRatio := float64(counts[opInsert]) / float64(counts[opRemove])
+	if insRemRatio < 0.9 || insRemRatio > 1.1 {
+		t.Fatalf("insert/remove ratio %.2f, want ~1", insRemRatio)
+	}
+}
+
+func TestRunProducesThroughput(t *testing.T) {
+	mk := func(threads int) sets.Set {
+		s, err := Build(FamilySingly, VariantSpec{Name: "RR-V", Window: 8}, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	res, err := Run(mk, tinyWorkload(), RunConfig{Threads: 4, Trials: 2, Seed: 5, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MopsPerSec <= 0 {
+		t.Fatal("no throughput measured")
+	}
+	if res.Variant != "RR-V" {
+		t.Fatalf("variant = %q", res.Variant)
+	}
+}
+
+func TestBuildEveryPaperVariant(t *testing.T) {
+	cases := map[Family][]string{
+		FamilySingly:       append(RRNames(), "HTM", "TMHP", "REF", "LFLeak", "LFHP"),
+		FamilyDoubly:       append(RRNames(), "HTM", "TMHP"),
+		FamilyInternalTree: append(RRNames(), "HTM"),
+		FamilyExternalTree: append(RRNames(), "HTM", "TMHP", "LFLeak"),
+	}
+	for fam, names := range cases {
+		for _, name := range names {
+			s, err := Build(fam, VariantSpec{Name: name}, 2)
+			if err != nil {
+				t.Fatalf("Build(%s, %s): %v", fam, name, err)
+			}
+			s.Register(0)
+			if !s.Insert(0, 11) || !s.Lookup(0, 11) || !s.Remove(0, 11) {
+				t.Fatalf("%s/%s basic ops failed", fam, name)
+			}
+			s.Finish(0)
+		}
+	}
+}
+
+func TestBuildRejectsUndefinedCombos(t *testing.T) {
+	undefined := []struct {
+		f    Family
+		name string
+	}{
+		{FamilyDoubly, "REF"},
+		{FamilyDoubly, "LFLeak"},
+		{FamilyInternalTree, "TMHP"},
+		{FamilyInternalTree, "LFLeak"},
+		{FamilySingly, "bogus"},
+	}
+	for _, c := range undefined {
+		if _, err := Build(c.f, VariantSpec{Name: c.name}, 1); err == nil {
+			t.Errorf("Build(%s, %s) should have failed", c.f, c.name)
+		}
+	}
+}
+
+func TestBestWindowMatchesPaperTuning(t *testing.T) {
+	if BestWindow(FamilySingly, 4) != 16 || BestWindow(FamilySingly, 8) != 8 {
+		t.Fatal("list windows do not match the paper's tuning (16 up to 4 threads, 8 at 8)")
+	}
+	if BestWindow(FamilyInternalTree, 1) < BestWindow(FamilyInternalTree, 8) {
+		t.Fatal("tree windows should shrink with thread count")
+	}
+}
+
+// TestFigureSmoke runs a minimal version of every figure driver end to end
+// (1 thread count, tiny ops) and sanity-checks the emitted series.
+func TestFigureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke is seconds-long")
+	}
+	for fig := 2; fig <= 7; fig++ {
+		fig := fig
+		t.Run(string(rune('0'+fig)), func(t *testing.T) {
+			var buf bytes.Buffer
+			// Tiny settings: this exercises plumbing, not performance, and
+			// must stay fast under the race detector on one core.
+			opts := Opts{
+				Quick: true, Threads: []int{2}, Trials: 1,
+				OpsPerThread: 1500, TreeBits: 10, Out: &buf,
+			}
+			if err := Figure(fig, opts); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			lines := strings.Split(strings.TrimSpace(out), "\n")
+			if len(lines) < 3 {
+				t.Fatalf("figure %d produced %d lines", fig, len(lines))
+			}
+			if !strings.HasPrefix(lines[0], "figure\t") {
+				t.Fatal("missing header")
+			}
+			for _, ln := range lines[1:] {
+				if !strings.HasPrefix(ln, "fig") {
+					t.Fatalf("bad row: %q", ln)
+				}
+			}
+		})
+	}
+}
+
+func TestFigureRejectsUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure(1, Opts{Out: &buf}); err == nil {
+		t.Fatal("figure 1 (an illustration, not data) should be rejected")
+	}
+	if err := Figure(9, Opts{Out: &buf}); err == nil {
+		t.Fatal("figure 9 does not exist")
+	}
+}

@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"hohtx/internal/arena"
+	"hohtx/internal/core"
+	"hohtx/internal/list"
+	"hohtx/internal/lockfree"
+	"hohtx/internal/sets"
+	"hohtx/internal/skiplist"
+	"hohtx/internal/stm"
+	"hohtx/internal/tree"
+)
+
+// Family identifies which data structure an experiment runs on.
+type Family string
+
+const (
+	// FamilySingly is the singly linked list (Figure 2).
+	FamilySingly Family = "singly"
+	// FamilyDoubly is the doubly linked list (Figures 3 and 5).
+	FamilyDoubly Family = "doubly"
+	// FamilyInternalTree is the internal BST (Figure 6).
+	FamilyInternalTree Family = "itree"
+	// FamilyExternalTree is the external BST (Figure 7).
+	FamilyExternalTree Family = "etree"
+	// FamilySkipList is the skiplist (paper §6 future work; extension
+	// benches only).
+	FamilySkipList Family = "skip"
+)
+
+// VariantSpec fully determines how to build one series' data structure.
+type VariantSpec struct {
+	// Name is the paper's legend label ("RR-XO", "HTM", "TMHP", "REF",
+	// "LFLeak", "LFHP").
+	Name string
+	// Window is the hand-over-hand window size W (ignored by HTM and the
+	// lock-free variants). Zero means "use BestWindow for the family and
+	// thread count".
+	Window int
+	// NoScatter disables the first-window randomization (Fig. 4 ablation).
+	NoScatter bool
+	// Policy selects the arena free-list policy (Fig. 5).
+	Policy arena.Policy
+	// Assoc overrides A for the set-associative schemes (ablations);
+	// zero keeps the paper's A = 8.
+	Assoc int
+	// Capacity overrides the simulated HTM's tracked-cell capacity
+	// (ablations; zero keeps the profile default).
+	Capacity int
+	// NoSimulatedPreemption disables the automatic yield injection on
+	// single-core hosts (see SimYieldShift).
+	NoSimulatedPreemption bool
+}
+
+// SimYieldShift is the yield-injection rate used to simulate preemptive
+// interleaving when the host has a single CPU: every transactional access
+// (or lock-free node visit) yields with probability 1/2^5. Without it, a
+// one-core host runs each microsecond-scale transaction to completion
+// between scheduler quanta and the conflict dynamics the paper's
+// evaluation studies never occur; see EXPERIMENTS.md ("Concurrency
+// simulation").
+const SimYieldShift = 5
+
+// simShift returns the yield shift to apply given the host's parallelism.
+func simShift(disabled bool) uint8 {
+	if disabled || runtime.GOMAXPROCS(0) > 1 {
+		return 0
+	}
+	return SimYieldShift
+}
+
+// BestWindow returns the tuned window size for a family at a thread count,
+// following the paper's findings: "Up to 4 threads, a window size of 16 is
+// best. At 8 threads, the balance tips in favor of a window size of 8"
+// (§5.2) for the lists; the trees favor larger windows at low thread
+// counts (§5.4).
+func BestWindow(f Family, threads int) int {
+	switch f {
+	case FamilySingly, FamilyDoubly:
+		if threads <= 4 {
+			return 16
+		}
+		return 8
+	default:
+		if threads <= 2 {
+			return 32
+		}
+		return 16
+	}
+}
+
+// rrKindByName maps legend labels to reservation kinds.
+func rrKindByName(name string) (core.Kind, bool) {
+	for _, k := range core.Kinds() {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Build constructs the variant for a family at a thread count. It returns
+// an error for combinations the paper does not define (e.g. REF on the
+// doubly linked list).
+func Build(f Family, spec VariantSpec, threads int) (sets.Set, error) {
+	w := spec.Window
+	if w == 0 {
+		w = BestWindow(f, threads)
+	}
+	win := core.Window{W: w, NoScatter: spec.NoScatter}
+
+	switch f {
+	case FamilySingly, FamilyDoubly:
+		cfg := list.Config{
+			Threads:     threads,
+			Window:      win,
+			ArenaPolicy: spec.Policy,
+			Assoc:       spec.Assoc,
+			YieldShift:  simShift(spec.NoSimulatedPreemption),
+		}
+		if spec.Capacity > 0 {
+			cfg.Profile = stm.Profile{Capacity: spec.Capacity, MaxAttempts: 2}
+		}
+		switch spec.Name {
+		case "HTM":
+			cfg.Mode = list.ModeHTM
+		case "TMHP":
+			cfg.Mode = list.ModeTMHP
+		case "REF":
+			if f == FamilyDoubly {
+				return nil, fmt.Errorf("bench: REF is undefined for the doubly linked list")
+			}
+			cfg.Mode = list.ModeREF
+		case "ER":
+			if f == FamilyDoubly {
+				return nil, fmt.Errorf("bench: ER is undefined for the doubly linked list")
+			}
+			cfg.Mode = list.ModeER
+		case "LFLeak", "LFHP":
+			if f == FamilyDoubly {
+				return nil, fmt.Errorf("bench: no lock-free doubly linked list (as in the paper)")
+			}
+			return lockfree.NewHarrisList(lockfree.ListConfig{
+				Threads:           threads,
+				UseHazardPointers: spec.Name == "LFHP",
+				ArenaPolicy:       spec.Policy,
+				YieldShift:        simShift(spec.NoSimulatedPreemption),
+			}), nil
+		default:
+			k, ok := rrKindByName(spec.Name)
+			if !ok {
+				return nil, fmt.Errorf("bench: unknown list variant %q", spec.Name)
+			}
+			cfg.Mode = list.ModeRR
+			cfg.RRKind = k
+		}
+		if f == FamilyDoubly {
+			return list.NewDoubly(cfg), nil
+		}
+		return list.New(cfg), nil
+
+	case FamilyInternalTree, FamilyExternalTree:
+		cfg := tree.Config{
+			Threads:     threads,
+			Window:      win,
+			ArenaPolicy: spec.Policy,
+			Assoc:       spec.Assoc,
+			YieldShift:  simShift(spec.NoSimulatedPreemption),
+		}
+		if spec.Capacity > 0 {
+			cfg.Profile = stm.Profile{Capacity: spec.Capacity, MaxAttempts: 8}
+		}
+		switch spec.Name {
+		case "HTM":
+			cfg.Mode = tree.ModeHTM
+		case "TMHP":
+			if f == FamilyInternalTree {
+				return nil, fmt.Errorf("bench: no internal tree with hazard pointers (as in the paper)")
+			}
+			cfg.Mode = tree.ModeTMHP
+		case "LFLeak":
+			if f == FamilyInternalTree {
+				return nil, fmt.Errorf("bench: the lock-free comparator tree is external (as in the paper)")
+			}
+			return lockfree.NewNMTree(lockfree.NMConfig{
+				Threads:    threads,
+				YieldShift: simShift(spec.NoSimulatedPreemption),
+			}), nil
+		default:
+			k, ok := rrKindByName(spec.Name)
+			if !ok {
+				return nil, fmt.Errorf("bench: unknown tree variant %q", spec.Name)
+			}
+			cfg.Mode = tree.ModeRR
+			cfg.RRKind = k
+		}
+		if f == FamilyInternalTree {
+			return tree.NewInternal(cfg), nil
+		}
+		return tree.NewExternal(cfg), nil
+
+	case FamilySkipList:
+		cfg := skiplist.Config{
+			Threads:     threads,
+			Window:      win,
+			ArenaPolicy: spec.Policy,
+			Assoc:       spec.Assoc,
+			YieldShift:  simShift(spec.NoSimulatedPreemption),
+		}
+		if spec.Capacity > 0 {
+			cfg.Profile = stm.Profile{Capacity: spec.Capacity, MaxAttempts: 8}
+		}
+		switch spec.Name {
+		case "HTM":
+			cfg.Mode = skiplist.ModeHTM
+		default:
+			k, ok := rrKindByName(spec.Name)
+			if !ok {
+				return nil, fmt.Errorf("bench: unknown skiplist variant %q", spec.Name)
+			}
+			cfg.Mode = skiplist.ModeRR
+			cfg.RRKind = k
+		}
+		return skiplist.New(cfg), nil
+	}
+	return nil, fmt.Errorf("bench: unknown family %q", f)
+}
+
+// RRNames returns the six reservation series labels in the paper's order.
+func RRNames() []string {
+	var out []string
+	for _, k := range core.Kinds() {
+		out = append(out, k.String())
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+// Package bench is the measurement harness that regenerates the paper's
+// evaluation (Figures 2–7). It owns workload generation (key ranges,
+// operation mixes, 50% prefill), the timed runner with trials and
+// post-run invariant checks, the variant registry mapping the paper's
+// series names to constructors, and the per-figure drivers that print the
+// series each figure plots.
+package bench
+
+import (
+	"math/rand"
+	"sync"
+
+	"hohtx/internal/sets"
+)
+
+// Workload describes one experimental condition, matching the paper's
+// parameters: keys are drawn uniformly from a 2^KeyBits range, the set is
+// pre-populated to 50% of the range, and each thread performs OpsPerThread
+// operations of which LookupPct% are lookups and the rest split evenly
+// between inserts and removes (§5.1).
+type Workload struct {
+	KeyBits      int
+	LookupPct    int
+	OpsPerThread int
+}
+
+// KeyRange is the number of distinct keys.
+func (w Workload) KeyRange() uint64 { return 1 << w.KeyBits }
+
+// splitmix64 advances a seed and returns a well-mixed value; each worker
+// owns one so key streams are independent and allocation free.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Prefill inserts KeyRange/2 distinct random keys using up to `threads`
+// workers. Keys are in [1, KeyRange] (0 is reserved by the structures).
+func Prefill(s sets.Set, w Workload, threads int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	keys := rng.Perm(int(w.KeyRange()))
+	target := keys[:w.KeyRange()/2]
+	if threads < 1 {
+		threads = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (len(target) + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		lo := t * chunk
+		if lo >= len(target) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(target) {
+			hi = len(target)
+		}
+		wg.Add(1)
+		go func(tid int, part []int) {
+			defer wg.Done()
+			s.Register(tid)
+			for _, k := range part {
+				s.Insert(tid, uint64(k)+1)
+			}
+		}(t, target[lo:hi])
+	}
+	wg.Wait()
+}
+
+// op codes for the mixed phase.
+const (
+	opLookup = iota
+	opInsert
+	opRemove
+)
+
+// nextOp picks the next operation and key for a worker according to the
+// mix. Inserts and removes split the non-lookup share evenly.
+func nextOp(w Workload, state *uint64) (int, uint64) {
+	r := splitmix64(state)
+	key := r%w.KeyRange() + 1
+	pick := (r >> 32) % 100
+	switch {
+	case pick < uint64(w.LookupPct):
+		return opLookup, key
+	case (r>>31)&1 == 0:
+		return opInsert, key
+	default:
+		return opRemove, key
+	}
+}

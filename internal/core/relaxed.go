@@ -1,0 +1,219 @@
+package core
+
+import (
+	"hohtx/internal/pad"
+	"hohtx/internal/stm"
+)
+
+// Relaxed implementations (§3.2). Get may return nil even though the
+// thread's reference was never revoked — because an unrelated Revoke or
+// Reserve collided under the hash — but it must never return a reference
+// that *was* revoked. In exchange, Revoke is O(1) (XO, V) or O(A) (SO) and
+// Reserve/Release touch little or no shared state.
+//
+// An important subtlety the paper leaves implicit: the per-thread R_t slot
+// must roll back if the enclosing transaction aborts. Under HTM that is
+// automatic (R_t is written transactionally). Here R_t is an stm.Word for
+// the same reason: if an aborted Reserve left R_t pointing at r while the
+// ownership write never committed, a later Get could validate r against
+// metadata published by an *older* reservation that hashes to the same
+// slot, and return a reference the thread does not actually hold.
+
+// wordSlot is a padded per-thread transactional word.
+type wordSlot struct {
+	w stm.Word
+	_ pad.Line
+}
+
+// ownTable is a padded hash-indexed array of transactional words, the
+// shared metadata of XO/SO (thread ids + 1; 0 means "no owner", the
+// paper's -1) and V (version counters).
+type ownTable struct {
+	cells []wordSlot
+	mask  uint64
+}
+
+func newOwnTable(tableBits int) *ownTable {
+	n := 1 << tableBits
+	return &ownTable{cells: make([]wordSlot, n), mask: uint64(n - 1)}
+}
+
+func (t *ownTable) at(ref uint64) *stm.Word {
+	return &t.cells[hashRef(ref, t.mask)].w
+}
+
+// XO is the exclusive-ownership relaxed scheme (Listing 3): a single table
+// of owner ids. Reserving writes the caller's id over whatever was there,
+// so at most one thread can hold a reservation on any given hash slot; a
+// second Reserve acts like a Revoke of the first (progress, not
+// correctness, is affected — §3.2).
+type XO struct {
+	own *ownTable
+	rt  []wordSlot // R_t: per-thread reserved reference
+}
+
+// NewXO constructs an RR-XO reservation.
+func NewXO(cfg Config) *XO {
+	cfg = cfg.withDefaults()
+	return &XO{own: newOwnTable(cfg.TableBits), rt: make([]wordSlot, cfg.Threads)}
+}
+
+// Register implements Reservation (ids are the tids themselves).
+func (x *XO) Register(tid int) {}
+
+// Reserve implements Reservation.
+func (x *XO) Reserve(tx *stm.Tx, tid int, ref uint64) {
+	x.rt[tid].w.Store(tx, ref)
+	x.own.at(ref).Store(tx, uint64(tid)+1)
+}
+
+// Release implements Reservation. It touches only thread-local data: the
+// ownership table entry is left behind and either reused by this thread's
+// next Reserve or overwritten by someone else's.
+func (x *XO) Release(tx *stm.Tx, tid int) {
+	x.rt[tid].w.Store(tx, 0)
+}
+
+// Get implements Reservation.
+func (x *XO) Get(tx *stm.Tx, tid int) uint64 {
+	r := x.rt[tid].w.Load(tx)
+	if r == 0 {
+		return 0
+	}
+	if x.own.at(r).Load(tx) == uint64(tid)+1 {
+		return r
+	}
+	return 0
+}
+
+// Revoke implements Reservation with a single constant-time write of
+// "no owner".
+func (x *XO) Revoke(tx *stm.Tx, ref uint64) {
+	x.own.at(ref).Store(tx, 0)
+}
+
+// Strict implements Reservation.
+func (x *XO) Strict() bool { return false }
+
+// Name implements Reservation.
+func (x *XO) Name() string { return KindXO.String() }
+
+// SO is the shared-ownership relaxed scheme: A ownership tables, each
+// thread assigned to one, so up to A threads can simultaneously hold a
+// reservation on the same hash slot. Revoke writes "no owner" in all A
+// tables.
+type SO struct {
+	tables []*ownTable
+	rt     []wordSlot
+}
+
+// NewSO constructs an RR-SO reservation with cfg.Assoc tables.
+func NewSO(cfg Config) *SO {
+	cfg = cfg.withDefaults()
+	tables := make([]*ownTable, cfg.Assoc)
+	for i := range tables {
+		tables[i] = newOwnTable(cfg.TableBits)
+	}
+	return &SO{tables: tables, rt: make([]wordSlot, cfg.Threads)}
+}
+
+func (s *SO) table(tid int) *ownTable { return s.tables[tid%len(s.tables)] }
+
+// Register implements Reservation.
+func (s *SO) Register(tid int) {}
+
+// Reserve implements Reservation.
+func (s *SO) Reserve(tx *stm.Tx, tid int, ref uint64) {
+	s.rt[tid].w.Store(tx, ref)
+	s.table(tid).at(ref).Store(tx, uint64(tid)+1)
+}
+
+// Release implements Reservation.
+func (s *SO) Release(tx *stm.Tx, tid int) {
+	s.rt[tid].w.Store(tx, 0)
+}
+
+// Get implements Reservation.
+func (s *SO) Get(tx *stm.Tx, tid int) uint64 {
+	r := s.rt[tid].w.Load(tx)
+	if r == 0 {
+		return 0
+	}
+	if s.table(tid).at(r).Load(tx) == uint64(tid)+1 {
+		return r
+	}
+	return 0
+}
+
+// Revoke implements Reservation: O(A) writes.
+func (s *SO) Revoke(tx *stm.Tx, ref uint64) {
+	for _, t := range s.tables {
+		t.at(ref).Store(tx, 0)
+	}
+}
+
+// Strict implements Reservation.
+func (s *SO) Strict() bool { return false }
+
+// Name implements Reservation.
+func (s *SO) Name() string { return KindSO.String() }
+
+// V is the versioned relaxed scheme (Listing 4): the table holds counters
+// that act like STM ownership-record versions. Reserve records the
+// counter; Get checks it is unchanged; Revoke increments it. Any number of
+// threads can reserve the same reference concurrently, and Reserve writes
+// no shared state at all.
+type V struct {
+	vers *ownTable
+	rt   []wordSlot // R_t: reserved reference
+	vt   []wordSlot // V_t: counter observed at reserve time
+}
+
+// NewV constructs an RR-V reservation.
+func NewV(cfg Config) *V {
+	cfg = cfg.withDefaults()
+	return &V{
+		vers: newOwnTable(cfg.TableBits),
+		rt:   make([]wordSlot, cfg.Threads),
+		vt:   make([]wordSlot, cfg.Threads),
+	}
+}
+
+// Register implements Reservation.
+func (v *V) Register(tid int) {}
+
+// Reserve implements Reservation: it reads (never writes) the shared
+// counter, so concurrent Reserves of the same reference do not conflict.
+func (v *V) Reserve(tx *stm.Tx, tid int, ref uint64) {
+	v.rt[tid].w.Store(tx, ref)
+	v.vt[tid].w.Store(tx, v.vers.at(ref).Load(tx))
+}
+
+// Release implements Reservation.
+func (v *V) Release(tx *stm.Tx, tid int) {
+	v.rt[tid].w.Store(tx, 0)
+}
+
+// Get implements Reservation.
+func (v *V) Get(tx *stm.Tx, tid int) uint64 {
+	r := v.rt[tid].w.Load(tx)
+	if r == 0 {
+		return 0
+	}
+	if v.vers.at(r).Load(tx) == v.vt[tid].w.Load(tx) {
+		return r
+	}
+	return 0
+}
+
+// Revoke implements Reservation by bumping the reference's counter.
+func (v *V) Revoke(tx *stm.Tx, ref uint64) {
+	c := v.vers.at(ref)
+	c.Store(tx, c.Load(tx)+1)
+}
+
+// Strict implements Reservation.
+func (v *V) Strict() bool { return false }
+
+// Name implements Reservation.
+func (v *V) Name() string { return KindV.String() }

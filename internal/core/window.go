@@ -1,0 +1,54 @@
+package core
+
+import "hohtx/internal/stm"
+
+// Hand-over-hand window helpers (§4.1).
+//
+// A hand-over-hand operation splits its traversal into transactions of at
+// most W node visits each. The first window's length is randomized
+// ("scattered") so that threads starting from the same well-known node
+// (the list head, the tree root) stagger their reservation points instead
+// of all reserving the same node — the paper finds this matters most for
+// RR-XO, where two threads reserving the same node conflict outright.
+
+// Scatter returns the first-window budget: a value in [1, w] drawn from
+// the transaction's private generator. Subsequent windows use w directly.
+func Scatter(tx *stm.Tx, w int) int {
+	if w <= 1 {
+		return 1
+	}
+	return 1 + int(tx.Rand()%uint64(w))
+}
+
+// Window carries a fixed window size and whether scattering is enabled;
+// the benchmarks' window-size and scatter ablations (Figure 4) sweep these.
+type Window struct {
+	// W is the maximum node visits per transaction. Zero or negative
+	// means unbounded (every operation is a single transaction — the
+	// paper's "HTM" baseline configuration).
+	W int
+	// NoScatter disables first-window randomization (ablation).
+	NoScatter bool
+}
+
+// Unbounded reports whether traversals should never cut windows.
+func (w Window) Unbounded() bool { return w.W <= 0 }
+
+// First returns the budget for an operation's first window.
+func (w Window) First(tx *stm.Tx) int {
+	if w.Unbounded() {
+		return int(^uint(0) >> 1)
+	}
+	if w.NoScatter {
+		return w.W
+	}
+	return Scatter(tx, w.W)
+}
+
+// Next returns the budget for subsequent windows.
+func (w Window) Next() int {
+	if w.Unbounded() {
+		return int(^uint(0) >> 1)
+	}
+	return w.W
+}

@@ -1,0 +1,182 @@
+package list
+
+import (
+	"hohtx/internal/arena"
+	"hohtx/internal/sets"
+	"hohtx/internal/stm"
+)
+
+// DList is the doubly linked set (§4.2). Traversals are identical to the
+// singly linked list; insertions additionally maintain back links; and
+// removal exploits them: because a node's predecessor and successor are
+// both reachable from the node itself, a Remove can finish its traversal
+// by merely *reserving* the found node, commit, and then unlink + revoke
+// in a second, much smaller transaction. If that second transaction finds
+// the reservation gone, a strict reservation proves a concurrent Remove
+// took the same node (return false); a relaxed one cannot distinguish that
+// from a spurious invalidation, so the whole operation retries (§4.2).
+type DList struct {
+	List
+}
+
+var _ sets.Set = (*DList)(nil)
+
+// NewDoubly constructs a doubly linked list set. ModeREF is not supported
+// (the paper drops reference counting after the singly linked list
+// experiments).
+func NewDoubly(cfg Config) *DList {
+	if cfg.Mode == ModeREF || cfg.Mode == ModeER {
+		panic("list: ModeREF and ModeER are only implemented for the singly linked list")
+	}
+	return &DList{List: *New(cfg)}
+}
+
+// Insert implements sets.Set, maintaining prev links.
+func (d *DList) Insert(tid int, key uint64) bool {
+	res, _ := d.apply(tid, key, false,
+		func(tx *stm.Tx, prevH, currH arena.Handle) bool { return false },
+		func(tx *stm.Tx, prevH, currH arena.Handle) bool {
+			nh := d.allocNode(tx, tid, key, currH, prevH)
+			d.ar.At(prevH).next.Store(tx, uint64(nh))
+			if !currH.IsNil() {
+				d.ar.At(currH).prev.Store(tx, uint64(nh))
+			}
+			return true
+		},
+	)
+	return res
+}
+
+// phase-2 outcomes of the two-transaction remove.
+const (
+	removedOp = iota
+	lostOp
+	retryOp
+)
+
+// Remove implements sets.Set.
+func (d *DList) Remove(tid int, key uint64) bool {
+	if d.mode == ModeHTM {
+		// Single-transaction removal; the traversal and unlink commit
+		// together, so no reservation is involved.
+		res, _ := d.apply(tid, key, false,
+			func(tx *stm.Tx, prevH, currH arena.Handle) bool {
+				d.unlinkDoubly(tx, currH)
+				tx.OnCommit(func() { d.ar.Free(tid, currH) })
+				return true
+			},
+			func(tx *stm.Tx, prevH, currH arena.Handle) bool { return false },
+		)
+		return res
+	}
+	for {
+		// Phase 1: locate the node and leave our hold attached to it.
+		found, target := d.apply(tid, key, true,
+			func(tx *stm.Tx, prevH, currH arena.Handle) bool { return true },
+			func(tx *stm.Tx, prevH, currH arena.Handle) bool { return false },
+		)
+		if !found {
+			return false
+		}
+		var out int
+		switch d.mode {
+		case ModeRR:
+			out = d.removePhase2RR(tid, target)
+		case ModeTMHP:
+			out = d.removePhase2TMHP(tid, target)
+		}
+		switch out {
+		case removedOp:
+			return true
+		case lostOp:
+			// A concurrent Remove of the same node committed first; this
+			// operation linearizes immediately after it.
+			return false
+		}
+		// retryOp: a relaxed reservation was spuriously invalidated —
+		// retry the entire operation from the head.
+	}
+}
+
+// removePhase2RR unlinks and revokes the reserved target in its own
+// transaction.
+func (d *DList) removePhase2RR(tid int, target arena.Handle) int {
+	out := retryOp
+	d.rt.Atomic(func(tx *stm.Tx) {
+		out = retryOp
+		r := d.rr.Get(tx, tid)
+		if r == 0 {
+			d.rr.Release(tx, tid)
+			if d.rr.Strict() {
+				// Strict: only Revoke(target) clears it, and only the
+				// thread removing target revokes it.
+				out = lostOp
+			}
+			return
+		}
+		// Get can only return what phase 1 reserved.
+		h := arena.Handle(r)
+		d.unlinkDoubly(tx, h)
+		d.rr.Revoke(tx, uint64(h))
+		d.rr.Release(tx, tid)
+		tx.OnCommit(func() { d.ar.Free(tid, h) })
+		out = removedOp
+	})
+	return out
+}
+
+// removePhase2TMHP unlinks the hazard-protected target, using the dead
+// flag where the strict reservation would have detected a racing remove.
+func (d *DList) removePhase2TMHP(tid int, target arena.Handle) int {
+	ts := &d.threads[tid]
+	out := retryOp
+	d.rt.Atomic(func(tx *stm.Tx) {
+		out = retryOp
+		curr := d.ar.At(target)
+		if curr.dead.Load(tx) != 0 {
+			out = lostOp
+			return
+		}
+		d.unlinkDoubly(tx, target)
+		curr.dead.Store(tx, 1)
+		stamp := ts.ops
+		tx.OnCommit(func() {
+			ts.start = arena.Nil
+			d.hp.ClearSlots(tid)
+			d.hp.Retire(tid, target, stamp)
+		})
+		out = removedOp
+	})
+	if out == lostOp {
+		ts.start = arena.Nil
+		d.hp.ClearSlots(tid)
+	}
+	return out
+}
+
+// unlinkDoubly splices currH out using its own links; the predecessor is
+// always a real node (ultimately the head sentinel).
+func (d *DList) unlinkDoubly(tx *stm.Tx, currH arena.Handle) {
+	curr := d.ar.At(currH)
+	p := arena.Handle(curr.prev.Load(tx))
+	nx := arena.Handle(curr.next.Load(tx))
+	d.ar.At(p).next.Store(tx, uint64(nx))
+	if !nx.IsNil() {
+		d.ar.At(nx).prev.Store(tx, uint64(p))
+	}
+}
+
+// ValidateLinks checks prev/next symmetry over the whole list; it is a
+// test helper and requires quiescence.
+func (d *DList) ValidateLinks() bool {
+	prev := d.head
+	for h := arena.Handle(d.ar.At(d.head).next.Raw()); !h.IsNil(); {
+		n := d.ar.At(h)
+		if arena.Handle(n.prev.Raw()) != prev {
+			return false
+		}
+		prev = h
+		h = arena.Handle(n.next.Raw())
+	}
+	return true
+}

@@ -1,0 +1,213 @@
+package list
+
+import (
+	"hohtx/internal/arena"
+	"hohtx/internal/stm"
+)
+
+// The hand-over-hand window engine (Listing 5's Apply), shared by the
+// singly and doubly linked lists. Each iteration of the outer loop runs
+// one window transaction; the traversal position is carried across
+// transactions by the mode's linking mechanism:
+//
+//	ModeRR   — a revocable reservation on the window-start node
+//	ModeHTM  — never cuts (the whole operation is one transaction)
+//	ModeTMHP — a thread-local start handle + a published hazard pointer
+//	ModeREF  — a thread-local start handle + a transactional refcount
+//
+// TMHP's resume protocol deserves a note. A window ends by publishing a
+// hazard on the new start node and *then* transactionally loading its
+// dead flag. Atomics are sequentially consistent, so if a concurrent
+// remover's hazard scan missed our publication, the scan (and hence the
+// remover's commit, which precedes its retire) happened before our load —
+// which must then observe a bumped version, fail snapshot extension
+// against the unlink write we read past, and abort this window. Either
+// the node is protected or we never resume from it.
+
+// applyFn is a terminal-phase callback; prevH's successor is currH at the
+// transaction's snapshot. For the found callback currH holds the key; for
+// the not-found callback currH is the first node with a larger key (or
+// Nil) and an insert belongs between prevH and currH.
+type applyFn func(tx *stm.Tx, prevH, currH arena.Handle) bool
+
+// apply runs one set operation. If reserveFound is true, a successful
+// found-terminal leaves the operation's linking mechanism attached to
+// currH instead of releasing it (phase one of the doubly linked list's
+// two-transaction remove, §4.2) and returns currH as target.
+func (l *List) apply(tid int, key uint64, reserveFound bool, onFound, onNotFound applyFn) (res bool, target arena.Handle) {
+	return l.applyAt(tid, key, l.head, reserveFound, onFound, onNotFound)
+}
+
+// applyAt is apply with an explicit traversal root, letting one List's
+// machinery serve many independent chains (the hash table's buckets).
+func (l *List) applyAt(tid int, key uint64, head arena.Handle, reserveFound bool, onFound, onNotFound applyFn) (res bool, target arena.Handle) {
+	ts := &l.threads[tid]
+	ts.ops++
+	if l.ep != nil {
+		// ModeER: the whole operation is one epoch-protected critical
+		// section, so nodes its released reads still point at cannot be
+		// physically reclaimed underneath it.
+		l.ep.Enter(tid)
+		defer l.ep.Exit(tid)
+	}
+	for {
+		done := false
+		l.rt.Atomic(func(tx *stm.Tx) {
+			// Reset per attempt: the closure re-runs on abort.
+			done = false
+			res = false
+			target = arena.Nil
+
+			win := l.window()
+			startH, held := l.windowStart(tx, tid, head)
+			var budget int
+			if held {
+				budget = win.Next()
+			} else {
+				startH = head
+				budget = win.First(tx)
+			}
+			if l.mode == ModeER {
+				// One unbounded transaction; W instead bounds the
+				// retained read suffix (the rolling early release below).
+				budget = int(^uint(0) >> 1)
+			}
+
+			prevH := startH
+			currH := arena.Handle(l.ar.At(prevH).next.Load(tx))
+			steps := 0
+			var k uint64
+			for !currH.IsNil() {
+				if l.mode == ModeER {
+					// Keep only the last W spine nodes' reads under
+					// conflict detection; everything older is released.
+					w := len(ts.marks)
+					if steps >= w {
+						tx.ForgetReadsBefore(ts.marks[steps%w])
+					}
+					ts.marks[steps%w] = tx.ReadMark()
+				}
+				k = l.ar.At(currH).key.Load(tx)
+				if k >= key || steps >= budget {
+					break
+				}
+				prevH = currH
+				currH = arena.Handle(l.ar.At(currH).next.Load(tx))
+				steps++
+			}
+
+			switch {
+			case !currH.IsNil() && k == key:
+				res = onFound(tx, prevH, currH)
+				if reserveFound {
+					l.windowHold(tx, tid, held, startH, currH)
+					target = currH
+				} else {
+					l.windowTerminal(tx, tid, held, startH)
+				}
+				done = true
+			case currH.IsNil() || k > key:
+				res = onNotFound(tx, prevH, currH)
+				l.windowTerminal(tx, tid, held, startH)
+				done = true
+			default:
+				// Budget exhausted mid-traversal: hand over to the next
+				// window at currH.
+				l.windowHold(tx, tid, held, startH, currH)
+			}
+		})
+		if done {
+			return res, target
+		}
+	}
+}
+
+// windowStart resolves where this window begins and whether the thread is
+// resuming with a live hold on that position.
+func (l *List) windowStart(tx *stm.Tx, tid int, head arena.Handle) (arena.Handle, bool) {
+	switch l.mode {
+	case ModeRR:
+		if r := l.rr.Get(tx, tid); r != 0 {
+			return arena.Handle(r), true
+		}
+		// Nil, released, revoked, or (relaxed) spuriously lost: restart
+		// from the head.
+		return head, false
+	case ModeTMHP:
+		s := l.threads[tid].start
+		if s.IsNil() {
+			return head, false
+		}
+		if l.ar.At(s).dead.Load(tx) != 0 {
+			// The start was removed since our last window; its memory is
+			// still pinned by our hazard, so the flag is trustworthy.
+			return head, false
+		}
+		return s, true
+	case ModeREF:
+		s := l.threads[tid].start
+		if s.IsNil() {
+			return head, false
+		}
+		if l.ar.At(s).dead.Load(tx) != 0 {
+			// Give back our count on the removed node and restart.
+			l.refDecrement(tx, tid, s)
+			return head, false
+		}
+		return s, true
+	default: // ModeHTM
+		return head, false
+	}
+}
+
+// windowHold attaches the thread's linking mechanism to currH (releasing
+// the previous hold) so the next transaction may resume there.
+func (l *List) windowHold(tx *stm.Tx, tid int, held bool, startH, currH arena.Handle) {
+	ts := &l.threads[tid]
+	switch l.mode {
+	case ModeRR:
+		if held {
+			l.rr.Release(tx, tid)
+		}
+		l.rr.Reserve(tx, tid, uint64(currH))
+	case ModeTMHP:
+		slot := ts.parity & 1
+		l.hp.Protect(tid, slot, currH)
+		// Ordering re-check; see the protocol note atop this file.
+		_ = l.ar.At(currH).dead.Load(tx)
+		tx.OnCommit(func() {
+			ts.start = currH
+			l.hp.Protect(tid, slot^1, 0) // drop the previous window's hazard
+			ts.parity++
+		})
+	case ModeREF:
+		n := l.ar.At(currH)
+		n.rc.Store(tx, n.rc.Load(tx)+1)
+		if held {
+			l.refDecrement(tx, tid, startH)
+		}
+		tx.OnCommit(func() { ts.start = currH })
+	default: // ModeHTM: unbounded windows never cut or hold
+	}
+}
+
+// windowTerminal releases the thread's hold (if any) at operation end.
+func (l *List) windowTerminal(tx *stm.Tx, tid int, held bool, startH arena.Handle) {
+	ts := &l.threads[tid]
+	switch l.mode {
+	case ModeRR:
+		if held {
+			l.rr.Release(tx, tid)
+		}
+	case ModeTMHP:
+		tx.OnCommit(func() {
+			ts.start = arena.Nil
+			l.hp.ClearSlots(tid)
+		})
+	case ModeREF:
+		if held {
+			l.refDecrement(tx, tid, startH)
+		}
+		tx.OnCommit(func() { ts.start = arena.Nil })
+	}
+}

@@ -1,0 +1,12 @@
+package list
+
+import "hohtx/internal/stm"
+
+// profileWithCapacity builds the HTM-simulation profile used by the
+// capacity-sensitive tests (lists use the paper's 2-attempt fallback).
+func profileWithCapacity(c int) stm.Profile {
+	return stm.Profile{Capacity: c, MaxAttempts: 2}
+}
+
+// capacityCause re-exports the abort cause index for test assertions.
+func capacityCause() stm.AbortCause { return stm.CauseCapacity }

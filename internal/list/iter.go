@@ -1,0 +1,108 @@
+package list
+
+import (
+	"hohtx/internal/arena"
+	"hohtx/internal/stm"
+)
+
+// Ordered iteration.
+//
+// Ascend is a natural application of revocable reservations beyond point
+// operations: the iterator's position *is* a reservation. Each step runs
+// one window transaction that re-acquires the position via Get, emits up
+// to W keys, and re-reserves where it stopped. If a concurrent Remove
+// revokes the position (or a relaxed scheme loses it spuriously), the
+// iterator re-navigates by key — it searches for the first key greater
+// than the last one delivered — so iteration always makes progress and
+// never touches freed memory, while removals remain free to reclaim
+// immediately.
+//
+// The result is weakly consistent, like sync.Map.Range: each window sees
+// a consistent snapshot, keys are delivered in ascending order exactly
+// once, and a key is guaranteed to appear iff it was present for the whole
+// iteration. This is the strongest guarantee hand-over-hand structures
+// admit without giving up small transactions.
+
+// Ascend calls fn for each key >= from, in ascending order, until fn
+// returns false or the list is exhausted. Only ModeRR and ModeHTM lists
+// support it (ModeHTM runs the whole scan as one transaction).
+func (l *List) Ascend(tid int, from uint64, fn func(key uint64) bool) {
+	if l.mode != ModeRR && l.mode != ModeHTM {
+		panic("list: Ascend requires ModeRR or ModeHTM")
+	}
+	l.threads[tid].ops++
+	last := from // next key to deliver must be >= last
+	var batch []uint64
+	for {
+		done := false
+		batch = batch[:0]
+		l.rt.Atomic(func(tx *stm.Tx) {
+			done = false
+			batch = batch[:0]
+			win := l.window()
+			startH, held := l.windowStart(tx, tid, l.head)
+			var budget int
+			if held {
+				budget = win.Next()
+			} else {
+				budget = win.First(tx)
+			}
+			if l.mode == ModeHTM {
+				budget = int(^uint(0) >> 1)
+			}
+			// Navigate to the first key >= last (no-op when resuming at a
+			// reserved node, whose key is < last by construction).
+			prevH := startH
+			currH := arena.Handle(l.ar.At(prevH).next.Load(tx))
+			steps := 0
+			for !currH.IsNil() {
+				n := l.ar.At(currH)
+				k := n.key.Load(tx)
+				if k >= last {
+					batch = append(batch, k)
+				}
+				prevH = currH
+				currH = arena.Handle(n.next.Load(tx))
+				steps++
+				if steps >= budget {
+					// Cut even with an empty batch: re-navigation after a
+					// revocation must also stay windowed. The hold lands
+					// on a node with key < last, and the next window
+					// resumes the filtered walk from it.
+					break
+				}
+			}
+			if currH.IsNil() {
+				// Reached the end: this window completes the scan.
+				l.windowTerminal(tx, tid, held, startH)
+				done = true
+				return
+			}
+			// Hand over at prevH (the node holding the last batched key).
+			l.windowHold(tx, tid, held, startH, prevH)
+		})
+		for _, k := range batch {
+			if !fn(k) {
+				// Consumer stopped early: drop the hold so the next
+				// operation starts cleanly.
+				l.dropHoldOutsideWindow(tid)
+				return
+			}
+			last = k + 1
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// dropHoldOutsideWindow releases the iterator's reservation from outside
+// any window transaction (early consumer termination).
+func (l *List) dropHoldOutsideWindow(tid int) {
+	if l.mode != ModeRR {
+		return
+	}
+	l.rt.Atomic(func(tx *stm.Tx) {
+		l.rr.Release(tx, tid)
+	})
+}

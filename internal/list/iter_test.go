@@ -1,0 +1,128 @@
+package list
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hohtx/internal/core"
+)
+
+func TestAscendSequential(t *testing.T) {
+	for _, k := range core.Kinds() {
+		l := New(Config{Mode: ModeRR, RRKind: k, Threads: 1, Window: core.Window{W: 3}})
+		t.Run(l.Name(), func(t *testing.T) {
+			l.Register(0)
+			for key := uint64(2); key <= 40; key += 2 {
+				l.Insert(0, key)
+			}
+			var got []uint64
+			l.Ascend(0, 0, func(key uint64) bool {
+				got = append(got, key)
+				return true
+			})
+			if len(got) != 20 {
+				t.Fatalf("ascend yielded %d keys, want 20", len(got))
+			}
+			for i, key := range got {
+				if key != uint64(2*(i+1)) {
+					t.Fatalf("key[%d] = %d", i, key)
+				}
+			}
+			// From a midpoint.
+			got = got[:0]
+			l.Ascend(0, 21, func(key uint64) bool {
+				got = append(got, key)
+				return true
+			})
+			if len(got) != 10 || got[0] != 22 {
+				t.Fatalf("ascend from 21: %v", got)
+			}
+			// Early stop.
+			count := 0
+			l.Ascend(0, 0, func(key uint64) bool {
+				count++
+				return count < 5
+			})
+			if count != 5 {
+				t.Fatalf("early stop delivered %d", count)
+			}
+			// The early stop must not leak a hold into the next op.
+			if !l.Lookup(0, 2) {
+				t.Fatal("lookup broken after early-stopped ascend")
+			}
+		})
+	}
+}
+
+func TestAscendHTMMode(t *testing.T) {
+	l := New(Config{Mode: ModeHTM, Threads: 1})
+	l.Register(0)
+	for key := uint64(1); key <= 10; key++ {
+		l.Insert(0, key)
+	}
+	var n int
+	l.Ascend(0, 0, func(uint64) bool { n++; return true })
+	if n != 10 {
+		t.Fatalf("HTM ascend yielded %d", n)
+	}
+}
+
+// TestAscendConcurrent checks the weak-consistency contract: keys present
+// for the whole iteration are delivered exactly once, in order, while
+// concurrent churn removes and reinserts other keys (with immediate
+// reclamation putting their nodes back into circulation).
+func TestAscendConcurrent(t *testing.T) {
+	const stable = 50 // odd keys 1..99 stay put
+	l := New(Config{Mode: ModeRR, RRKind: core.KindV, Threads: 4, Window: core.Window{W: 2}})
+	l.Register(0)
+	for k := uint64(1); k <= 99; k += 2 {
+		l.Insert(0, k)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 1; w <= 3; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			l.Register(tid)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64((i*2+tid*4)%100) + 100 // churn keys 100..199
+				l.Insert(tid, k)
+				l.Remove(tid, k)
+			}
+		}(w)
+	}
+	var violations atomic.Int64
+	for round := 0; round < 30; round++ {
+		var got []uint64
+		l.Ascend(0, 0, func(key uint64) bool {
+			got = append(got, key)
+			return true
+		})
+		seen := 0
+		lastKey := uint64(0)
+		for _, k := range got {
+			if k <= lastKey {
+				violations.Add(1) // out of order or duplicate
+			}
+			lastKey = k
+			if k <= 99 && k%2 == 1 {
+				seen++
+			}
+		}
+		if seen != stable {
+			t.Fatalf("round %d: saw %d of %d stable keys", round, seen, stable)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Fatalf("%d ordering violations", violations.Load())
+	}
+}

@@ -1,0 +1,404 @@
+// Package list implements the paper's linked-list based concurrent sets
+// (§4.1, §4.2): hand-over-hand transactional singly and doubly linked
+// lists with revocable reservations, plus the three comparator modes the
+// evaluation uses — whole-operation transactions (the HTM baseline),
+// hand-over-hand with hazard-pointer deferred reclamation (TMHP), and
+// hand-over-hand with transactional reference counting (REF).
+//
+// All variants share one node layout and one arena, so differences in the
+// figures come from the synchronization/reclamation mechanism, not from
+// memory layout.
+package list
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hohtx/internal/arena"
+	"hohtx/internal/core"
+	"hohtx/internal/pad"
+	"hohtx/internal/reclaim"
+	"hohtx/internal/sets"
+	"hohtx/internal/stm"
+)
+
+// Mode selects the synchronization/reclamation mechanism.
+type Mode uint8
+
+const (
+	// ModeRR is hand-over-hand transactions with revocable reservations
+	// and immediate (precise) reclamation — the paper's contribution.
+	ModeRR Mode = iota
+	// ModeHTM performs each whole operation in a single transaction with
+	// no reservations (the paper's "HTM" baseline).
+	ModeHTM
+	// ModeTMHP is hand-over-hand transactions with hazard pointers and
+	// batched deferred reclamation (the paper's "TMHP" baseline).
+	ModeTMHP
+	// ModeREF is hand-over-hand transactions with transactional
+	// reference counts on window boundary nodes (the paper's "REF"
+	// baseline; singly linked list only).
+	ModeREF
+	// ModeER runs each operation as one transaction that early-releases
+	// traversal reads more than W nodes behind the frontier (Herlihy et
+	// al. [17]; the paper's §1 discusses this as the STM-only alternative
+	// to hand-over-hand windows — it cannot run on real HTM, and it
+	// cannot reclaim precisely, so removals defer reclamation through
+	// epochs. Singly linked list only; provided as an extension
+	// comparator, not one of the paper's measured series.)
+	ModeER
+)
+
+// node is the shared node layout. Every field is a transactional cell;
+// recycled nodes are re-initialized with transactional stores only (see
+// the arena package comment for why). The trailing pad keeps concurrent
+// transactions on neighboring nodes from false-sharing version locks.
+type node struct {
+	key  stm.Word
+	next stm.Word // arena.Handle bits; 0 = nil
+	prev stm.Word // doubly linked list only
+	dead stm.Word // TMHP/REF logical-deletion mark
+	rc   stm.Word // REF reference count
+	_    pad.Line
+}
+
+// threadState is per-thread traversal state for the deferred-reclamation
+// modes plus the operation stamp used for reclamation-delay accounting.
+type threadState struct {
+	start  arena.Handle // TMHP/REF resume position (Nil = start from head)
+	parity int          // TMHP hazard slot alternation
+	ops    uint64
+	marks  []uint64 // ModeER: read marks of the last W spine nodes
+	_      pad.Line
+}
+
+// Config parameterizes list construction.
+type Config struct {
+	// Mode selects the mechanism; default ModeRR.
+	Mode Mode
+	// RRKind selects the reservation implementation for ModeRR.
+	RRKind core.Kind
+	// Threads is the number of distinct tids that will operate on the
+	// list. Required.
+	Threads int
+	// Window is the hand-over-hand window policy. The paper's best
+	// settings are thread-count dependent (Figure 4); 8–16 are good
+	// defaults. Ignored (unbounded) for ModeHTM.
+	Window core.Window
+	// Profile overrides the TM speculation profile. The zero value means
+	// the paper's list setting: HTM simulation with serial fallback after
+	// 2 failed attempts.
+	Profile stm.Profile
+	// ArenaPolicy selects the allocator free-list policy (Figure 5).
+	ArenaPolicy arena.Policy
+	// ScanThreshold is the hazard-pointer batch size for ModeTMHP;
+	// default 64 (the paper's best-performing setting).
+	ScanThreshold int
+	// TableBits/Assoc size the reservation metadata (see core.Config).
+	TableBits int
+	Assoc     int
+	// YieldShift enables simulated preemption inside transactions (see
+	// stm.Profile.YieldShift); it composes with whatever Profile is in
+	// effect.
+	YieldShift uint8
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = 8
+	}
+	if c.Profile == (stm.Profile{}) {
+		c.Profile = stm.HTMProfile(2)
+	}
+	if c.YieldShift != 0 {
+		c.Profile.YieldShift = c.YieldShift
+	}
+	if c.Window.W == 0 && c.Mode != ModeHTM {
+		c.Window.W = 8
+	}
+	if c.Mode == ModeHTM {
+		c.Window = core.Window{} // unbounded: one transaction per op
+	}
+	if c.ScanThreshold <= 0 {
+		c.ScanThreshold = reclaim.DefaultScanThreshold
+	}
+	return c
+}
+
+// List is the singly linked set (Listing 5).
+type List struct {
+	rt          *stm.Runtime
+	ar          *arena.Arena[node]
+	rr          core.Reservation // ModeRR only
+	hp          *reclaim.HazardPointers
+	ep          *reclaim.Epochs // ModeER only
+	mode        Mode
+	win         core.Window
+	winOverride atomic.Int32
+	head        arena.Handle
+	threads     []threadState
+}
+
+var _ sets.Set = (*List)(nil)
+var _ sets.MemoryReporter = (*List)(nil)
+
+// New constructs a singly linked list set.
+func New(cfg Config) *List {
+	cfg = cfg.withDefaults()
+	l := &List{
+		rt:      stm.NewRuntime(cfg.Profile),
+		ar:      arena.New[node](arena.Config{Policy: cfg.ArenaPolicy, Threads: cfg.Threads}),
+		mode:    cfg.Mode,
+		win:     cfg.Window,
+		threads: make([]threadState, cfg.Threads),
+	}
+	switch cfg.Mode {
+	case ModeRR:
+		l.rr = core.New(cfg.RRKind, core.Config{
+			Threads: cfg.Threads, TableBits: cfg.TableBits, Assoc: cfg.Assoc,
+		})
+	case ModeTMHP:
+		l.hp = reclaim.NewHazardPointers(reclaim.HPConfig{
+			Threads:        cfg.Threads,
+			SlotsPerThread: 2,
+			ScanThreshold:  cfg.ScanThreshold,
+			Free:           func(tid int, h arena.Handle) { l.ar.Free(tid, h) },
+		})
+	case ModeER:
+		l.ep = reclaim.NewEpochs(cfg.Threads, cfg.ScanThreshold,
+			func(tid int, h arena.Handle) { l.ar.Free(tid, h) })
+		for i := range l.threads {
+			l.threads[i].marks = make([]uint64, cfg.Window.W)
+		}
+	}
+	// The head sentinel is allocated fresh (never shared before init), so
+	// non-transactional Init is safe here and only here.
+	l.head = l.ar.Alloc(0)
+	h := l.ar.At(l.head)
+	h.key.Init(0)
+	h.next.Init(0)
+	h.prev.Init(0)
+	h.dead.Init(0)
+	h.rc.Init(0)
+	return l
+}
+
+// Runtime exposes the list's TM runtime (statistics, ablation benches).
+func (l *List) Runtime() *stm.Runtime { return l.rt }
+
+// SetWindow changes the hand-over-hand window size at runtime (0 restores
+// the configured value). The paper proposes contention-driven window
+// tuning as future work; this is the knob that enables it (see
+// examples/tuner). Safe to call concurrently with operations: in-flight
+// windows finish at their old size.
+func (l *List) SetWindow(w int) { l.winOverride.Store(int32(w)) }
+
+// window returns the effective window policy for a new transaction.
+func (l *List) window() core.Window {
+	win := l.win
+	if o := l.winOverride.Load(); o > 0 {
+		win.W = int(o)
+	}
+	return win
+}
+
+// Name implements sets.Set.
+func (l *List) Name() string {
+	switch l.mode {
+	case ModeRR:
+		return l.rr.Name()
+	case ModeHTM:
+		return "HTM"
+	case ModeTMHP:
+		return "TMHP"
+	case ModeREF:
+		return "REF"
+	case ModeER:
+		return "ER"
+	default:
+		return fmt.Sprintf("list-?%d", l.mode)
+	}
+}
+
+// Register implements sets.Set.
+func (l *List) Register(tid int) {
+	if l.rr != nil {
+		l.rr.Register(tid)
+	}
+}
+
+// Finish implements sets.Set: it flushes deferred reclamation.
+func (l *List) Finish(tid int) {
+	if l.hp != nil {
+		l.hp.ClearSlots(tid)
+		l.hp.Flush(tid, l.threads[tid].ops)
+	}
+	if l.ep != nil {
+		l.ep.Flush(tid, l.threads[tid].ops)
+	}
+}
+
+// Lookup implements sets.Set.
+func (l *List) Lookup(tid int, key uint64) bool {
+	res, _ := l.apply(tid, key, false,
+		func(tx *stm.Tx, prevH, currH arena.Handle) bool { return true },
+		func(tx *stm.Tx, prevH, currH arena.Handle) bool { return false },
+	)
+	return res
+}
+
+// Insert implements sets.Set.
+func (l *List) Insert(tid int, key uint64) bool {
+	res, _ := l.apply(tid, key, false,
+		func(tx *stm.Tx, prevH, currH arena.Handle) bool { return false },
+		func(tx *stm.Tx, prevH, currH arena.Handle) bool {
+			nh := l.allocNode(tx, tid, key, currH, arena.Nil)
+			l.ar.At(prevH).next.Store(tx, uint64(nh))
+			return true
+		},
+	)
+	return res
+}
+
+// Remove implements sets.Set.
+func (l *List) Remove(tid int, key uint64) bool {
+	res, _ := l.apply(tid, key, false,
+		func(tx *stm.Tx, prevH, currH arena.Handle) bool {
+			l.unlinkAndReclaim(tx, tid, prevH, currH)
+			return true
+		},
+		func(tx *stm.Tx, prevH, currH arena.Handle) bool { return false },
+	)
+	return res
+}
+
+// allocNode allocates and transactionally initializes a node holding key
+// with successor nextH and (for the doubly linked list) predecessor prevH,
+// returning its handle. If the transaction aborts the node is returned to
+// the arena.
+func (l *List) allocNode(tx *stm.Tx, tid int, key uint64, nextH, prevH arena.Handle) arena.Handle {
+	nh := l.ar.Alloc(tid)
+	tx.OnAbort(func() { l.ar.Free(tid, nh) })
+	n := l.ar.At(nh)
+	// Transactional stores: the slot may be recycled, and some doomed
+	// reader may still hold a stale handle to it (see package arena).
+	n.key.Store(tx, key)
+	n.next.Store(tx, uint64(nextH))
+	n.prev.Store(tx, uint64(prevH))
+	n.dead.Store(tx, 0)
+	n.rc.Store(tx, 0)
+	return nh
+}
+
+// unlinkAndReclaim removes currH (whose predecessor is prevH) from the
+// list and reclaims it according to the list's mode. For ModeRR this is
+// Listing 5's λfound for Remove: unlink, Revoke, then free at the commit
+// point — precise reclamation.
+func (l *List) unlinkAndReclaim(tx *stm.Tx, tid int, prevH, currH arena.Handle) {
+	curr := l.ar.At(currH)
+	l.ar.At(prevH).next.Store(tx, curr.next.Load(tx))
+	switch l.mode {
+	case ModeRR:
+		l.rr.Revoke(tx, uint64(currH))
+		tx.OnCommit(func() { l.ar.Free(tid, currH) })
+	case ModeHTM:
+		// No reservations exist; no transaction ever resumes at a node.
+		tx.OnCommit(func() { l.ar.Free(tid, currH) })
+	case ModeTMHP:
+		curr.dead.Store(tx, 1)
+		stamp := l.threads[tid].ops
+		tx.OnCommit(func() { l.hp.Retire(tid, currH, stamp) })
+	case ModeREF:
+		curr.dead.Store(tx, 1)
+		if curr.rc.Load(tx) == 0 {
+			tx.OnCommit(func() { l.ar.Free(tid, currH) })
+		}
+		// Otherwise the last window-holder's decrement frees it.
+	case ModeER:
+		// Re-store the removed node's next (same value: a version bump
+		// only). Writers that traversed through currH retain its next in
+		// their (un-released) read suffix, so this write is what makes a
+		// racing insert-after-currH or remove-of-successor abort even
+		// though the writes to our predecessor were early-released.
+		curr.next.Store(tx, curr.next.Load(tx))
+		curr.dead.Store(tx, 1)
+		stamp := l.threads[tid].ops
+		tx.OnCommit(func() { l.ep.Retire(tid, currH, stamp) })
+	}
+}
+
+// refDecrement drops one reference count from h, freeing it at commit if
+// it reaches zero on a logically deleted node (ModeREF).
+func (l *List) refDecrement(tx *stm.Tx, tid int, h arena.Handle) {
+	n := l.ar.At(h)
+	v := n.rc.Load(tx) - 1
+	n.rc.Store(tx, v)
+	if v == 0 && n.dead.Load(tx) != 0 {
+		tx.OnCommit(func() { l.ar.Free(tid, h) })
+	}
+}
+
+// LiveNodes implements sets.MemoryReporter (includes the head sentinel).
+func (l *List) LiveNodes() uint64 { return l.ar.Stats().Live }
+
+// DeferredNodes implements sets.MemoryReporter.
+func (l *List) DeferredNodes() uint64 {
+	if l.hp != nil {
+		return l.hp.Stats().Deferred
+	}
+	if l.ep != nil {
+		return l.ep.Stats().Deferred
+	}
+	return 0
+}
+
+// ReclaimStats exposes the hazard-pointer scheme's counters (ModeTMHP).
+func (l *List) ReclaimStats() reclaim.Stats {
+	if l.hp != nil {
+		return l.hp.Stats()
+	}
+	return reclaim.Stats{}
+}
+
+// TxCommits reports committed transactions (benchmark statistics).
+func (l *List) TxCommits() uint64 { return l.rt.Stats().Commits }
+
+// TxAborts reports aborted transaction attempts.
+func (l *List) TxAborts() uint64 { return l.rt.Stats().TotalAborts() }
+
+// TxSerial reports serial-mode commits (HTM-fallback events).
+func (l *List) TxSerial() uint64 { return l.rt.Stats().SerialCommits }
+
+// PeakDeferred reports the reclamation scheme's deferred high-water mark.
+func (l *List) PeakDeferred() uint64 {
+	if l.hp != nil {
+		return l.hp.Stats().PeakDeferred
+	}
+	if l.ep != nil {
+		return l.ep.Stats().PeakDeferred
+	}
+	return 0
+}
+
+// AvgReclaimDelayOps reports the mean operations between logical deletion
+// and physical free (0 for the precise modes).
+func (l *List) AvgReclaimDelayOps() float64 {
+	if l.hp != nil {
+		return l.hp.Stats().AvgDelayOps()
+	}
+	if l.ep != nil {
+		return l.ep.Stats().AvgDelayOps()
+	}
+	return 0
+}
+
+// Snapshot implements sets.Set. Callers must ensure quiescence.
+func (l *List) Snapshot() []uint64 {
+	var out []uint64
+	for h := arena.Handle(l.ar.At(l.head).next.Raw()); !h.IsNil(); {
+		n := l.ar.At(h)
+		out = append(out, n.key.Raw())
+		h = arena.Handle(n.next.Raw())
+	}
+	return out
+}

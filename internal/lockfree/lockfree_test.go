@@ -1,0 +1,315 @@
+package lockfree
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hohtx/internal/sets"
+)
+
+func lists(threads int) []*HarrisList {
+	return []*HarrisList{
+		NewHarrisList(ListConfig{Threads: threads}),
+		NewHarrisList(ListConfig{Threads: threads, UseHazardPointers: true, ScanThreshold: 8}),
+	}
+}
+
+func TestListSequential(t *testing.T) {
+	for _, l := range lists(1) {
+		t.Run(l.Name(), func(t *testing.T) {
+			l.Register(0)
+			if l.Lookup(0, 3) || l.Remove(0, 3) {
+				t.Fatal("empty list misbehaved")
+			}
+			for _, k := range []uint64{5, 2, 8, 1} {
+				if !l.Insert(0, k) {
+					t.Fatalf("insert %d", k)
+				}
+			}
+			if l.Insert(0, 5) {
+				t.Fatal("duplicate insert")
+			}
+			if !l.Lookup(0, 2) || l.Lookup(0, 3) {
+				t.Fatal("lookup wrong")
+			}
+			if !l.Remove(0, 5) || l.Remove(0, 5) {
+				t.Fatal("remove semantics")
+			}
+			if got := l.Snapshot(); !sets.KeysEqual(got, []uint64{1, 2, 8}) {
+				t.Fatalf("snapshot = %v", got)
+			}
+			l.Finish(0)
+		})
+	}
+}
+
+func TestListSequentialVsModel(t *testing.T) {
+	for _, l := range lists(1) {
+		t.Run(l.Name(), func(t *testing.T) {
+			l.Register(0)
+			rng := rand.New(rand.NewSource(3))
+			model := map[uint64]bool{}
+			for i := 0; i < 5000; i++ {
+				key := uint64(rng.Intn(64)) + 1
+				switch rng.Intn(3) {
+				case 0:
+					if got, want := l.Insert(0, key), !model[key]; got != want {
+						t.Fatalf("Insert(%d) = %v want %v", key, got, want)
+					}
+					model[key] = true
+				case 1:
+					if got, want := l.Remove(0, key), model[key]; got != want {
+						t.Fatalf("Remove(%d) = %v want %v", key, got, want)
+					}
+					delete(model, key)
+				default:
+					if got, want := l.Lookup(0, key), model[key]; got != want {
+						t.Fatalf("Lookup(%d) = %v want %v", key, got, want)
+					}
+				}
+			}
+			l.Finish(0)
+		})
+	}
+}
+
+// TestLFHPRecyclesMemory: with hazard pointers, removed nodes are reused;
+// with leak, they are not.
+func TestLFHPRecyclesMemory(t *testing.T) {
+	hp := NewHarrisList(ListConfig{Threads: 1, UseHazardPointers: true, ScanThreshold: 4})
+	hp.Register(0)
+	for round := 0; round < 50; round++ {
+		for k := uint64(1); k <= 10; k++ {
+			hp.Insert(0, k)
+		}
+		for k := uint64(1); k <= 10; k++ {
+			hp.Remove(0, k)
+		}
+	}
+	hp.Finish(0)
+	if live := hp.LiveNodes(); live > 32 {
+		t.Fatalf("LFHP live nodes = %d after churn; memory not recycled", live)
+	}
+
+	leak := NewHarrisList(ListConfig{Threads: 1})
+	leak.Register(0)
+	for round := 0; round < 50; round++ {
+		for k := uint64(1); k <= 10; k++ {
+			leak.Insert(0, k)
+			leak.Remove(0, k)
+		}
+	}
+	leak.Finish(0)
+	if def := leak.DeferredNodes(); def != 500 {
+		t.Fatalf("LFLeak deferred = %d, want 500 (every removed node leaks)", def)
+	}
+	if live := leak.LiveNodes(); live != 501 {
+		t.Fatalf("LFLeak live = %d, want 501", live)
+	}
+}
+
+func stressSet(t *testing.T, s sets.Set, threads, iters int, keyRange uint64) {
+	t.Helper()
+	var succIns, succRem atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			s.Register(tid)
+			rng := rand.New(rand.NewSource(int64(tid)*31337 + 5))
+			for i := 0; i < iters; i++ {
+				key := uint64(rng.Int63())%keyRange + 1
+				switch rng.Intn(3) {
+				case 0:
+					if s.Insert(tid, key) {
+						succIns.Add(1)
+					}
+				case 1:
+					if s.Remove(tid, key) {
+						succRem.Add(1)
+					}
+				default:
+					s.Lookup(tid, key)
+				}
+			}
+			s.Finish(tid)
+		}(w)
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1] >= snap[i] {
+			t.Fatalf("snapshot not sorted")
+		}
+	}
+	if int64(len(snap)) != succIns.Load()-succRem.Load() {
+		t.Fatalf("balance violated: |set| = %d, inserts-removes = %d",
+			len(snap), succIns.Load()-succRem.Load())
+	}
+}
+
+func TestListConcurrentStress(t *testing.T) {
+	const threads = 8
+	for _, l := range lists(threads) {
+		t.Run(l.Name(), func(t *testing.T) {
+			stressSet(t, l, threads, 3000, 64)
+		})
+	}
+}
+
+// TestListHighContentionSameKey: all threads fight over one key.
+func TestListHighContentionSameKey(t *testing.T) {
+	for _, l := range lists(8) {
+		t.Run(l.Name(), func(t *testing.T) {
+			var wg sync.WaitGroup
+			var ins, rem atomic.Int64
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					l.Register(tid)
+					for i := 0; i < 2000; i++ {
+						if l.Insert(tid, 7) {
+							ins.Add(1)
+						}
+						if l.Remove(tid, 7) {
+							rem.Add(1)
+						}
+					}
+					l.Finish(tid)
+				}(w)
+			}
+			wg.Wait()
+			present := int64(len(l.Snapshot()))
+			if ins.Load()-rem.Load() != present {
+				t.Fatalf("balance: ins=%d rem=%d present=%d", ins.Load(), rem.Load(), present)
+			}
+		})
+	}
+}
+
+func TestNMTreeSequential(t *testing.T) {
+	tr := NewNMTree(NMConfig{Threads: 1})
+	tr.Register(0)
+	if tr.Lookup(0, 5) || tr.Remove(0, 5) {
+		t.Fatal("empty tree misbehaved")
+	}
+	for _, k := range []uint64{50, 30, 70, 20, 40, 60, 80} {
+		if !tr.Insert(0, k) {
+			t.Fatalf("insert %d", k)
+		}
+	}
+	if tr.Insert(0, 40) {
+		t.Fatal("duplicate insert")
+	}
+	for _, k := range []uint64{20, 30, 40, 50, 60, 70, 80} {
+		if !tr.Lookup(0, k) {
+			t.Fatalf("lookup %d", k)
+		}
+	}
+	if !tr.ValidateRouting() {
+		t.Fatal("routing invalid")
+	}
+	for _, k := range []uint64{30, 50, 80} {
+		if !tr.Remove(0, k) || tr.Lookup(0, k) {
+			t.Fatalf("remove %d", k)
+		}
+	}
+	if got := tr.Snapshot(); !sets.KeysEqual(got, []uint64{20, 40, 60, 70}) {
+		t.Fatalf("snapshot = %v", got)
+	}
+	if !tr.ValidateRouting() {
+		t.Fatal("routing invalid after removes")
+	}
+	if tr.DeferredNodes() != 6 {
+		t.Fatalf("leaked = %d, want 6 (leaf+router per remove)", tr.DeferredNodes())
+	}
+}
+
+func TestNMTreeSequentialVsModel(t *testing.T) {
+	tr := NewNMTree(NMConfig{Threads: 1})
+	tr.Register(0)
+	rng := rand.New(rand.NewSource(11))
+	model := map[uint64]bool{}
+	for i := 0; i < 6000; i++ {
+		key := uint64(rng.Intn(128)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			if got, want := tr.Insert(0, key), !model[key]; got != want {
+				t.Fatalf("Insert(%d) = %v want %v", key, got, want)
+			}
+			model[key] = true
+		case 1:
+			if got, want := tr.Remove(0, key), model[key]; got != want {
+				t.Fatalf("Remove(%d) = %v want %v", key, got, want)
+			}
+			delete(model, key)
+		default:
+			if got, want := tr.Lookup(0, key), model[key]; got != want {
+				t.Fatalf("Lookup(%d) = %v want %v", key, got, want)
+			}
+		}
+		if i%1000 == 0 && !tr.ValidateRouting() {
+			t.Fatalf("routing invalid at op %d", i)
+		}
+	}
+}
+
+func TestNMTreeConcurrentStress(t *testing.T) {
+	const threads = 8
+	tr := NewNMTree(NMConfig{Threads: threads, YieldShift: 4})
+	stressSet(t, tr, threads, 3000, 128)
+	if !tr.ValidateRouting() {
+		t.Fatal("routing invalid after stress")
+	}
+}
+
+func TestNMTreeContentionSameKeys(t *testing.T) {
+	const threads = 8
+	tr := NewNMTree(NMConfig{Threads: threads, YieldShift: 4})
+	var wg sync.WaitGroup
+	var ins, rem atomic.Int64
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			tr.Register(tid)
+			for i := 0; i < 1500; i++ {
+				k := uint64(i%3) + 10
+				if tr.Insert(tid, k) {
+					ins.Add(1)
+				}
+				if tr.Remove(tid, k) {
+					rem.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := ins.Load() - rem.Load(); got != int64(len(tr.Snapshot())) {
+		t.Fatalf("balance: %d vs %d", got, len(tr.Snapshot()))
+	}
+	if !tr.ValidateRouting() {
+		t.Fatal("routing invalid")
+	}
+}
+
+func TestMarkHelpers(t *testing.T) {
+	h := uint64(0x12345)
+	if marked(h) {
+		t.Fatal("clean handle reported marked")
+	}
+	if !marked(h | markBit) {
+		t.Fatal("marked handle not detected")
+	}
+	if clearMark(h|markBit) != clearMark(h) {
+		t.Fatal("clearMark broken")
+	}
+	raw := h | flagBit | tagBit
+	if addrOf(raw) != clearMark(h) || !flagged(raw) || !tagged(raw) {
+		t.Fatal("NM bit helpers broken")
+	}
+}

@@ -1,0 +1,18 @@
+// Package pad provides cache-line padding helpers shared by the
+// concurrency-sensitive packages in this repository.
+//
+// False sharing between per-thread metadata slots is one of the effects the
+// paper explicitly designs around ("As long as each thread's node is in a
+// separate cache line, these methods should not experience false transaction
+// conflicts", §3.1), so every array of per-thread state in this repository
+// pads its elements to a cache-line multiple.
+package pad
+
+// CacheLine is the assumed size in bytes of one CPU cache line. 64 bytes is
+// correct for every x86-64 and most ARM server parts; being wrong in either
+// direction affects only performance, never correctness.
+const CacheLine = 64
+
+// Line is an unused spacer sized to one cache line. Embed it between hot
+// fields, or after the fields of an element stored in a per-thread array.
+type Line [CacheLine]byte

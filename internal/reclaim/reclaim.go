@@ -1,0 +1,109 @@
+// Package reclaim implements the deferred memory-reclamation schemes the
+// paper compares revocable reservations against: hazard pointers (Michael,
+// TPDS 2004), epoch-based reclamation (as in user-level RCU), and the
+// "leak" non-scheme (never reclaim, approximating the best case of an
+// epoch allocator or garbage collector, as the paper's LFLeak baselines do).
+//
+// All schemes manage arena.Handle values and call back into the owning
+// structure's allocator to perform the physical free. They also keep the
+// bookkeeping needed to *quantify* the reclamation imprecision that
+// revocable reservations eliminate: how many retired-but-unfreed objects
+// exist right now, the high-water mark, and the total ops-weighted delay
+// between logical retirement and physical reclamation.
+package reclaim
+
+import (
+	"sync/atomic"
+
+	"hohtx/internal/arena"
+	"hohtx/internal/pad"
+)
+
+// FreeFunc physically releases a retired handle. tid identifies the calling
+// thread for the arena's per-thread free lists.
+type FreeFunc func(tid int, h arena.Handle)
+
+// Stats quantifies a scheme's reclamation behavior.
+type Stats struct {
+	Retired      uint64 // logical deletions handed to the scheme
+	Freed        uint64 // physical frees performed
+	Deferred     uint64 // Retired - Freed right now
+	PeakDeferred uint64 // high-water mark of Deferred
+	Scans        uint64 // reclamation passes (HP scans / epoch flips)
+	DelayOpsSum  uint64 // sum over freed nodes of (free stamp - retire stamp)
+}
+
+// AvgDelayOps is the mean number of caller-supplied "operation stamps"
+// between a node's retirement and its physical free; zero for immediate
+// schemes.
+func (s Stats) AvgDelayOps() float64 {
+	if s.Freed == 0 {
+		return 0
+	}
+	return float64(s.DelayOpsSum) / float64(s.Freed)
+}
+
+// Scheme is the interface shared by the deferred-reclamation baselines.
+//
+// Protect/Clear manage per-thread hazard slots and are no-ops for schemes
+// that do not use them. Retire logically deletes a handle; the scheme frees
+// it once no concurrent reader can still hold it. stamp is a caller-chosen
+// monotonic per-thread counter (typically the thread's operation count)
+// used only for delay accounting.
+type Scheme interface {
+	// Protect publishes h in the thread's hazard slot i and returns h.
+	// The caller must re-validate reachability after publishing (the
+	// standard hazard-pointer protocol).
+	Protect(tid, slot int, h arena.Handle) arena.Handle
+	// ClearSlots resets all of the thread's hazard slots.
+	ClearSlots(tid int)
+	// Retire hands h to the scheme for eventual physical reclamation.
+	Retire(tid int, h arena.Handle, stamp uint64)
+	// Flush forces the thread's pending retirements to be scanned now
+	// (benchmarks call it at teardown so books balance).
+	Flush(tid int, stamp uint64)
+	// Stats aggregates the scheme's counters.
+	Stats() Stats
+	// Name is the scheme's short label in benchmark output.
+	Name() string
+}
+
+// threadStats carries per-thread counters, padded to avoid false sharing.
+type threadStats struct {
+	retired  atomic.Uint64
+	freed    atomic.Uint64
+	scans    atomic.Uint64
+	delaySum atomic.Uint64
+	deferred atomic.Uint64
+	peak     atomic.Uint64
+	_        pad.Line
+}
+
+func (t *threadStats) noteRetire() {
+	t.retired.Add(1)
+	d := t.deferred.Add(1)
+	if d > t.peak.Load() {
+		t.peak.Store(d)
+	}
+}
+
+func (t *threadStats) noteFree(delay uint64) {
+	t.freed.Add(1)
+	t.deferred.Add(^uint64(0))
+	t.delaySum.Add(delay)
+}
+
+func sumStats(ts []threadStats) Stats {
+	var out Stats
+	for i := range ts {
+		out.Retired += ts[i].retired.Load()
+		out.Freed += ts[i].freed.Load()
+		out.Scans += ts[i].scans.Load()
+		out.DelayOpsSum += ts[i].delaySum.Load()
+		out.Deferred += ts[i].deferred.Load()
+		if p := ts[i].peak.Load(); p > out.PeakDeferred {
+			out.PeakDeferred = p
+		}
+	}
+	return out
+}

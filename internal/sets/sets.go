@@ -1,0 +1,61 @@
+// Package sets defines the concurrent ordered-set abstraction shared by
+// every data structure in this repository — the hand-over-hand
+// transactional lists and trees, the single-transaction (HTM-baseline)
+// variants, and the lock-free comparators — so the benchmark harness and
+// the cross-implementation conformance tests can drive them uniformly.
+package sets
+
+import "sort"
+
+// Set is a concurrent set of uint64 keys. Keys must lie in [1, 1<<62);
+// implementations reserve 0 and the topmost values for sentinels.
+//
+// Register must be called once per thread id before that thread's first
+// operation; concurrent callers must use distinct tids in [0, threads).
+// Finish must be called once per thread after its last operation (it
+// flushes deferred reclamation so memory accounting converges).
+type Set interface {
+	Register(tid int)
+	// Lookup reports whether key is present.
+	Lookup(tid int, key uint64) bool
+	// Insert adds key; it returns false if key was already present.
+	Insert(tid int, key uint64) bool
+	// Remove deletes key; it returns false if key was absent.
+	Remove(tid int, key uint64) bool
+	// Finish flushes the thread's deferred work (no-op for precise
+	// reclamation variants).
+	Finish(tid int)
+	// Snapshot returns the current keys in ascending order. It is only
+	// safe to call while no operations are in flight (tests and
+	// benchmark verification).
+	Snapshot() []uint64
+	// Name is the variant's label in benchmark output (e.g. "RR-XO",
+	// "HTM", "TMHP", "LFLeak").
+	Name() string
+}
+
+// MemoryReporter is implemented by variants whose node memory is
+// observable (all arena-backed structures). LiveNodes counts allocated
+// and not-yet-freed nodes, including any sentinels; DeferredNodes counts
+// nodes logically deleted but not physically freed (zero for precise
+// schemes, which is the paper's headline property).
+type MemoryReporter interface {
+	LiveNodes() uint64
+	DeferredNodes() uint64
+}
+
+// KeysEqual reports whether got (already sorted) equals want (any order);
+// it sorts a copy of want.
+func KeysEqual(got, want []uint64) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	w := append([]uint64(nil), want...)
+	sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+	for i := range got {
+		if got[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,29 @@
+package sets
+
+import "testing"
+
+func TestKeysEqual(t *testing.T) {
+	cases := []struct {
+		got, want []uint64
+		eq        bool
+	}{
+		{nil, nil, true},
+		{[]uint64{1, 2, 3}, []uint64{3, 1, 2}, true}, // want may be unsorted
+		{[]uint64{1, 2}, []uint64{1, 2, 3}, false},
+		{[]uint64{1, 2, 4}, []uint64{1, 2, 3}, false},
+		{[]uint64{}, nil, true},
+	}
+	for i, c := range cases {
+		if got := KeysEqual(c.got, c.want); got != c.eq {
+			t.Errorf("case %d: KeysEqual = %v, want %v", i, got, c.eq)
+		}
+	}
+}
+
+func TestKeysEqualDoesNotMutate(t *testing.T) {
+	want := []uint64{3, 1, 2}
+	KeysEqual([]uint64{1, 2, 3}, want)
+	if want[0] != 3 || want[1] != 1 || want[2] != 2 {
+		t.Fatal("KeysEqual mutated its argument")
+	}
+}

@@ -1,0 +1,245 @@
+// Package skiplist implements a concurrent skiplist set with hand-over-hand
+// transactions and revocable reservations — one of the "other concurrent
+// data structures, such as balanced trees and hash tables, for which
+// existing scalable algorithms rely on deferred memory reclamation" that the
+// paper's conclusion (§6) proposes as the technique's next applications.
+// Probabilistic balancing makes the skiplist the natural stand-in for a
+// balanced tree here: it gives O(log n) expected traversals with none of the
+// rotation problem (a rotation moves subtrees across regions, which would
+// force wide revocation; a skiplist removal disturbs exactly one node).
+//
+// Design. A node has a height h drawn geometrically and participates in h
+// sorted chains. A traversal descends as usual: run right along level l
+// while next.key < target, then drop a level. Hand-over-hand windows cut
+// the traversal after W node inspections; the thread reserves the node it
+// will resume from and remembers the level in thread-local state (the
+// level needs no protection: if the reservation is still valid the node is
+// still in every one of its chains with its key intact, so resuming the
+// descent from (node, level) is exactly a sequential search step).
+//
+// Removal unlinks the victim from all of its levels inside the final
+// transaction, revokes it once, and frees it at the commit point — precise
+// reclamation, one Revoke per removal regardless of height. The correctness
+// argument is the singly linked list's (§4.1), applied per level: unlinking
+// never changes any surviving node's key or forward reachability, so the
+// only resumption point a removal can invalidate is the removed node
+// itself, which is exactly what Revoke clears.
+package skiplist
+
+import (
+	"fmt"
+
+	"hohtx/internal/arena"
+	"hohtx/internal/core"
+	"hohtx/internal/pad"
+	"hohtx/internal/sets"
+	"hohtx/internal/stm"
+)
+
+// MaxHeight bounds node heights; 2^20 expected keys per level-20 node is
+// far beyond the benchmark sizes.
+const MaxHeight = 20
+
+// Mode selects the synchronization mechanism.
+type Mode uint8
+
+const (
+	// ModeRR is hand-over-hand transactions with revocable reservations.
+	ModeRR Mode = iota
+	// ModeHTM runs each operation as a single transaction.
+	ModeHTM
+)
+
+// node is a skiplist element. height is immutable after the insert that
+// published the node commits; next[0:height] are the forward links.
+type node struct {
+	key    stm.Word
+	height stm.Word
+	next   [MaxHeight]stm.Word
+	_      pad.Line
+}
+
+type threadState struct {
+	level int // resume level for a reserved position
+	ops   uint64
+	rng   uint64
+	_     pad.Line
+}
+
+// Config parameterizes the skiplist.
+type Config struct {
+	// Mode selects the mechanism; default ModeRR.
+	Mode Mode
+	// RRKind selects the reservation scheme for ModeRR.
+	RRKind core.Kind
+	// Threads is the number of distinct tids. Required.
+	Threads int
+	// Window is the hand-over-hand window policy (node inspections per
+	// transaction); ignored for ModeHTM.
+	Window core.Window
+	// Profile overrides the TM profile (default: the tree setting,
+	// serial fallback after 8 attempts).
+	Profile stm.Profile
+	// ArenaPolicy selects the allocator policy.
+	ArenaPolicy arena.Policy
+	// YieldShift enables simulated preemption (see stm.Profile).
+	YieldShift uint8
+	// TableBits/Assoc size the reservation metadata.
+	TableBits int
+	Assoc     int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = 8
+	}
+	if c.Profile == (stm.Profile{}) {
+		c.Profile = stm.HTMProfile(8)
+	}
+	if c.YieldShift != 0 {
+		c.Profile.YieldShift = c.YieldShift
+	}
+	if c.Window.W == 0 && c.Mode != ModeHTM {
+		c.Window.W = 16
+	}
+	if c.Mode == ModeHTM {
+		c.Window = core.Window{}
+	}
+	return c
+}
+
+// SkipList is the concurrent set.
+type SkipList struct {
+	rt      *stm.Runtime
+	ar      *arena.Arena[node]
+	rr      core.Reservation
+	mode    Mode
+	win     core.Window
+	head    arena.Handle // sentinel at full height, key 0
+	threads []threadState
+}
+
+var _ sets.Set = (*SkipList)(nil)
+var _ sets.MemoryReporter = (*SkipList)(nil)
+
+// New constructs a skiplist set.
+func New(cfg Config) *SkipList {
+	cfg = cfg.withDefaults()
+	s := &SkipList{
+		rt:      stm.NewRuntime(cfg.Profile),
+		ar:      arena.New[node](arena.Config{Threads: cfg.Threads, Policy: cfg.ArenaPolicy}),
+		mode:    cfg.Mode,
+		win:     cfg.Window,
+		threads: make([]threadState, cfg.Threads),
+	}
+	if cfg.Mode == ModeRR {
+		s.rr = core.New(cfg.RRKind, core.Config{
+			Threads: cfg.Threads, TableBits: cfg.TableBits, Assoc: cfg.Assoc,
+		})
+	}
+	for i := range s.threads {
+		s.threads[i].rng = uint64(i)*0x9e3779b97f4a7c15 + 0xdeadbeef
+	}
+	s.head = s.ar.Alloc(0)
+	h := s.ar.At(s.head)
+	h.key.Init(0)
+	h.height.Init(MaxHeight)
+	for l := 0; l < MaxHeight; l++ {
+		h.next[l].Init(0)
+	}
+	return s
+}
+
+// Name implements sets.Set.
+func (s *SkipList) Name() string {
+	switch s.mode {
+	case ModeRR:
+		return s.rr.Name() + "/skip"
+	case ModeHTM:
+		return "HTM/skip"
+	default:
+		return fmt.Sprintf("skip-?%d", s.mode)
+	}
+}
+
+// Register implements sets.Set.
+func (s *SkipList) Register(tid int) {
+	if s.rr != nil {
+		s.rr.Register(tid)
+	}
+}
+
+// Finish implements sets.Set (reclamation is precise; nothing to flush).
+func (s *SkipList) Finish(tid int) {}
+
+// Runtime exposes the TM runtime.
+func (s *SkipList) Runtime() *stm.Runtime { return s.rt }
+
+// randHeight draws a geometric height in [1, MaxHeight] (p = 1/2).
+func (s *SkipList) randHeight(tid int) int {
+	ts := &s.threads[tid]
+	x := ts.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	ts.rng = x
+	h := 1
+	for x&1 == 1 && h < MaxHeight {
+		h++
+		x >>= 1
+	}
+	return h
+}
+
+// TxCommits, TxAborts, TxSerial report TM statistics.
+func (s *SkipList) TxCommits() uint64 { return s.rt.Stats().Commits }
+func (s *SkipList) TxAborts() uint64  { return s.rt.Stats().TotalAborts() }
+func (s *SkipList) TxSerial() uint64  { return s.rt.Stats().SerialCommits }
+
+// PeakDeferred is always zero: reclamation is precise.
+func (s *SkipList) PeakDeferred() uint64 { return 0 }
+
+// LiveNodes implements sets.MemoryReporter.
+func (s *SkipList) LiveNodes() uint64 { return s.ar.Stats().Live }
+
+// DeferredNodes implements sets.MemoryReporter (always zero).
+func (s *SkipList) DeferredNodes() uint64 { return 0 }
+
+// Snapshot implements sets.Set via the bottom level (quiescence required).
+func (s *SkipList) Snapshot() []uint64 {
+	var out []uint64
+	for h := arena.Handle(s.ar.At(s.head).next[0].Raw()); !h.IsNil(); {
+		n := s.ar.At(h)
+		out = append(out, n.key.Raw())
+		h = arena.Handle(n.next[0].Raw())
+	}
+	return out
+}
+
+// ValidateLevels checks that every level is sorted and a sub-sequence of
+// the level below (test helper; quiescence required).
+func (s *SkipList) ValidateLevels() bool {
+	bottom := map[uint64]bool{}
+	for _, k := range s.Snapshot() {
+		bottom[k] = true
+	}
+	for l := 0; l < MaxHeight; l++ {
+		prev := uint64(0)
+		for h := arena.Handle(s.ar.At(s.head).next[l].Raw()); !h.IsNil(); {
+			n := s.ar.At(h)
+			k := n.key.Raw()
+			if l > 0 && !bottom[k] {
+				return false // node on level l missing from level 0
+			}
+			if k <= prev {
+				return false // not strictly sorted
+			}
+			if int(n.height.Raw()) <= l {
+				return false // linked above its own height
+			}
+			prev = k
+			h = arena.Handle(n.next[l].Raw())
+		}
+	}
+	return true
+}

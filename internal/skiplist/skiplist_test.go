@@ -1,0 +1,210 @@
+package skiplist
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hohtx/internal/core"
+	"hohtx/internal/sets"
+)
+
+func variants(threads, w int) []*SkipList {
+	var out []*SkipList
+	for _, k := range core.Kinds() {
+		out = append(out, New(Config{Mode: ModeRR, RRKind: k, Threads: threads, Window: core.Window{W: w}}))
+	}
+	out = append(out, New(Config{Mode: ModeHTM, Threads: threads}))
+	return out
+}
+
+func TestSequentialSemantics(t *testing.T) {
+	for _, s := range variants(1, 4) {
+		t.Run(s.Name(), func(t *testing.T) {
+			s.Register(0)
+			if s.Lookup(0, 5) || s.Remove(0, 5) {
+				t.Fatal("empty skiplist misbehaved")
+			}
+			for _, k := range []uint64{50, 10, 90, 30, 70} {
+				if !s.Insert(0, k) {
+					t.Fatalf("insert %d", k)
+				}
+			}
+			if s.Insert(0, 30) {
+				t.Fatal("duplicate insert")
+			}
+			for _, k := range []uint64{10, 30, 50, 70, 90} {
+				if !s.Lookup(0, k) {
+					t.Fatalf("lookup %d", k)
+				}
+			}
+			if s.Lookup(0, 40) {
+				t.Fatal("phantom key")
+			}
+			if !s.Remove(0, 50) || s.Remove(0, 50) {
+				t.Fatal("remove semantics")
+			}
+			if got := s.Snapshot(); !sets.KeysEqual(got, []uint64{10, 30, 70, 90}) {
+				t.Fatalf("snapshot = %v", got)
+			}
+			if !s.ValidateLevels() {
+				t.Fatal("level structure invalid")
+			}
+		})
+	}
+}
+
+func TestSequentialVsModel(t *testing.T) {
+	for _, s := range variants(1, 3) {
+		t.Run(s.Name(), func(t *testing.T) {
+			s.Register(0)
+			rng := rand.New(rand.NewSource(21))
+			model := map[uint64]bool{}
+			for i := 0; i < 4000; i++ {
+				key := uint64(rng.Intn(256)) + 1
+				switch rng.Intn(3) {
+				case 0:
+					if got, want := s.Insert(0, key), !model[key]; got != want {
+						t.Fatalf("op %d: Insert(%d) = %v want %v", i, key, got, want)
+					}
+					model[key] = true
+				case 1:
+					if got, want := s.Remove(0, key), model[key]; got != want {
+						t.Fatalf("op %d: Remove(%d) = %v want %v", i, key, got, want)
+					}
+					delete(model, key)
+				default:
+					if got, want := s.Lookup(0, key), model[key]; got != want {
+						t.Fatalf("op %d: Lookup(%d) = %v want %v", i, key, got, want)
+					}
+				}
+				if i%1000 == 0 && !s.ValidateLevels() {
+					t.Fatalf("levels invalid at op %d", i)
+				}
+			}
+			var want []uint64
+			for k := range model {
+				want = append(want, k)
+			}
+			if got := s.Snapshot(); !sets.KeysEqual(got, want) {
+				t.Fatal("final snapshot mismatch")
+			}
+		})
+	}
+}
+
+func TestPreciseReclamation(t *testing.T) {
+	s := New(Config{Mode: ModeRR, RRKind: core.KindV, Threads: 1, Window: core.Window{W: 4}})
+	s.Register(0)
+	for k := uint64(1); k <= 300; k++ {
+		s.Insert(0, k)
+	}
+	if live := s.LiveNodes(); live != 301 {
+		t.Fatalf("live = %d, want 301", live)
+	}
+	for k := uint64(1); k <= 300; k++ {
+		if !s.Remove(0, k) {
+			t.Fatalf("remove %d", k)
+		}
+		if s.DeferredNodes() != 0 {
+			t.Fatal("skiplist deferred a free")
+		}
+	}
+	if live := s.LiveNodes(); live != 1 {
+		t.Fatalf("live = %d after emptying, want 1 (sentinel)", live)
+	}
+}
+
+func TestHeightDistribution(t *testing.T) {
+	s := New(Config{Mode: ModeHTM, Threads: 1})
+	counts := map[int]int{}
+	for i := 0; i < 20000; i++ {
+		counts[s.randHeight(0)]++
+	}
+	if counts[1] < 8000 || counts[1] > 12000 {
+		t.Fatalf("P(h=1) skewed: %d/20000", counts[1])
+	}
+	if counts[2] < 3500 || counts[2] > 6500 {
+		t.Fatalf("P(h=2) skewed: %d/20000", counts[2])
+	}
+	for h := range counts {
+		if h < 1 || h > MaxHeight {
+			t.Fatalf("height %d out of range", h)
+		}
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	const threads = 8
+	for _, s := range variants(threads, 4) {
+		t.Run(s.Name(), func(t *testing.T) {
+			var succIns, succRem atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < threads; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					s.Register(tid)
+					rng := rand.New(rand.NewSource(int64(tid)*4241 + 3))
+					for i := 0; i < 1200; i++ {
+						key := uint64(rng.Intn(256)) + 1
+						switch rng.Intn(3) {
+						case 0:
+							if s.Insert(tid, key) {
+								succIns.Add(1)
+							}
+						case 1:
+							if s.Remove(tid, key) {
+								succRem.Add(1)
+							}
+						default:
+							s.Lookup(tid, key)
+						}
+					}
+					s.Finish(tid)
+				}(w)
+			}
+			wg.Wait()
+			snap := s.Snapshot()
+			for i := 1; i < len(snap); i++ {
+				if snap[i-1] >= snap[i] {
+					t.Fatal("snapshot not sorted")
+				}
+			}
+			if int64(len(snap)) != succIns.Load()-succRem.Load() {
+				t.Fatalf("balance: |set|=%d ins-rem=%d", len(snap), succIns.Load()-succRem.Load())
+			}
+			if !s.ValidateLevels() {
+				t.Fatal("levels invalid after stress")
+			}
+			if live := s.LiveNodes(); live != uint64(len(snap))+1 {
+				t.Fatalf("memory books: live=%d want=%d", live, len(snap)+1)
+			}
+		})
+	}
+}
+
+// TestRemoveTallTowers forces removals of tall nodes whose unlink touches
+// many levels, including via resumed traversals (tiny window).
+func TestRemoveTallTowers(t *testing.T) {
+	s := New(Config{Mode: ModeRR, RRKind: core.KindXO, Threads: 2, Window: core.Window{W: 1}})
+	s.Register(0)
+	s.Register(1)
+	// Insert enough keys that some towers are 5+ levels tall.
+	for k := uint64(1); k <= 2000; k++ {
+		s.Insert(0, k)
+	}
+	// Remove every key with W=1 windows (maximal cut/resume churn).
+	for k := uint64(1); k <= 2000; k++ {
+		if !s.Remove(1, k) {
+			t.Fatalf("remove %d", k)
+		}
+	}
+	if !s.ValidateLevels() {
+		t.Fatal("levels invalid")
+	}
+	if live := s.LiveNodes(); live != 1 {
+		t.Fatalf("live = %d, want 1", live)
+	}
+}

@@ -1,0 +1,103 @@
+package stm
+
+// Atomic executes fn as a transaction, retrying on conflicts until it
+// commits. Per the runtime's profile, after MaxAttempts speculative
+// failures — or immediately after a capacity overflow — the transaction is
+// re-run in serial mode under an exclusive lock, where it cannot fail.
+//
+// fn may be executed multiple times and must therefore be free of side
+// effects other than through transactional cells, Tx.OnCommit and
+// Tx.OnAbort. fn must not start nested Atomic transactions on any runtime.
+//
+// A panic in fn (other than the internal abort signal) propagates to the
+// caller after locks are released and abort hooks run.
+func (rt *Runtime) Atomic(fn func(*Tx)) {
+	tx := rt.txPool.Get().(*Tx)
+	defer rt.txPool.Put(tx)
+
+	serial := false
+	for attempt := 0; ; attempt++ {
+		tx.reset(serial)
+		if tx.runAttempt(fn) {
+			rt.stats.record(tx, serial)
+			runHooks(tx.commitHooks)
+			return
+		}
+		rt.stats.recordAbort(tx)
+		runHooks(tx.abortHooks)
+		if serial {
+			// Serial commits cannot fail; reaching here means fn itself
+			// aborted (Restart) even in serial mode. Honor it and retry
+			// serially: the structure's own logic asked for re-execution.
+			continue
+		}
+		if tx.cause == CauseCapacity || attempt+1 >= rt.prof.MaxAttempts {
+			serial = true
+			continue
+		}
+		backoff(tx, attempt)
+	}
+}
+
+// runAttempt executes fn once and tries to commit, converting the internal
+// abort panic into a false return. Serial attempts hold the exclusive
+// serial lock for their entire duration.
+func (tx *Tx) runAttempt(fn func(*Tx)) (committed bool) {
+	if tx.serial {
+		tx.rt.serialMu.Lock()
+		defer tx.rt.serialMu.Unlock()
+		// Take the snapshot after acquiring the lock so no commit can
+		// intervene between snapshot and execution.
+		tx.rv = tx.rt.now()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSig); ok {
+				committed = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn(tx)
+	return tx.commit()
+}
+
+func runHooks(hooks []func()) {
+	for _, h := range hooks {
+		h()
+	}
+}
+
+// backoff delays a conflicted transaction before its next attempt, with
+// exponentially growing bounded jitter.
+func backoff(tx *Tx, attempt int) {
+	if attempt > 8 {
+		attempt = 8
+	}
+	limit := uint64(tx.rt.prof.SpinBase) << uint(attempt)
+	n := tx.nextRand() % (limit + 1)
+	for i := uint64(0); i < n; i++ {
+		pause(int(i & 7))
+	}
+}
+
+// Run executes fn transactionally and returns its result; it is Atomic for
+// closures that produce a value.
+func Run[T any](rt *Runtime, fn func(*Tx) T) T {
+	var out T
+	rt.Atomic(func(tx *Tx) {
+		out = fn(tx)
+	})
+	return out
+}
+
+// Run2 executes fn transactionally and returns both results.
+func Run2[A, B any](rt *Runtime, fn func(*Tx) (A, B)) (A, B) {
+	var a A
+	var b B
+	rt.Atomic(func(tx *Tx) {
+		a, b = fn(tx)
+	})
+	return a, b
+}

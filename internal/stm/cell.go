@@ -1,0 +1,133 @@
+package stm
+
+import "sync/atomic"
+
+// Cells.
+//
+// A cell is one transactionally-managed memory location: a version lock
+// word plus an atomically accessed value word. The version lock encoding is
+// TL2's: even values are commit timestamps, odd values mean "locked by a
+// committing writer" and carry the pre-lock version in the remaining bits.
+// Versions only ever increase, which is what makes recycling nodes that
+// contain cells safe: a reused cell keeps its version history, so a
+// transaction that read the cell before the recycle can never revalidate.
+
+const lockedBit = uint64(1)
+
+// Word is a transactional 64-bit cell. It is the workhorse cell type: data
+// structure keys, link handles (arena.Handle values) and all revocable
+// reservation metadata are stored in Words.
+//
+// The zero Word is ready to use and holds zero. Words must not be copied
+// after first use.
+type Word struct {
+	m atomic.Uint64 // version lock
+	v atomic.Uint64 // value
+}
+
+// Load returns the cell's value as of the transaction's snapshot, aborting
+// the transaction (by panicking with an internal sentinel that Atomic
+// intercepts) if a consistent value cannot be obtained.
+func (w *Word) Load(tx *Tx) uint64 {
+	if val, ok := tx.findWrite(&w.m); ok {
+		return val
+	}
+	for spins := 0; ; spins++ {
+		v1 := w.m.Load()
+		if v1&lockedBit == 0 {
+			if v1 > tx.rv {
+				// The cell committed after our snapshot; try to slide the
+				// snapshot forward instead of aborting.
+				tx.extend()
+				continue
+			}
+			val := w.v.Load()
+			if w.m.Load() == v1 {
+				tx.recordRead(&w.m, v1)
+				return val
+			}
+			// Changed underneath us; retry the double-check.
+			continue
+		}
+		// Locked by a committing writer: wait briefly, then give up.
+		if spins >= readLockSpins {
+			tx.abort(CauseReadConflict)
+		}
+		pause(spins)
+	}
+}
+
+// Store buffers a write of x to the cell; the write takes effect if and
+// only if the transaction commits.
+func (w *Word) Store(tx *Tx, x uint64) {
+	tx.writeWord(&w.m, &w.v, x)
+}
+
+// Init sets the cell's value without any transaction. It must only be used
+// before the cell is shared (e.g. while initializing a freshly allocated
+// node that no other goroutine can reach yet).
+func (w *Word) Init(x uint64) { w.v.Store(x) }
+
+// Raw returns the cell's current value without transactional protection.
+// It is intended for statistics, debug printing and single-threaded
+// verification; the value may be mid-commit torn with respect to other
+// cells.
+func (w *Word) Raw() uint64 { return w.v.Load() }
+
+// Ptr is a transactional typed pointer cell, provided for library users who
+// want to attach arbitrary payloads (e.g. map values) to transactional
+// structures. The repository's own data structures use Word cells holding
+// arena handles instead.
+//
+// The zero Ptr holds nil. Ptrs must not be copied after first use.
+type Ptr[T any] struct {
+	m atomic.Uint64
+	v atomic.Pointer[T]
+}
+
+// pendingPtr is the deferred write-back object for a Ptr store.
+type pendingPtr[T any] struct {
+	dst *atomic.Pointer[T]
+	val *T
+}
+
+func (p *pendingPtr[T]) apply() { p.dst.Store(p.val) }
+
+// Load returns the pointer stored in the cell as of the transaction's
+// snapshot.
+func (p *Ptr[T]) Load(tx *Tx) *T {
+	if obj, ok := tx.findWriteObj(&p.m); ok {
+		pp, _ := obj.(*pendingPtr[T])
+		return pp.val
+	}
+	for spins := 0; ; spins++ {
+		v1 := p.m.Load()
+		if v1&lockedBit == 0 {
+			if v1 > tx.rv {
+				tx.extend()
+				continue
+			}
+			val := p.v.Load()
+			if p.m.Load() == v1 {
+				tx.recordRead(&p.m, v1)
+				return val
+			}
+			continue
+		}
+		if spins >= readLockSpins {
+			tx.abort(CauseReadConflict)
+		}
+		pause(spins)
+	}
+}
+
+// Store buffers a write of x to the cell.
+func (p *Ptr[T]) Store(tx *Tx, x *T) {
+	tx.writeObj(&p.m, &pendingPtr[T]{dst: &p.v, val: x})
+}
+
+// Init sets the cell without a transaction; see Word.Init.
+func (p *Ptr[T]) Init(x *T) { p.v.Store(x) }
+
+// Raw returns the current pointer without transactional protection.
+func (p *Ptr[T]) Raw() *T { return p.v.Load() }

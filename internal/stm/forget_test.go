@@ -1,0 +1,161 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestForgetReleasesConflicts: a transaction that early-releases a read
+// must survive a concurrent write to that location, while an identical
+// transaction that retains the read must abort and retry.
+func TestForgetReleasesConflicts(t *testing.T) {
+	rt := newTestRuntime()
+	var released, retained, out Word
+	released.Init(1)
+	retained.Init(2)
+
+	// Interleave deterministically with channels: reader reads both cells,
+	// then a writer commits to one of them, then the reader writes out and
+	// tries to commit.
+	for _, forgetIt := range []bool{true, false} {
+		attempts := 0
+		readerAt := make(chan struct{})
+		writerDone := make(chan struct{})
+		var once sync.Once
+		go func() {
+			<-readerAt
+			rt.Atomic(func(tx *Tx) { released.Store(tx, released.Load(tx)+10) })
+			close(writerDone)
+		}()
+		rt.Atomic(func(tx *Tx) {
+			attempts++
+			mark := tx.ReadMark()
+			_ = released.Load(tx)
+			if forgetIt {
+				tx.ForgetReadsBefore(tx.ReadMark())
+			}
+			_ = mark
+			_ = retained.Load(tx)
+			once.Do(func() { close(readerAt) })
+			<-writerDone
+			out.Store(tx, 1) // make it a writing tx so commit validates
+		})
+		if forgetIt && attempts != 1 {
+			t.Fatalf("released read still caused %d attempts", attempts)
+		}
+		if !forgetIt && attempts < 2 {
+			t.Fatalf("retained read did not cause a retry (attempts=%d)", attempts)
+		}
+	}
+}
+
+// TestForgetPrefixSemantics: ForgetReadsBefore releases exactly the reads
+// recorded before the mark.
+func TestForgetPrefixSemantics(t *testing.T) {
+	rt := newTestRuntime()
+	cells := make([]Word, 8)
+	var out Word
+	hits := 0
+	step := make(chan struct{}, 1)
+	done := make(chan struct{}, 1)
+	go func() {
+		for range step {
+			// Write to cells[0] (which the reader released) only.
+			rt.Atomic(func(tx *Tx) { cells[0].Store(tx, cells[0].Load(tx)+1) })
+			done <- struct{}{}
+		}
+	}()
+	rt.Atomic(func(tx *Tx) {
+		hits++
+		_ = cells[0].Load(tx)
+		mark := tx.ReadMark()
+		_ = cells[1].Load(tx)
+		tx.ForgetReadsBefore(mark) // releases cells[0], keeps cells[1]
+		if hits == 1 {
+			step <- struct{}{}
+			<-done
+		}
+		out.Store(tx, 7)
+	})
+	close(step)
+	if hits != 1 {
+		t.Fatalf("tx retried %d times despite releasing the written cell", hits)
+	}
+}
+
+// TestForgetCompaction drives enough forgets to trigger read-set
+// compaction and checks retained reads still validate.
+func TestForgetCompaction(t *testing.T) {
+	rt := newTestRuntime()
+	const n = 4096
+	cells := make([]Word, n)
+	var out Word
+	rt.Atomic(func(tx *Tx) {
+		for i := 0; i < n; i++ {
+			_ = cells[i].Load(tx)
+			if i > 4 {
+				// Slide a 4-entry retention window (like an ER traversal).
+				tx.ForgetReadsBefore(tx.rsBase + uint64(len(tx.rs)) - 4)
+			}
+		}
+		out.Store(tx, 1)
+	})
+	if out.Raw() != 1 {
+		t.Fatal("compacting transaction failed to commit")
+	}
+}
+
+// TestForgetWithCapacity: released reads must not count against the
+// HTM-simulation capacity (the HTM model is explicitly opted out of by
+// using early release).
+func TestForgetWithCapacity(t *testing.T) {
+	rt := NewRuntime(Profile{Capacity: 16, MaxAttempts: 3})
+	cells := make([]Word, 256)
+	var out Word
+	rt.Atomic(func(tx *Tx) {
+		for i := range cells {
+			_ = cells[i].Load(tx)
+			tx.ForgetReadsBefore(tx.ReadMark() - 2) // keep last 2
+		}
+		out.Store(tx, 9)
+	})
+	if out.Raw() != 9 {
+		t.Fatal("commit failed")
+	}
+	if got := rt.Stats().Aborts[CauseCapacity]; got != 0 {
+		t.Fatalf("capacity aborts = %d despite early release", got)
+	}
+}
+
+// TestForgetBoundsClamp: out-of-range marks must be harmless.
+func TestForgetBoundsClamp(t *testing.T) {
+	rt := newTestRuntime()
+	var a, out Word
+	rt.Atomic(func(tx *Tx) {
+		tx.ForgetReadsBefore(0)        // before anything: no-op
+		tx.ForgetReadsBefore(10000000) // far future: clamps to len(rs)
+		_ = a.Load(tx)
+		out.Store(tx, 1)
+	})
+	if out.Raw() != 1 {
+		t.Fatal("commit failed after clamped forgets")
+	}
+}
+
+// TestReadMarkMonotonic: marks grow with reads and survive compaction.
+func TestReadMarkMonotonic(t *testing.T) {
+	rt := newTestRuntime()
+	cells := make([]Word, 1024)
+	rt.Atomic(func(tx *Tx) {
+		last := tx.ReadMark()
+		for i := range cells {
+			_ = cells[i].Load(tx)
+			m := tx.ReadMark()
+			if m <= last && i > 0 {
+				t.Fatalf("mark went backwards: %d after %d", m, last)
+			}
+			last = m
+			tx.ForgetReadsBefore(m - 1)
+		}
+	})
+}

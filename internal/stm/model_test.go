@@ -1,0 +1,103 @@
+package stm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Model-based property test: random single-threaded transaction scripts
+// must behave exactly like plain sequential execution over a plain array —
+// including aborted attempts leaving no trace and read-own-writes.
+
+// txOp is one step of a scripted transaction.
+type txOp struct {
+	Cell  uint8 // which of the 8 cells
+	Kind  uint8 // 0 read, 1 write, 2 add-read-to, 3 restart-once
+	Value uint8
+}
+
+func TestQuickSequentialEquivalence(t *testing.T) {
+	f := func(script [][]txOp) bool {
+		rt := NewRuntime(Profile{})
+		cells := make([]Word, 8)
+		model := make([]uint64, 8)
+
+		for _, txScript := range script {
+			restarted := false
+			shadow := make([]uint64, 8)
+			rt.Atomic(func(tx *Tx) {
+				copy(shadow, model) // model of this attempt's effects
+				for _, op := range txScript {
+					c := int(op.Cell) % 8
+					switch op.Kind % 4 {
+					case 0: // read must observe prior writes in-tx
+						if got := cells[c].Load(tx); got != shadow[c] {
+							// Fail the property via a detectable marker.
+							shadow[0] = ^uint64(0)
+							return
+						}
+					case 1:
+						cells[c].Store(tx, uint64(op.Value))
+						shadow[c] = uint64(op.Value)
+					case 2:
+						v := cells[c].Load(tx) + uint64(op.Value)
+						cells[c].Store(tx, v)
+						shadow[c] = shadow[c] + uint64(op.Value)
+					case 3:
+						if !restarted {
+							restarted = true
+							tx.Restart() // all effects so far must vanish
+						}
+					}
+				}
+			})
+			if shadow[0] == ^uint64(0) {
+				return false
+			}
+			copy(model, shadow) // committed: model takes the effects
+		}
+		for i := range cells {
+			if cells[i].Raw() != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAbortPurity: a transaction that always restarts on its first
+// attempt must leave exactly the same state as one that never restarts.
+func TestQuickAbortPurity(t *testing.T) {
+	f := func(writes []uint8) bool {
+		rtA := NewRuntime(Profile{})
+		rtB := NewRuntime(Profile{})
+		a := make([]Word, 4)
+		b := make([]Word, 4)
+		runOn := func(rt *Runtime, cells []Word, restartFirst bool) {
+			first := true
+			rt.Atomic(func(tx *Tx) {
+				for i, w := range writes {
+					cells[(i+int(w))%4].Store(tx, uint64(w)+1)
+				}
+				if restartFirst && first {
+					first = false
+					tx.Restart()
+				}
+			})
+		}
+		runOn(rtA, a, true)
+		runOn(rtB, b, false)
+		for i := range a {
+			if a[i].Raw() != b[i].Raw() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

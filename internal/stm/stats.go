@@ -1,0 +1,114 @@
+package stm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hohtx/internal/pad"
+)
+
+// statShards spreads counter updates across cache lines to keep statistics
+// collection from becoming its own scalability bottleneck.
+const statShards = 16
+
+type statShard struct {
+	commits       atomic.Uint64
+	serialCommits atomic.Uint64
+	extensions    atomic.Uint64
+	aborts        [numCauses]atomic.Uint64
+	_             pad.Line
+}
+
+type statCounters struct {
+	shards [statShards]statShard
+}
+
+func (s *statCounters) shard(tx *Tx) *statShard {
+	return &s.shards[tx.rng%statShards]
+}
+
+func (s *statCounters) record(tx *Tx, serial bool) {
+	sh := s.shard(tx)
+	sh.commits.Add(1)
+	if serial {
+		sh.serialCommits.Add(1)
+	}
+	if tx.extensions > 0 {
+		sh.extensions.Add(tx.extensions)
+		tx.extensions = 0
+	}
+}
+
+func (s *statCounters) recordAbort(tx *Tx) {
+	sh := s.shard(tx)
+	sh.aborts[tx.cause].Add(1)
+	if tx.extensions > 0 {
+		sh.extensions.Add(tx.extensions)
+		tx.extensions = 0
+	}
+}
+
+// Stats is a consistent-enough snapshot of a runtime's transaction
+// statistics (counters are read without mutual exclusion; totals may lag
+// in-flight transactions by a few counts).
+type Stats struct {
+	Commits       uint64
+	SerialCommits uint64
+	Extensions    uint64
+	Aborts        [int(numCauses)]uint64
+}
+
+// TotalAborts sums aborts across all causes.
+func (s Stats) TotalAborts() uint64 {
+	var t uint64
+	for _, a := range s.Aborts {
+		t += a
+	}
+	return t
+}
+
+// AbortRate returns aborted attempts per committed transaction.
+func (s Stats) AbortRate() float64 {
+	if s.Commits == 0 {
+		return 0
+	}
+	return float64(s.TotalAborts()) / float64(s.Commits)
+}
+
+// String renders the snapshot compactly for logs and examples.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"commits=%d serial=%d extensions=%d aborts=%d (read=%d validate=%d wlock=%d capacity=%d explicit=%d)",
+		s.Commits, s.SerialCommits, s.Extensions, s.TotalAborts(),
+		s.Aborts[CauseReadConflict], s.Aborts[CauseValidation],
+		s.Aborts[CauseWriteLock], s.Aborts[CauseCapacity], s.Aborts[CauseExplicit])
+}
+
+// Stats returns a snapshot of the runtime's counters.
+func (rt *Runtime) Stats() Stats {
+	var out Stats
+	for i := range rt.stats.shards {
+		sh := &rt.stats.shards[i]
+		out.Commits += sh.commits.Load()
+		out.SerialCommits += sh.serialCommits.Load()
+		out.Extensions += sh.extensions.Load()
+		for c := 0; c < int(numCauses); c++ {
+			out.Aborts[c] += sh.aborts[c].Load()
+		}
+	}
+	return out
+}
+
+// ResetStats zeroes the runtime's counters (benchmarks call this between
+// measurement phases).
+func (rt *Runtime) ResetStats() {
+	for i := range rt.stats.shards {
+		sh := &rt.stats.shards[i]
+		sh.commits.Store(0)
+		sh.serialCommits.Store(0)
+		sh.extensions.Store(0)
+		for c := 0; c < int(numCauses); c++ {
+			sh.aborts[c].Store(0)
+		}
+	}
+}

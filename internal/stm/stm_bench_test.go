@@ -1,0 +1,112 @@
+package stm
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Micro-benchmarks for the TM primitives themselves; the macro views are
+// at the repository root (one per paper figure).
+
+func BenchmarkReadOnlyTx(b *testing.B) {
+	rt := NewRuntime(Profile{})
+	cells := make([]Word, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rt.Atomic(func(tx *Tx) {
+			for j := range cells {
+				_ = cells[j].Load(tx)
+			}
+		})
+	}
+}
+
+func BenchmarkWriteTx(b *testing.B) {
+	rt := NewRuntime(Profile{})
+	cells := make([]Word, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rt.Atomic(func(tx *Tx) {
+			for j := range cells {
+				cells[j].Store(tx, uint64(i))
+			}
+		})
+	}
+}
+
+func BenchmarkReadWriteTx(b *testing.B) {
+	rt := NewRuntime(Profile{})
+	cells := make([]Word, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rt.Atomic(func(tx *Tx) {
+			s := uint64(0)
+			for j := range cells {
+				s += cells[j].Load(tx)
+			}
+			cells[i%8].Store(tx, s)
+		})
+	}
+}
+
+func BenchmarkContendedCounter(b *testing.B) {
+	rt := NewRuntime(Profile{})
+	var w Word
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			rt.Atomic(func(tx *Tx) {
+				w.Store(tx, w.Load(tx)+1)
+			})
+		}
+	})
+}
+
+func BenchmarkEarlyReleaseTraversal(b *testing.B) {
+	rt := NewRuntime(Profile{})
+	cells := make([]Word, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rt.Atomic(func(tx *Tx) {
+			for j := range cells {
+				_ = cells[j].Load(tx)
+				if j > 8 {
+					tx.ForgetReadsBefore(tx.ReadMark() - 8)
+				}
+			}
+		})
+	}
+}
+
+// TestPtrConcurrent hammers a Ptr cell from writers and snapshot readers.
+func TestPtrConcurrent(t *testing.T) {
+	rt := NewRuntime(Profile{})
+	type pair struct{ a, b uint64 }
+	var p Ptr[pair]
+	p.Init(&pair{})
+	done := make(chan struct{})
+	var torn atomic.Int64
+	go func() {
+		defer close(done)
+		for i := uint64(1); i <= 3000; i++ {
+			v := &pair{a: i, b: i * 2}
+			rt.Atomic(func(tx *Tx) { p.Store(tx, v) })
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			if torn.Load() > 0 {
+				t.Fatalf("%d torn pointer reads", torn.Load())
+			}
+			if got := p.Raw(); got.a != 3000 || got.b != 6000 {
+				t.Fatalf("final = %+v", got)
+			}
+			return
+		default:
+		}
+		got := Run(rt, func(tx *Tx) *pair { return p.Load(tx) })
+		if got.b != got.a*2 {
+			torn.Add(1)
+		}
+	}
+}

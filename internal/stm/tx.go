@@ -1,0 +1,370 @@
+package stm
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// readLockSpins bounds how long a read spins on a cell that is locked by a
+// committing writer before aborting. Commits hold cell locks only for the
+// short write-back window, so a small bound suffices.
+const readLockSpins = 64
+
+// wsMapThreshold is the write-set size beyond which read-own-writes lookup
+// switches from linear scan to a map. Hand-over-hand transactions write a
+// handful of cells; only whole-operation (HTM-baseline) transactions on big
+// structures ever cross this.
+const wsMapThreshold = 24
+
+// abortSig is the panic sentinel used internally to unwind an aborting
+// transaction out of user code. It never escapes Atomic.
+type abortSig struct{}
+
+// rentry is one read-set record: the cell's version word and the version
+// observed when the value was read.
+type rentry struct {
+	m   *atomic.Uint64
+	ver uint64
+}
+
+// applier is a deferred write-back action for non-Word cells.
+type applier interface{ apply() }
+
+// wentry is one write-set record. Exactly one of dst (Word write) or obj
+// (typed cell write) is set. prev caches the pre-lock version during commit
+// so locks can be released on failure and self-locks recognized during
+// read-set validation.
+type wentry struct {
+	m    *atomic.Uint64
+	dst  *atomic.Uint64
+	val  uint64
+	obj  applier
+	prev uint64
+}
+
+// Tx is one transaction attempt's context. A Tx is only valid inside the
+// closure passed to Runtime.Atomic and must not be retained, shared between
+// goroutines, or used after the closure returns.
+type Tx struct {
+	rt     *Runtime
+	rv     uint64 // snapshot (read) version; even
+	serial bool   // true when running under the exclusive serial lock
+	cause  AbortCause
+
+	rs     []rentry
+	rsHead int    // entries below this index are early-released
+	rsBase uint64 // logical index of rs[0] (survives compaction)
+	ws     []wentry
+	wmap   map[*atomic.Uint64]int // lazily built past wsMapThreshold
+
+	commitHooks []func()
+	abortHooks  []func()
+
+	rng        uint64 // xorshift state for backoff jitter
+	extensions uint64 // snapshot extensions performed (stats)
+}
+
+func newTx(rt *Runtime) *Tx {
+	return &Tx{
+		rt:  rt,
+		rs:  make([]rentry, 0, 256),
+		ws:  make([]wentry, 0, 32),
+		rng: 0x9e3779b97f4a7c15,
+	}
+}
+
+// reset prepares the Tx for a fresh attempt.
+func (tx *Tx) reset(serial bool) {
+	tx.rv = tx.rt.now()
+	tx.serial = serial
+	tx.cause = CauseNone
+	tx.rs = tx.rs[:0]
+	tx.rsHead = 0
+	tx.rsBase = 0
+	tx.ws = tx.ws[:0]
+	if tx.wmap != nil {
+		clear(tx.wmap)
+	}
+	tx.commitHooks = tx.commitHooks[:0]
+	tx.abortHooks = tx.abortHooks[:0]
+}
+
+// Serial reports whether this attempt runs in the serialized fallback mode.
+// Data structure code can consult it to skip contention-avoidance work that
+// only matters under speculation.
+func (tx *Tx) Serial() bool { return tx.serial }
+
+// Runtime returns the runtime this transaction belongs to.
+func (tx *Tx) Runtime() *Runtime { return tx.rt }
+
+// Restart aborts the current attempt and re-executes the transaction from
+// the beginning (possibly in serial mode, per the runtime's profile).
+func (tx *Tx) Restart() {
+	tx.abort(CauseExplicit)
+}
+
+// OnCommit registers fn to run exactly once, after this transaction has
+// committed and released all commit-time locks. The paper observes that
+// memory management inside transactions hurts performance; the data
+// structures in this repository queue node frees here, which keeps
+// reclamation *immediate* (it happens at the commit point, before the
+// enclosing operation returns) while staying outside speculation.
+func (tx *Tx) OnCommit(fn func()) {
+	tx.commitHooks = append(tx.commitHooks, fn)
+}
+
+// OnAbort registers fn to run if this attempt aborts (it is discarded on
+// commit). Used to return speculatively allocated nodes to the allocator.
+func (tx *Tx) OnAbort(fn func()) {
+	tx.abortHooks = append(tx.abortHooks, fn)
+}
+
+// abort unwinds the attempt with the given cause.
+func (tx *Tx) abort(c AbortCause) {
+	tx.cause = c
+	panic(abortSig{})
+}
+
+// checkCapacity enforces the HTM-simulation footprint bound. Early-released
+// reads no longer occupy tracked state (in real HTM early release is
+// impossible, which is precisely the paper's motivation — callers using
+// ReadMark/ForgetReadsBefore have opted out of the HTM model).
+func (tx *Tx) checkCapacity() {
+	if c := tx.rt.prof.Capacity; c > 0 && !tx.serial && len(tx.rs)-tx.rsHead+len(tx.ws) >= c {
+		tx.abort(CauseCapacity)
+	}
+}
+
+// ReadMark returns a position in the transaction's read history for use
+// with ForgetReadsBefore.
+func (tx *Tx) ReadMark() uint64 { return tx.rsBase + uint64(len(tx.rs)) }
+
+// ForgetReadsBefore early-releases every read recorded before mark: those
+// locations are dropped from conflict detection, so later writers to them
+// no longer abort this transaction (Herlihy et al.'s early release [17],
+// the software-only alternative to hand-over-hand windows that §1 of the
+// paper contrasts revocable reservations with). Releasing a read weakens
+// opacity for the released prefix — callers own the correctness argument,
+// exactly as they do with hand-over-hand windows.
+func (tx *Tx) ForgetReadsBefore(mark uint64) {
+	if mark <= tx.rsBase {
+		return
+	}
+	h := int(mark - tx.rsBase)
+	if h > len(tx.rs) {
+		h = len(tx.rs)
+	}
+	if h > tx.rsHead {
+		tx.rsHead = h
+	}
+	// Amortized compaction keeps the slice from growing without bound on
+	// long traversals.
+	if tx.rsHead >= 256 && tx.rsHead*2 >= len(tx.rs) {
+		n := copy(tx.rs, tx.rs[tx.rsHead:])
+		tx.rs = tx.rs[:n]
+		tx.rsBase += uint64(tx.rsHead)
+		tx.rsHead = 0
+	}
+}
+
+// maybeYield simulates a preemption point per the profile's YieldShift.
+func (tx *Tx) maybeYield() {
+	if s := tx.rt.prof.YieldShift; s != 0 && tx.nextRand()&(1<<s-1) == 0 {
+		runtime.Gosched()
+	}
+}
+
+// recordRead appends a validated read to the read set.
+func (tx *Tx) recordRead(m *atomic.Uint64, ver uint64) {
+	tx.checkCapacity()
+	tx.rs = append(tx.rs, rentry{m: m, ver: ver})
+	tx.maybeYield()
+}
+
+// extend slides the snapshot forward to the current clock, aborting if any
+// prior read has been overwritten (which would make the extended snapshot
+// inconsistent). On success subsequent reads accept versions up to the new
+// snapshot.
+func (tx *Tx) extend() {
+	newRv := tx.rt.now()
+	for i := tx.rsHead; i < len(tx.rs); i++ {
+		if tx.rs[i].m.Load() != tx.rs[i].ver {
+			tx.abort(CauseReadConflict)
+		}
+	}
+	tx.rv = newRv
+	tx.extensions++
+}
+
+// findWrite looks up a pending Word write to the cell with version word m.
+func (tx *Tx) findWrite(m *atomic.Uint64) (uint64, bool) {
+	if i, ok := tx.lookupWrite(m); ok {
+		return tx.ws[i].val, true
+	}
+	return 0, false
+}
+
+// findWriteObj looks up a pending typed-cell write.
+func (tx *Tx) findWriteObj(m *atomic.Uint64) (applier, bool) {
+	if i, ok := tx.lookupWrite(m); ok {
+		return tx.ws[i].obj, true
+	}
+	return nil, false
+}
+
+func (tx *Tx) lookupWrite(m *atomic.Uint64) (int, bool) {
+	if len(tx.ws) == 0 {
+		return 0, false
+	}
+	if tx.wmap != nil && len(tx.ws) > wsMapThreshold {
+		i, ok := tx.wmap[m]
+		return i, ok
+	}
+	// Scan backwards: recently written cells are the likeliest re-reads.
+	for i := len(tx.ws) - 1; i >= 0; i-- {
+		if tx.ws[i].m == m {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// addWrite records a write-set entry, deduplicating by cell so commit never
+// tries to lock the same cell twice.
+func (tx *Tx) addWrite(e wentry) {
+	if i, ok := tx.lookupWrite(e.m); ok {
+		e.prev = tx.ws[i].prev
+		tx.ws[i] = e
+		return
+	}
+	tx.checkCapacity()
+	tx.maybeYield()
+	tx.ws = append(tx.ws, e)
+	if len(tx.ws) > wsMapThreshold {
+		if tx.wmap == nil {
+			tx.wmap = make(map[*atomic.Uint64]int, 4*wsMapThreshold)
+		}
+		if len(tx.wmap) == 0 {
+			for i := range tx.ws {
+				tx.wmap[tx.ws[i].m] = i
+			}
+		} else {
+			tx.wmap[e.m] = len(tx.ws) - 1
+		}
+	}
+}
+
+func (tx *Tx) writeWord(m, dst *atomic.Uint64, val uint64) {
+	tx.addWrite(wentry{m: m, dst: dst, val: val})
+}
+
+func (tx *Tx) writeObj(m *atomic.Uint64, obj applier) {
+	tx.addWrite(wentry{m: m, obj: obj})
+}
+
+// commit attempts to make the transaction's writes visible atomically.
+// It returns false (with tx.cause set) if the transaction must be retried.
+// Serial-mode commits cannot fail: the exclusive serial lock guarantees no
+// concurrent commit has interleaved since the snapshot was taken.
+func (tx *Tx) commit() bool {
+	if len(tx.ws) == 0 {
+		// Read-only: every read was validated against a consistent
+		// snapshot when it happened, so there is nothing left to check.
+		return true
+	}
+	rt := tx.rt
+	if !tx.serial {
+		// Exclude serial transactions for the duration of the commit.
+		rt.serialMu.RLock()
+		defer rt.serialMu.RUnlock()
+	}
+
+	// Phase 1: lock the write set (bounded: CAS-or-fail, so no deadlock).
+	for i := range tx.ws {
+		e := &tx.ws[i]
+		cur := e.m.Load()
+		if cur&lockedBit != 0 || !e.m.CompareAndSwap(cur, cur|lockedBit) {
+			tx.releaseLocks(i)
+			tx.cause = CauseWriteLock
+			return false
+		}
+		e.prev = cur
+	}
+
+	wv := rt.tick()
+
+	// Phase 2: validate the read set, unless no other transaction can have
+	// committed since our snapshot (TL2's rv+2 == wv fast path).
+	if wv != tx.rv+2 {
+		for i := tx.rsHead; i < len(tx.rs); i++ {
+			r := &tx.rs[i]
+			cur := r.m.Load()
+			if cur == r.ver {
+				continue
+			}
+			if cur == r.ver|lockedBit && tx.ownsLock(r.m, r.ver) {
+				continue
+			}
+			tx.releaseLocks(len(tx.ws))
+			tx.cause = CauseValidation
+			return false
+		}
+	}
+
+	// Phase 3: write back and release each lock with the new version.
+	for i := range tx.ws {
+		e := &tx.ws[i]
+		if e.obj != nil {
+			e.obj.apply()
+		} else {
+			e.dst.Store(e.val)
+		}
+		e.m.Store(wv)
+	}
+	return true
+}
+
+// ownsLock reports whether the locked cell m is locked by this transaction
+// with pre-lock version prev.
+func (tx *Tx) ownsLock(m *atomic.Uint64, prev uint64) bool {
+	if i, ok := tx.lookupWrite(m); ok {
+		return tx.ws[i].prev == prev
+	}
+	return false
+}
+
+// releaseLocks restores the pre-lock versions of ws[0:n].
+func (tx *Tx) releaseLocks(n int) {
+	for i := 0; i < n; i++ {
+		tx.ws[i].m.Store(tx.ws[i].prev)
+	}
+}
+
+// Rand returns a cheap pseudo-random value from the transaction's private
+// generator. It is not a transactional effect (it advances even if the
+// transaction aborts), which is exactly what contention-randomization
+// helpers like scatter want.
+func (tx *Tx) Rand() uint64 { return tx.nextRand() }
+
+// nextRand steps the transaction's xorshift generator (backoff jitter and
+// the scatter helper both draw from it).
+func (tx *Tx) nextRand() uint64 {
+	x := tx.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	tx.rng = x
+	return x
+}
+
+// pause burns a few cycles proportional to the spin count, yielding the
+// processor occasionally so single-core runs make progress.
+func pause(spins int) {
+	if spins&7 == 7 {
+		runtime.Gosched()
+		return
+	}
+	for i := 0; i < 4<<uint(spins&7); i++ {
+		_ = i
+	}
+}

@@ -1,0 +1,253 @@
+package tree
+
+import (
+	"fmt"
+
+	"hohtx/internal/arena"
+	"hohtx/internal/sets"
+	"hohtx/internal/stm"
+)
+
+// Internal is the unbalanced internal binary search tree (§4.3): every
+// node carries a value; a sentinel with key +∞ serves as the root so the
+// first real node is always a left child and removal of the topmost real
+// node needs no special case.
+type Internal struct {
+	*base
+	root arena.Handle // sentinel; the tree hangs off its left child
+}
+
+var _ sets.Set = (*Internal)(nil)
+var _ sets.MemoryReporter = (*Internal)(nil)
+
+// NewInternal constructs an internal-tree set.
+func NewInternal(cfg Config) *Internal {
+	cfg = cfg.withDefaults()
+	if cfg.Mode == ModeTMHP {
+		panic("tree: ModeTMHP is only implemented for the external tree (as in the paper)")
+	}
+	b := newBase(cfg)
+	return &Internal{base: b, root: b.initNode(sent2, arena.Nil, arena.Nil)}
+}
+
+// Name implements sets.Set.
+func (t *Internal) Name() string {
+	switch t.mode {
+	case ModeRR:
+		return t.rr.Name()
+	case ModeHTM:
+		return "HTM"
+	default:
+		return fmt.Sprintf("itree-?%d", t.mode)
+	}
+}
+
+// child returns the dir-selected child cell of n (0 left, 1 right).
+func child(n *node, dir int) *stm.Word {
+	if dir == 0 {
+		return &n.left
+	}
+	return &n.right
+}
+
+// apply is the hand-over-hand window engine for the internal tree. The
+// found callback receives the matching node and its parent (with dir
+// selecting which child of the parent it is); the missing callback
+// receives the insertion point. needsParent makes a match at a resumed
+// window's first node (whose parent is unknown — the paper's nodes store
+// child-direction, not parent pointers) drop its hold and restart from
+// the root; only Remove needs that.
+func (t *Internal) apply(tid int, key uint64, needsParent bool,
+	onFound func(tx *stm.Tx, parentH, currH arena.Handle, dir int) bool,
+	onMissing func(tx *stm.Tx, parentH arena.Handle, dir int) bool) bool {
+
+	ts := &t.threads[tid]
+	ts.ops++
+	var res bool
+	for {
+		done := false
+		t.rt.Atomic(func(tx *stm.Tx) {
+			done = false
+			res = false
+			win := t.window()
+			startH, held := t.windowStart(tx, tid, t.root)
+			var budget int
+			if held {
+				budget = win.Next()
+			} else {
+				budget = win.First(tx)
+			}
+			prevH, currH := arena.Nil, startH
+			dir := 0
+			steps := 0
+			for {
+				if currH.IsNil() {
+					res = onMissing(tx, prevH, dir)
+					t.windowTerminal(tx, tid, held)
+					done = true
+					return
+				}
+				n := t.ar.At(currH)
+				ck := n.key.Load(tx)
+				if ck == key {
+					if needsParent && prevH.IsNil() {
+						// Matched at the resumed start: ancestors unknown.
+						t.dropHold(tx, tid, held)
+						return // done=false: restart from the root
+					}
+					res = onFound(tx, prevH, currH, dir)
+					t.windowTerminal(tx, tid, held)
+					done = true
+					return
+				}
+				if steps >= budget {
+					t.windowHold(tx, tid, held, currH)
+					return // hand over to the next window at currH
+				}
+				prevH = currH
+				if key < ck {
+					currH = arena.Handle(n.left.Load(tx))
+					dir = 0
+				} else {
+					currH = arena.Handle(n.right.Load(tx))
+					dir = 1
+				}
+				steps++
+			}
+		})
+		if done {
+			return res
+		}
+	}
+}
+
+// Lookup implements sets.Set.
+func (t *Internal) Lookup(tid int, key uint64) bool {
+	return t.apply(tid, key, false,
+		func(tx *stm.Tx, parentH, currH arena.Handle, dir int) bool { return true },
+		func(tx *stm.Tx, parentH arena.Handle, dir int) bool { return false },
+	)
+}
+
+// Insert implements sets.Set.
+func (t *Internal) Insert(tid int, key uint64) bool {
+	if key > MaxKey {
+		panic("tree: key out of range")
+	}
+	return t.apply(tid, key, false,
+		func(tx *stm.Tx, parentH, currH arena.Handle, dir int) bool { return false },
+		func(tx *stm.Tx, parentH arena.Handle, dir int) bool {
+			nh := t.allocNode(tx, tid, key, arena.Nil, arena.Nil)
+			child(t.ar.At(parentH), dir).Store(tx, uint64(nh))
+			return true
+		},
+	)
+}
+
+// Remove implements sets.Set. The two-children case swaps in the leftmost
+// descendant of the right child and revokes the whole victim-to-successor
+// path (see the package comment).
+func (t *Internal) Remove(tid int, key uint64) bool {
+	return t.apply(tid, key, true,
+		func(tx *stm.Tx, parentH, vH arena.Handle, dir int) bool {
+			v := t.ar.At(vH)
+			lH := arena.Handle(v.left.Load(tx))
+			rH := arena.Handle(v.right.Load(tx))
+			switch {
+			case lH.IsNil() && rH.IsNil():
+				child(t.ar.At(parentH), dir).Store(tx, 0)
+				t.reclaimNode(tx, tid, vH)
+			case lH.IsNil():
+				child(t.ar.At(parentH), dir).Store(tx, uint64(rH))
+				t.reclaimNode(tx, tid, vH)
+			case rH.IsNil():
+				child(t.ar.At(parentH), dir).Store(tx, uint64(lH))
+				t.reclaimNode(tx, tid, vH)
+			default:
+				t.removeTwoChildren(tx, tid, vH, rH)
+			}
+			return true
+		},
+		func(tx *stm.Tx, parentH arena.Handle, dir int) bool { return false },
+	)
+}
+
+// removeTwoChildren overwrites vH's key with its successor's and extracts
+// the successor node. Every node on the path from the victim through the
+// successor — whose subtree regions are the only ones the upward key move
+// invalidates — is revoked so resumed traversals in that region restart.
+func (t *Internal) removeTwoChildren(tx *stm.Tx, tid int, vH, rH arena.Handle) {
+	if t.mode == ModeRR {
+		// The victim's key changes: reservations on it become unsafe.
+		t.rr.Revoke(tx, uint64(vH))
+	}
+	// Walk to the leftmost descendant of the right child, revoking the
+	// path as we go (this is the multi-Revoke cost Figure 6 studies).
+	parentOfL := vH
+	lH := rH
+	for {
+		if t.mode == ModeRR {
+			t.rr.Revoke(tx, uint64(lH))
+		}
+		next := arena.Handle(t.ar.At(lH).left.Load(tx))
+		if next.IsNil() {
+			break
+		}
+		parentOfL = lH
+		lH = next
+	}
+	l := t.ar.At(lH)
+	// Move the successor's key up, then splice the successor out by
+	// promoting its right child.
+	t.ar.At(vH).key.Store(tx, l.key.Load(tx))
+	promoted := l.right.Load(tx)
+	if parentOfL == vH {
+		t.ar.At(vH).right.Store(tx, promoted)
+	} else {
+		t.ar.At(parentOfL).left.Store(tx, promoted)
+	}
+	// The extracted node was already revoked in the walk above.
+	switch t.mode {
+	case ModeRR, ModeHTM:
+		tx.OnCommit(func() { t.ar.Free(tid, lH) })
+	}
+}
+
+// Snapshot implements sets.Set via an in-order walk (quiescence required).
+func (t *Internal) Snapshot() []uint64 {
+	var out []uint64
+	var walk func(h arena.Handle)
+	walk = func(h arena.Handle) {
+		if h.IsNil() {
+			return
+		}
+		n := t.ar.At(h)
+		walk(arena.Handle(n.left.Raw()))
+		out = append(out, n.key.Raw())
+		walk(arena.Handle(n.right.Raw()))
+	}
+	walk(arena.Handle(t.ar.At(t.root).left.Raw()))
+	return out
+}
+
+// ValidateBST checks the BST invariant over the whole tree (test helper;
+// quiescence required).
+func (t *Internal) ValidateBST() bool {
+	ok := true
+	var walk func(h arena.Handle, lo, hi uint64)
+	walk = func(h arena.Handle, lo, hi uint64) {
+		if h.IsNil() || !ok {
+			return
+		}
+		n := t.ar.At(h)
+		k := n.key.Raw()
+		if k < lo || k >= hi {
+			ok = false
+			return
+		}
+		walk(arena.Handle(n.left.Raw()), lo, k)
+		walk(arena.Handle(n.right.Raw()), k+1, hi)
+	}
+	walk(arena.Handle(t.ar.At(t.root).left.Raw()), 0, sent2)
+	return ok
+}

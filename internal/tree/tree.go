@@ -1,0 +1,328 @@
+// Package tree implements the paper's unbalanced binary search trees
+// (§4.3): an internal tree (values in every node) and an external tree
+// (values in leaves, routers inside), both with hand-over-hand
+// transactions and revocable reservations, plus the whole-operation
+// transaction baseline (HTM) and — for the external tree, as in the
+// paper's Figure 7 — a hazard-pointer variant (TMHP).
+//
+// The delicate part is the internal tree's removal of a node with two
+// children: the victim's value is overwritten with its successor l (the
+// leftmost descendant of its right child) and the successor's node is
+// extracted. Because l's value moves *upward*, any traversal that reserved
+// a node on the path from the victim to l could resume below l's new
+// position and wrongly conclude l is absent; the remover therefore revokes
+// every node on that path (victim and extracted node included), forcing
+// those traversals to restart from the root (§4.3, last paragraph).
+package tree
+
+import (
+	"sync/atomic"
+
+	"hohtx/internal/arena"
+	"hohtx/internal/core"
+	"hohtx/internal/pad"
+	"hohtx/internal/reclaim"
+	"hohtx/internal/stm"
+)
+
+// Mode selects the synchronization/reclamation mechanism.
+type Mode uint8
+
+const (
+	// ModeRR is hand-over-hand transactions with revocable reservations.
+	ModeRR Mode = iota
+	// ModeHTM performs each operation in one transaction.
+	ModeHTM
+	// ModeTMHP is hand-over-hand with hazard pointers (external tree
+	// only; the paper knows of no internal trees using hazard pointers).
+	ModeTMHP
+)
+
+// sentinel keys; user keys must be below sent0.
+const (
+	sent0 = ^uint64(0) - 2 // external tree: initial empty leaf
+	sent1 = ^uint64(0) - 1 // external tree: inner sentinel router/leaf
+	sent2 = ^uint64(0)     // roots
+)
+
+// MaxKey is the largest user key the trees accept.
+const MaxKey = sent0 - 1
+
+// node is the shared node layout for both trees. In the external tree a
+// node is a leaf iff its left child is Nil.
+type node struct {
+	key   stm.Word
+	left  stm.Word // arena.Handle bits
+	right stm.Word
+	dead  stm.Word // TMHP logical-deletion mark
+	_     pad.Line
+}
+
+type threadState struct {
+	start  arena.Handle
+	parity int
+	ops    uint64
+	_      pad.Line
+}
+
+// Config parameterizes tree construction.
+type Config struct {
+	// Mode selects the mechanism; default ModeRR.
+	Mode Mode
+	// RRKind selects the reservation implementation for ModeRR.
+	RRKind core.Kind
+	// Threads is the number of distinct tids. Required.
+	Threads int
+	// Window is the hand-over-hand window policy; ignored for ModeHTM.
+	Window core.Window
+	// Profile overrides the TM profile; the zero value uses the paper's
+	// tree setting (serial fallback after 8 attempts, §5).
+	Profile stm.Profile
+	// ArenaPolicy selects the allocator free-list policy.
+	ArenaPolicy arena.Policy
+	// ScanThreshold is the hazard batch size for ModeTMHP.
+	ScanThreshold int
+	// TableBits/Assoc size the reservation metadata (see core.Config).
+	TableBits int
+	Assoc     int
+	// YieldShift enables simulated preemption inside transactions (see
+	// stm.Profile.YieldShift); it composes with whatever Profile is in
+	// effect.
+	YieldShift uint8
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = 8
+	}
+	if c.Profile == (stm.Profile{}) {
+		c.Profile = stm.HTMProfile(8)
+	}
+	if c.YieldShift != 0 {
+		c.Profile.YieldShift = c.YieldShift
+	}
+	if c.Window.W == 0 && c.Mode != ModeHTM {
+		c.Window.W = 16
+	}
+	if c.Mode == ModeHTM {
+		c.Window = core.Window{}
+	}
+	if c.ScanThreshold <= 0 {
+		c.ScanThreshold = reclaim.DefaultScanThreshold
+	}
+	return c
+}
+
+// base carries the machinery shared by the internal and external trees.
+type base struct {
+	rt          *stm.Runtime
+	ar          *arena.Arena[node]
+	rr          core.Reservation
+	hp          *reclaim.HazardPointers
+	mode        Mode
+	win         core.Window
+	winOverride atomic.Int32
+	threads     []threadState
+}
+
+func newBase(cfg Config) *base {
+	b := &base{
+		rt:      stm.NewRuntime(cfg.Profile),
+		ar:      arena.New[node](arena.Config{Policy: cfg.ArenaPolicy, Threads: cfg.Threads}),
+		mode:    cfg.Mode,
+		win:     cfg.Window,
+		threads: make([]threadState, cfg.Threads),
+	}
+	switch cfg.Mode {
+	case ModeRR:
+		b.rr = core.New(cfg.RRKind, core.Config{
+			Threads: cfg.Threads, TableBits: cfg.TableBits, Assoc: cfg.Assoc,
+		})
+	case ModeTMHP:
+		b.hp = reclaim.NewHazardPointers(reclaim.HPConfig{
+			Threads:        cfg.Threads,
+			SlotsPerThread: 2,
+			ScanThreshold:  cfg.ScanThreshold,
+			Free:           func(tid int, h arena.Handle) { b.ar.Free(tid, h) },
+		})
+	}
+	return b
+}
+
+// initNode allocates a sentinel-phase node with non-transactional Init
+// (construction only: the node has never been shared).
+func (b *base) initNode(key uint64, left, right arena.Handle) arena.Handle {
+	h := b.ar.Alloc(0)
+	n := b.ar.At(h)
+	n.key.Init(key)
+	n.left.Init(uint64(left))
+	n.right.Init(uint64(right))
+	n.dead.Init(0)
+	return h
+}
+
+// allocNode allocates and transactionally initializes a node (recycled
+// slots require transactional stores; see package arena).
+func (b *base) allocNode(tx *stm.Tx, tid int, key uint64, left, right arena.Handle) arena.Handle {
+	h := b.ar.Alloc(tid)
+	tx.OnAbort(func() { b.ar.Free(tid, h) })
+	n := b.ar.At(h)
+	n.key.Store(tx, key)
+	n.left.Store(tx, uint64(left))
+	n.right.Store(tx, uint64(right))
+	n.dead.Store(tx, 0)
+	return h
+}
+
+// Runtime exposes the tree's TM runtime.
+func (b *base) Runtime() *stm.Runtime { return b.rt }
+
+// SetWindow changes the hand-over-hand window size at runtime (0 restores
+// the configured value); see the identically named method in package list.
+func (b *base) SetWindow(w int) { b.winOverride.Store(int32(w)) }
+
+// window returns the effective window policy for a new transaction.
+func (b *base) window() core.Window {
+	win := b.win
+	if o := b.winOverride.Load(); o > 0 {
+		win.W = int(o)
+	}
+	return win
+}
+
+// Register implements part of sets.Set.
+func (b *base) Register(tid int) {
+	if b.rr != nil {
+		b.rr.Register(tid)
+	}
+}
+
+// Finish implements part of sets.Set.
+func (b *base) Finish(tid int) {
+	if b.hp != nil {
+		b.hp.ClearSlots(tid)
+		b.hp.Flush(tid, b.threads[tid].ops)
+	}
+}
+
+// TxCommits reports committed transactions (benchmark statistics).
+func (b *base) TxCommits() uint64 { return b.rt.Stats().Commits }
+
+// TxAborts reports aborted transaction attempts.
+func (b *base) TxAborts() uint64 { return b.rt.Stats().TotalAborts() }
+
+// TxSerial reports serial-mode commits (HTM-fallback events).
+func (b *base) TxSerial() uint64 { return b.rt.Stats().SerialCommits }
+
+// PeakDeferred reports the reclamation scheme's deferred high-water mark.
+func (b *base) PeakDeferred() uint64 {
+	if b.hp != nil {
+		return b.hp.Stats().PeakDeferred
+	}
+	return 0
+}
+
+// LiveNodes implements sets.MemoryReporter.
+func (b *base) LiveNodes() uint64 { return b.ar.Stats().Live }
+
+// DeferredNodes implements sets.MemoryReporter.
+func (b *base) DeferredNodes() uint64 {
+	if b.hp != nil {
+		return b.hp.Stats().Deferred
+	}
+	return 0
+}
+
+// windowStart resolves the window's starting node; see the identically
+// named helper in package list for the protocol discussion.
+func (b *base) windowStart(tx *stm.Tx, tid int, root arena.Handle) (arena.Handle, bool) {
+	switch b.mode {
+	case ModeRR:
+		if r := b.rr.Get(tx, tid); r != 0 {
+			return arena.Handle(r), true
+		}
+		return root, false
+	case ModeTMHP:
+		s := b.threads[tid].start
+		if s.IsNil() {
+			return root, false
+		}
+		if b.ar.At(s).dead.Load(tx) != 0 {
+			return root, false
+		}
+		return s, true
+	default:
+		return root, false
+	}
+}
+
+// windowHold attaches the traversal's hold to currH for resumption.
+func (b *base) windowHold(tx *stm.Tx, tid int, held bool, currH arena.Handle) {
+	ts := &b.threads[tid]
+	switch b.mode {
+	case ModeRR:
+		if held {
+			b.rr.Release(tx, tid)
+		}
+		b.rr.Reserve(tx, tid, uint64(currH))
+	case ModeTMHP:
+		slot := ts.parity & 1
+		b.hp.Protect(tid, slot, currH)
+		_ = b.ar.At(currH).dead.Load(tx) // ordering re-check (see list)
+		tx.OnCommit(func() {
+			ts.start = currH
+			b.hp.Protect(tid, slot^1, 0)
+			ts.parity++
+		})
+	}
+}
+
+// windowTerminal drops the hold at operation end.
+func (b *base) windowTerminal(tx *stm.Tx, tid int, held bool) {
+	ts := &b.threads[tid]
+	switch b.mode {
+	case ModeRR:
+		if held {
+			b.rr.Release(tx, tid)
+		}
+	case ModeTMHP:
+		tx.OnCommit(func() {
+			ts.start = arena.Nil
+			b.hp.ClearSlots(tid)
+		})
+	}
+}
+
+// dropHold abandons a resumed position so the next window restarts from
+// the root (used when a resumed window cannot learn the ancestors an
+// update needs).
+func (b *base) dropHold(tx *stm.Tx, tid int, held bool) {
+	ts := &b.threads[tid]
+	switch b.mode {
+	case ModeRR:
+		if held {
+			b.rr.Release(tx, tid)
+		}
+	case ModeTMHP:
+		tx.OnCommit(func() {
+			ts.start = arena.Nil
+			b.hp.ClearSlots(tid)
+		})
+	}
+}
+
+// reclaimNode frees h per the tree's mode, revoking reservations first
+// for ModeRR (precise reclamation) or marking and retiring for ModeTMHP.
+func (b *base) reclaimNode(tx *stm.Tx, tid int, h arena.Handle) {
+	switch b.mode {
+	case ModeRR:
+		b.rr.Revoke(tx, uint64(h))
+		tx.OnCommit(func() { b.ar.Free(tid, h) })
+	case ModeHTM:
+		tx.OnCommit(func() { b.ar.Free(tid, h) })
+	case ModeTMHP:
+		b.ar.At(h).dead.Store(tx, 1)
+		stamp := b.threads[tid].ops
+		tx.OnCommit(func() { b.hp.Retire(tid, h, stamp) })
+	}
+}

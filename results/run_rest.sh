@@ -1,0 +1,7 @@
+#!/bin/sh
+cd /root/repo/results
+for f in 3 4 5 6 7 8; do
+  /tmp/benchfig2 -fig $f -ops 12000 -trials 2 -treebits 17 -threads 1,4,8 > fig$f.tsv 2> fig$f.err
+  echo "fig$f done $(date +%H:%M:%S)" >> progress.log
+done
+echo ALLDONE >> progress.log
