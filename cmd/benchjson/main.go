@@ -1,0 +1,190 @@
+// Command benchjson runs a fixed throughput suite and writes a
+// machine-readable JSON summary, seeding the repository's performance
+// trajectory: each PR that touches a hot path regenerates BENCH_<n>.json at
+// the repo root so successive snapshots can be diffed mechanically.
+//
+// The suite is deliberately small — the singly linked list's 10-bit/33%
+// panel (the paper's centerpiece workload) across a thread sweep, for the
+// best reservation scheme under both clock policies plus the HTM and TMHP
+// baselines. Full figure regeneration stays in cmd/benchfig; this tool is
+// for trend tracking, so it favors a stable, fast, comparable cell set.
+//
+// Usage:
+//
+//	benchjson                     # writes BENCH_1.json in the cwd
+//	benchjson -out BENCH_2.json -threads 1,2,4,8 -ops 100000 -trials 3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"hohtx/internal/bench"
+	"hohtx/internal/sets"
+)
+
+// Cell is one measured (variant, clock, threads) point.
+type Cell struct {
+	Family    string  `json:"family"`
+	Variant   string  `json:"variant"`
+	Clock     string  `json:"clock"`
+	Threads   int     `json:"threads"`
+	Window    int     `json:"window"`
+	Mops      float64 `json:"mops"`
+	RelStddev float64 `json:"rel_stddev"`
+
+	AbortsPerOp float64 `json:"aborts_per_op"`
+	SerialPerOp float64 `json:"serial_per_op"`
+	Aborts      struct {
+		ReadConflict float64 `json:"read_conflict"`
+		Validation   float64 `json:"validation"`
+		WriteLock    float64 `json:"write_lock"`
+		Capacity     float64 `json:"capacity"`
+	} `json:"aborts"`
+
+	ClockCASPerOp   float64 `json:"clock_cas_per_op"`
+	BiasRevocations uint64  `json:"bias_revocations"`
+	PeakDeferred    uint64  `json:"peak_deferred"`
+}
+
+// Summary is the file's top-level shape.
+type Summary struct {
+	Bench      int    `json:"bench"`
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Workload   string `json:"workload"`
+	Ops        int    `json:"ops_per_thread"`
+	Trials     int    `json:"trials"`
+	Cells      []Cell `json:"cells"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output path")
+	threads := flag.String("threads", "1,2,4", "comma-separated thread counts")
+	ops := flag.Int("ops", 50_000, "per-thread operations per trial")
+	trials := flag.Int("trials", 2, "trials per cell")
+	seed := flag.Int64("seed", 20170724, "workload seed")
+	flag.Parse()
+
+	var ths []int
+	for _, part := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "benchjson: bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		ths = append(ths, n)
+	}
+
+	wl := bench.Workload{KeyBits: 10, LookupPct: 33, OpsPerThread: *ops}
+	sum := Summary{
+		Bench:      benchNumber(*out),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workload:   "singly list, 10-bit keys, 33% lookups",
+		Ops:        *ops,
+		Trials:     *trials,
+	}
+
+	type series struct {
+		name string
+		lazy bool
+	}
+	suite := []series{
+		{name: "RR-V"},
+		{name: "RR-V", lazy: true},
+		{name: "RR-XO"},
+		{name: "RR-XO", lazy: true},
+		{name: "HTM"},
+		{name: "TMHP"},
+	}
+	for _, sr := range suite {
+		for _, th := range ths {
+			spec := bench.VariantSpec{Name: sr.name, LazyClock: sr.lazy}
+			spec.Window = bench.BestWindow(bench.FamilySingly, th)
+			var buildErr error
+			mk := bench.MakeSet(func(t int) sets.Set {
+				s, err := bench.Build(bench.FamilySingly, spec, t)
+				if err != nil {
+					buildErr = err
+					return nil
+				}
+				return s
+			})
+			if probe := mk(th); probe == nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", buildErr)
+				os.Exit(1)
+			}
+			res, err := bench.Run(mk, wl, bench.RunConfig{
+				Threads: th, Trials: *trials, Seed: *seed, Verify: true,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", sr.name, err)
+				os.Exit(1)
+			}
+			c := Cell{
+				Family:          string(bench.FamilySingly),
+				Variant:         sr.name,
+				Clock:           clockName(sr.lazy),
+				Threads:         th,
+				Window:          spec.Window,
+				Mops:            res.MopsPerSec,
+				RelStddev:       res.RelStddev,
+				AbortsPerOp:     res.AbortsPerOp,
+				SerialPerOp:     res.SerialPerOp,
+				ClockCASPerOp:   res.ClockCASPerOp,
+				BiasRevocations: res.BiasRevocations,
+				PeakDeferred:    res.DeferredPeak,
+			}
+			c.Aborts.ReadConflict = res.ReadConflictsPerOp
+			c.Aborts.Validation = res.ValidationsPerOp
+			c.Aborts.WriteLock = res.WriteLocksPerOp
+			c.Aborts.Capacity = res.CapacityPerOp
+			sum.Cells = append(sum.Cells, c)
+			fmt.Fprintf(os.Stderr, "benchjson: %-5s %s %dT  %.4f Mops/s\n",
+				sr.name, c.Clock, th, res.MopsPerSec)
+		}
+	}
+
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d cells)\n", *out, len(sum.Cells))
+}
+
+func clockName(lazy bool) string {
+	if lazy {
+		return "gv5"
+	}
+	return "gv1"
+}
+
+// benchNumber extracts the <n> from a BENCH_<n>.json path, defaulting to 1.
+func benchNumber(path string) int {
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	base = strings.TrimSuffix(strings.TrimPrefix(base, "BENCH_"), ".json")
+	if n, err := strconv.Atoi(base); err == nil && n > 0 {
+		return n
+	}
+	return 1
+}

@@ -30,7 +30,7 @@ type table struct {
 }
 
 func main() {
-	metric := flag.String("metric", "mops", "column to tabulate: mops, aborts, serial, deferred")
+	metric := flag.String("metric", "mops", "column to tabulate: mops, aborts, serial, deferred, read, valid, wlock, cap")
 	flag.Parse()
 
 	in := os.Stdin
@@ -44,7 +44,10 @@ func main() {
 		in = f
 	}
 
-	col := map[string]int{"mops": 5, "aborts": 7, "serial": 8, "deferred": 9}[*metric]
+	col := map[string]int{
+		"mops": 5, "aborts": 7, "serial": 8, "deferred": 9,
+		"read": 10, "valid": 11, "wlock": 12, "cap": 13,
+	}[*metric]
 	if col == 0 {
 		fmt.Fprintf(os.Stderr, "figtable: unknown metric %q\n", *metric)
 		os.Exit(2)
@@ -59,7 +62,7 @@ func main() {
 			continue
 		}
 		f := strings.Split(line, "\t")
-		if len(f) < 10 {
+		if len(f) <= col {
 			continue
 		}
 		th, err := strconv.Atoi(f[3])
@@ -96,6 +99,8 @@ func main() {
 
 	label := map[string]string{
 		"mops": "Mops/s", "aborts": "aborts/op", "serial": "serial/op", "deferred": "peak deferred",
+		"read": "read-conflict aborts/op", "valid": "validation aborts/op",
+		"wlock": "write-lock aborts/op", "cap": "capacity aborts/op",
 	}[*metric]
 	for _, key := range order {
 		t := tables[key]

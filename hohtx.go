@@ -133,6 +133,34 @@ type Config struct {
 	// (aborts, revocations, window tuning) where the hardware cannot
 	// produce true parallelism.
 	SimulatePreemption bool
+	// Clock selects the TM global version clock policy. ClockDefault (and
+	// ClockGV1) is classic TL2 — every writing commit increments a shared
+	// clock; ClockGV5 is the lazy policy, which removes that shared
+	// read-modify-write from the commit fast path at the cost of more
+	// snapshot extensions on readers. See DESIGN.md ("Scalable commit
+	// path") for the trade-off.
+	Clock ClockPolicy
+}
+
+// ClockPolicy selects the TM global version clock policy; see Config.Clock.
+type ClockPolicy int
+
+const (
+	// ClockDefault uses the package default, currently GV1.
+	ClockDefault ClockPolicy = iota
+	// ClockGV1 increments the shared clock on every writing commit (TL2).
+	ClockGV1
+	// ClockGV5 derives write versions lazily without a shared
+	// read-modify-write per commit.
+	ClockGV5
+)
+
+// stm maps the public enum to the internal policy.
+func (c ClockPolicy) stm() stm.ClockPolicy {
+	if c == ClockGV5 {
+		return stm.ClockGV5
+	}
+	return stm.ClockGV1
 }
 
 func (c Config) listConfig(doubly bool) list.Config {
@@ -151,6 +179,7 @@ func (c Config) listConfig(doubly bool) list.Config {
 	if c.SimulatePreemption {
 		out.YieldShift = 5
 	}
+	out.ClockPolicy = c.Clock.stm()
 	return out
 }
 
@@ -170,6 +199,7 @@ func (c Config) treeConfig() tree.Config {
 	if c.SimulatePreemption {
 		out.YieldShift = 5
 	}
+	out.ClockPolicy = c.Clock.stm()
 	return out
 }
 
@@ -216,6 +246,7 @@ func NewSkipListSet(cfg Config) Set {
 	if cfg.SimulatePreemption {
 		out.YieldShift = 5
 	}
+	out.ClockPolicy = cfg.Clock.stm()
 	return skiplist.New(out)
 }
 
@@ -254,6 +285,20 @@ type TxStats struct {
 	Commits uint64 // committed transactions
 	Aborts  uint64 // aborted speculative attempts
 	Serial  uint64 // commits that needed the serial fallback
+
+	// Per-cause abort breakdown (sums to Aborts together with the
+	// explicit-restart aborts not listed here).
+	ReadConflicts  uint64 // reads that hit a newer/locked cell and could not extend
+	Validations    uint64 // commit-time read-set validation failures
+	WriteLocks     uint64 // commit-time write-lock acquisition failures
+	CapacityAborts uint64 // simulated-HTM footprint overflows
+
+	// Commit-path traffic: clock CAS attempts (GV5 only), serial writers
+	// that revoked the distributed lock's reader bias, and spin-waits on
+	// commit slots. See DESIGN.md ("Scalable commit path").
+	ClockCASes      uint64
+	BiasRevocations uint64
+	WriterWaits     uint64
 }
 
 // StatsOf extracts transaction statistics from any Set built by this
@@ -264,8 +309,19 @@ func StatsOf(s Set) TxStats {
 		TxAborts() uint64
 		TxSerial() uint64
 	}
+	var out TxStats
 	if r, ok := s.(reporter); ok {
-		return TxStats{Commits: r.TxCommits(), Aborts: r.TxAborts(), Serial: r.TxSerial()}
+		out = TxStats{Commits: r.TxCommits(), Aborts: r.TxAborts(), Serial: r.TxSerial()}
 	}
-	return TxStats{}
+	if r, ok := s.(interface{ TMStats() stm.Stats }); ok {
+		st := r.TMStats()
+		out.ReadConflicts = st.Aborts[stm.CauseReadConflict]
+		out.Validations = st.Aborts[stm.CauseValidation]
+		out.WriteLocks = st.Aborts[stm.CauseWriteLock]
+		out.CapacityAborts = st.Aborts[stm.CauseCapacity]
+		out.ClockCASes = st.ClockCASes
+		out.BiasRevocations = st.BiasRevocations
+		out.WriterWaits = st.WriterWaits
+	}
+	return out
 }

@@ -27,6 +27,9 @@ type Opts struct {
 	// TreeBits overrides the big tree panels' key-range bits (the paper
 	// uses 21; single-core hosts may prefer 16-18 to bound prefill time).
 	TreeBits int
+	// LazyClock runs every TM-based series under the GV5 lazy clock policy
+	// instead of the default GV1 (cmd/benchfig's -clock flag).
+	LazyClock bool
 	// Out receives the TSV rows.
 	Out io.Writer
 }
@@ -70,17 +73,19 @@ func (o Opts) treeBits() int {
 
 // header emits the TSV column header once per figure.
 func header(w io.Writer) {
-	fmt.Fprintln(w, "figure\tpanel\tvariant\tthreads\twindow\tmops\trelstd\taborts_per_op\tserial_per_op\tpeak_deferred")
+	fmt.Fprintln(w, "figure\tpanel\tvariant\tthreads\twindow\tmops\trelstd\taborts_per_op\tserial_per_op\tpeak_deferred\tab_read\tab_valid\tab_wlock\tab_cap")
 }
 
 func emit(w io.Writer, fig, panel, variant string, window int, r Result) {
-	fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\t%.4f\t%.3f\t%.4f\t%.5f\t%d\n",
+	fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\t%.4f\t%.3f\t%.4f\t%.5f\t%d\t%.4f\t%.4f\t%.4f\t%.4f\n",
 		fig, panel, variant, r.Threads, window, r.MopsPerSec, r.RelStddev,
-		r.AbortsPerOp, r.SerialPerOp, r.DeferredPeak)
+		r.AbortsPerOp, r.SerialPerOp, r.DeferredPeak,
+		r.ReadConflictsPerOp, r.ValidationsPerOp, r.WriteLocksPerOp, r.CapacityPerOp)
 }
 
 // runCell measures one (family, spec, workload, threads) cell and emits it.
 func runCell(o Opts, fig, panel string, f Family, spec VariantSpec, wl Workload, threads int, label string) error {
+	spec.LazyClock = o.LazyClock
 	w := spec.Window
 	if w == 0 {
 		w = BestWindow(f, threads)
@@ -149,7 +154,7 @@ func figureDelay(o Opts) error {
 		wl := Workload{KeyBits: 10, LookupPct: look, OpsPerThread: o.ops(200_000)}
 		for _, name := range []string{"RR-V", "RR-FA", "TMHP", "ER", "LFHP", "LFLeak"} {
 			for _, th := range o.Threads {
-				spec := VariantSpec{Name: name, Window: BestWindow(FamilySingly, th)}
+				spec := VariantSpec{Name: name, Window: BestWindow(FamilySingly, th), LazyClock: o.LazyClock}
 				var buildErr error
 				mk := MakeSet(func(t int) sets.Set {
 					s, err := Build(FamilySingly, spec, t)
@@ -166,9 +171,11 @@ func figureDelay(o Opts) error {
 				if err != nil {
 					return err
 				}
-				fmt.Fprintf(o.Out, "fig8\t%s\t%s\t%d\t%d\t%.4f\t%.3f\t%.4f\t%.5f\t%d\t%.1f\n",
+				fmt.Fprintf(o.Out, "fig8\t%s\t%s\t%d\t%d\t%.4f\t%.3f\t%.4f\t%.5f\t%d\t%.4f\t%.4f\t%.4f\t%.4f\t%.1f\n",
 					panel, name, th, spec.Window, res.MopsPerSec, res.RelStddev,
-					res.AbortsPerOp, res.SerialPerOp, res.DeferredPeak, res.AvgDelayOps)
+					res.AbortsPerOp, res.SerialPerOp, res.DeferredPeak,
+					res.ReadConflictsPerOp, res.ValidationsPerOp, res.WriteLocksPerOp, res.CapacityPerOp,
+					res.AvgDelayOps)
 			}
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hohtx/internal/sets"
+	"hohtx/internal/stm"
 )
 
 // Result is the measurement for one (variant, workload, threads) cell.
@@ -31,6 +32,17 @@ type Result struct {
 	// AvgDelayOps is the mean number of operations between a node's
 	// logical deletion and its physical free (0 for precise variants).
 	AvgDelayOps float64
+	// Per-cause abort breakdown (all per operation, 0 for the lock-free
+	// variants): attributing commit-path changes to the conflict type they
+	// move requires more than the AbortsPerOp total.
+	ReadConflictsPerOp float64
+	ValidationsPerOp   float64
+	WriteLocksPerOp    float64
+	CapacityPerOp      float64
+	// ClockCASPerOp and BiasRevocations characterize the commit path's
+	// shared-state traffic under the distributed lock and clock policies.
+	ClockCASPerOp   float64
+	BiasRevocations uint64
 }
 
 // DelayReporter lets the runner pull reclamation-delay averages.
@@ -44,6 +56,13 @@ type TxStatsReporter interface {
 	TxCommits() uint64
 	TxAborts() uint64
 	TxSerial() uint64
+}
+
+// TMStatsReporter lets the runner pull the full stm statistics snapshot
+// (per-cause aborts, clock and commit-lock counters) from transactional
+// variants.
+type TMStatsReporter interface {
+	TMStats() stm.Stats
 }
 
 // PeakReporter lets the runner pull the reclamation high-water mark.
@@ -136,6 +155,15 @@ func (r *Result) fillStats(s sets.Set, totalOps float64) {
 	if tr, ok := s.(TxStatsReporter); ok && totalOps > 0 {
 		r.AbortsPerOp = float64(tr.TxAborts()) / totalOps
 		r.SerialPerOp = float64(tr.TxSerial()) / totalOps
+	}
+	if tm, ok := s.(TMStatsReporter); ok && totalOps > 0 {
+		st := tm.TMStats()
+		r.ReadConflictsPerOp = float64(st.Aborts[stm.CauseReadConflict]) / totalOps
+		r.ValidationsPerOp = float64(st.Aborts[stm.CauseValidation]) / totalOps
+		r.WriteLocksPerOp = float64(st.Aborts[stm.CauseWriteLock]) / totalOps
+		r.CapacityPerOp = float64(st.Aborts[stm.CauseCapacity]) / totalOps
+		r.ClockCASPerOp = float64(st.ClockCASes) / totalOps
+		r.BiasRevocations = st.BiasRevocations
 	}
 	if pr, ok := s.(PeakReporter); ok {
 		r.DeferredPeak = pr.PeakDeferred()

@@ -53,6 +53,18 @@ type VariantSpec struct {
 	// NoSimulatedPreemption disables the automatic yield injection on
 	// single-core hosts (see SimYieldShift).
 	NoSimulatedPreemption bool
+	// LazyClock selects the GV5 lazy global-clock policy for the TM-based
+	// variants (see stm.ClockPolicy). Ignored by the lock-free variants,
+	// which have no version clock.
+	LazyClock bool
+}
+
+// clockOf maps the spec's clock knob to the stm policy.
+func clockOf(spec VariantSpec) stm.ClockPolicy {
+	if spec.LazyClock {
+		return stm.ClockGV5
+	}
+	return stm.ClockGV1
 }
 
 // SimYieldShift is the yield-injection rate used to simulate preemptive
@@ -120,6 +132,7 @@ func Build(f Family, spec VariantSpec, threads int) (sets.Set, error) {
 			ArenaPolicy: spec.Policy,
 			Assoc:       spec.Assoc,
 			YieldShift:  simShift(spec.NoSimulatedPreemption),
+			ClockPolicy: clockOf(spec),
 		}
 		if spec.Capacity > 0 {
 			cfg.Profile = stm.Profile{Capacity: spec.Capacity, MaxAttempts: 2}
@@ -169,6 +182,7 @@ func Build(f Family, spec VariantSpec, threads int) (sets.Set, error) {
 			ArenaPolicy: spec.Policy,
 			Assoc:       spec.Assoc,
 			YieldShift:  simShift(spec.NoSimulatedPreemption),
+			ClockPolicy: clockOf(spec),
 		}
 		if spec.Capacity > 0 {
 			cfg.Profile = stm.Profile{Capacity: spec.Capacity, MaxAttempts: 8}
@@ -209,6 +223,7 @@ func Build(f Family, spec VariantSpec, threads int) (sets.Set, error) {
 			ArenaPolicy: spec.Policy,
 			Assoc:       spec.Assoc,
 			YieldShift:  simShift(spec.NoSimulatedPreemption),
+			ClockPolicy: clockOf(spec),
 		}
 		if spec.Capacity > 0 {
 			cfg.Profile = stm.Profile{Capacity: spec.Capacity, MaxAttempts: 8}

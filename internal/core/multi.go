@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"hohtx/internal/pad"
 	"hohtx/internal/stm"
 )
@@ -106,8 +108,10 @@ type MultiFA struct {
 	cap   int
 }
 
+// regFlag is read by concurrent Revoke scans while the owning thread may
+// still be registering, so the flag must be atomic.
 type regFlag struct {
-	on bool
+	on atomic.Bool
 	_  pad.Line
 }
 
@@ -126,7 +130,7 @@ func NewMultiFA(cfg Config, k int) *MultiFA {
 }
 
 // Register implements MultiReservation.
-func (m *MultiFA) Register(tid int) { m.regs[tid].on = true }
+func (m *MultiFA) Register(tid int) { m.regs[tid].on.Store(true) }
 
 // Reserve implements MultiReservation.
 func (m *MultiFA) Reserve(tx *stm.Tx, tid int, ref uint64) {
@@ -164,7 +168,7 @@ func (m *MultiFA) Get(tx *stm.Tx, tid int, ref uint64) uint64 {
 // strict family's growing revoke cost the paper warns about.
 func (m *MultiFA) Revoke(tx *stm.Tx, ref uint64) {
 	for t := range m.slots {
-		if !m.regs[t].on {
+		if !m.regs[t].on.Load() {
 			continue
 		}
 		if i := m.slots[t].find(tx, ref); i >= 0 {

@@ -145,6 +145,7 @@ func (h *HashTable) DeferredNodes() uint64 { return h.l.DeferredNodes() }
 func (h *HashTable) TxCommits() uint64    { return h.l.TxCommits() }
 func (h *HashTable) TxAborts() uint64     { return h.l.TxAborts() }
 func (h *HashTable) TxSerial() uint64     { return h.l.TxSerial() }
+func (h *HashTable) TMStats() stm.Stats   { return h.l.TMStats() }
 func (h *HashTable) PeakDeferred() uint64 { return h.l.PeakDeferred() }
 
 // SetWindow implements the runtime window knob.

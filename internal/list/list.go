@@ -101,6 +101,10 @@ type Config struct {
 	// stm.Profile.YieldShift); it composes with whatever Profile is in
 	// effect.
 	YieldShift uint8
+	// ClockPolicy selects the TM global-clock policy (see
+	// stm.Profile.ClockPolicy); like YieldShift it composes with whatever
+	// Profile is in effect.
+	ClockPolicy stm.ClockPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +116,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.YieldShift != 0 {
 		c.Profile.YieldShift = c.YieldShift
+	}
+	if c.ClockPolicy != 0 {
+		c.Profile.ClockPolicy = c.ClockPolicy
 	}
 	if c.Window.W == 0 && c.Mode != ModeHTM {
 		c.Window.W = 8
@@ -368,6 +375,10 @@ func (l *List) TxAborts() uint64 { return l.rt.Stats().TotalAborts() }
 
 // TxSerial reports serial-mode commits (HTM-fallback events).
 func (l *List) TxSerial() uint64 { return l.rt.Stats().SerialCommits }
+
+// TMStats returns the full TM statistics snapshot (per-cause aborts,
+// clock and commit-lock counters).
+func (l *List) TMStats() stm.Stats { return l.rt.Stats() }
 
 // PeakDeferred reports the reclamation scheme's deferred high-water mark.
 func (l *List) PeakDeferred() uint64 {

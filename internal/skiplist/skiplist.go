@@ -84,6 +84,9 @@ type Config struct {
 	ArenaPolicy arena.Policy
 	// YieldShift enables simulated preemption (see stm.Profile).
 	YieldShift uint8
+	// ClockPolicy selects the TM global-clock policy (see
+	// stm.Profile.ClockPolicy); composes with the Profile like YieldShift.
+	ClockPolicy stm.ClockPolicy
 	// TableBits/Assoc size the reservation metadata.
 	TableBits int
 	Assoc     int
@@ -98,6 +101,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.YieldShift != 0 {
 		c.Profile.YieldShift = c.YieldShift
+	}
+	if c.ClockPolicy != 0 {
+		c.Profile.ClockPolicy = c.ClockPolicy
 	}
 	if c.Window.W == 0 && c.Mode != ModeHTM {
 		c.Window.W = 16
@@ -195,6 +201,10 @@ func (s *SkipList) randHeight(tid int) int {
 func (s *SkipList) TxCommits() uint64 { return s.rt.Stats().Commits }
 func (s *SkipList) TxAborts() uint64  { return s.rt.Stats().TotalAborts() }
 func (s *SkipList) TxSerial() uint64  { return s.rt.Stats().SerialCommits }
+
+// TMStats returns the full TM statistics snapshot (per-cause aborts,
+// clock and commit-lock counters).
+func (s *SkipList) TMStats() stm.Stats { return s.rt.Stats() }
 
 // PeakDeferred is always zero: reclamation is precise.
 func (s *SkipList) PeakDeferred() uint64 { return 0 }

@@ -44,8 +44,8 @@ func (rt *Runtime) Atomic(fn func(*Tx)) {
 // serial lock for their entire duration.
 func (tx *Tx) runAttempt(fn func(*Tx)) (committed bool) {
 	if tx.serial {
-		tx.rt.serialMu.Lock()
-		defer tx.rt.serialMu.Unlock()
+		tx.rt.commitLock.lock()
+		defer tx.rt.commitLock.unlock()
 		// Take the snapshot after acquiring the lock so no commit can
 		// intervene between snapshot and execution.
 		tx.rv = tx.rt.now()

@@ -37,8 +37,14 @@ func (w *Word) Load(tx *Tx) uint64 {
 		if v1&lockedBit == 0 {
 			if v1 > tx.rv {
 				// The cell committed after our snapshot; try to slide the
-				// snapshot forward instead of aborting.
-				tx.extend()
+				// snapshot forward instead of aborting. Spelled out (rather
+				// than tx.extend(v1)) so the common validation inlines; the
+				// lazy-clock advance is GV5-only.
+				if newRv := tx.rt.now(); newRv >= v1 {
+					tx.extendTo(newRv)
+				} else {
+					tx.extendTo(tx.advanceClock(v1))
+				}
 				continue
 			}
 			val := w.v.Load()
@@ -104,7 +110,12 @@ func (p *Ptr[T]) Load(tx *Tx) *T {
 		v1 := p.m.Load()
 		if v1&lockedBit == 0 {
 			if v1 > tx.rv {
-				tx.extend()
+				// As in Word.Load: inline the common extension path.
+				if newRv := tx.rt.now(); newRv >= v1 {
+					tx.extendTo(newRv)
+				} else {
+					tx.extendTo(tx.advanceClock(v1))
+				}
 				continue
 			}
 			val := p.v.Load()

@@ -1,0 +1,133 @@
+package stm
+
+import "sync/atomic"
+
+// Global version clock policies.
+//
+// TL2-family TMs differ in how writers interact with the shared version
+// clock; the original TL2 paper names the variants GV1/GV4/GV5/GV6. GV1 —
+// one atomic Add per writing commit — is simple and gives every commit a
+// unique write version, but the clock's cache line ping-pongs between every
+// committing core. GV5 removes the writer-side increment entirely: writers
+// derive a write version from the clock without modifying it, and the clock
+// is advanced lazily, by readers, only when validation actually observes a
+// newer version. Disjoint writers then share a read-mostly clock line and
+// the commit fast path performs no shared read-modify-write at all.
+//
+// The naive GV5 formulation ("publish rv+2") is unsound in combination
+// with this runtime's read-version extension and precise reclamation:
+// write-version collisions break the invariant "rv >= v implies every
+// version-v write-back has completed", so a reader could mix a committer's
+// already-written cells with stale values of its not-yet-written cells — a
+// zombie snapshot that data-structure code may follow into freed arena
+// memory. The implementation therefore uses a two-counter protocol that
+// keeps the lazy property while restoring that invariant:
+//
+//   - clockTarget is the version frontier. Fast-path writers read it and
+//     use target+2 as their write version without any RMW; serial and
+//     slow-path writers (which are invisible to the drain mechanism below)
+//     advance it with a plain Add, as in GV1.
+//   - clock (the published clock) is the only value transactions use as a
+//     snapshot bound (Tx.rv). It trails clockTarget and is advanced by
+//     readers in Tx.extend.
+//
+// Soundness hinges on three ordered steps. A fast-path writer, after
+// locking its write set, (1) loads clockTarget, (2) publishes its chosen
+// write version in its BRAVO commit slot, and (3) re-loads clockTarget; if
+// the target has reached its write version it retries with a fresh, larger
+// one (bounded, then falls back to an Add). A reader advancing the clock to
+// v does the mirror image: (1) lift clockTarget to at least v, (2) scan the
+// commit-slot table and wait out any committer whose published write
+// version is <= v, (3) lift the published clock to v. Sequential
+// consistency of Go atomics gives the usual flag/re-check guarantee:
+// either the writer's re-load observes the lifted target (writer retreats),
+// or the reader's scan observes the published slot (reader waits for the
+// write-back to finish). Either way, by the time clock == v every
+// write-back with version <= v is complete, so rv = clock is always a safe
+// snapshot bound. Writers that commit through the rwlock slow path or in
+// serial mode never publish a slot; they take unique versions from
+// clockTarget with an Add, and the same invariant holds for them because a
+// reader can only learn of such a version by observing a cell the writer
+// has already released.
+//
+// One residual difference from GV1: write versions are no longer unique,
+// so commit write-back bumps a cell's new version above its previous one
+// when they would collide (keeping per-cell versions strictly increasing),
+// and the TL2 "wv == rv+2 implies no validation needed" fast path is
+// GV1-only.
+
+// ClockPolicy selects how writing commits interact with the global version
+// clock. The zero value is ClockGV1.
+type ClockPolicy uint8
+
+const (
+	// ClockGV1 is classic TL2: every writing commit advances the shared
+	// clock with an atomic Add and uses the result as its unique write
+	// version.
+	ClockGV1 ClockPolicy = iota
+	// ClockGV5 is the lazy policy described above: fast-path writers derive
+	// a write version from the clock without a shared read-modify-write,
+	// and the published clock advances only when a reader's validation
+	// observes a newer version.
+	ClockGV5
+)
+
+// String returns the short policy name ("gv1", "gv5").
+func (p ClockPolicy) String() string {
+	if p == ClockGV5 {
+		return "gv5"
+	}
+	return "gv1"
+}
+
+// lazyWvRetries bounds how many times a fast-path GV5 committer re-derives
+// its write version after being overtaken by a clock advance before giving
+// up and taking a unique version with an Add.
+const lazyWvRetries = 3
+
+// writeVersion chooses the commit's write version after the write set is
+// locked. slot is the BRAVO commit slot held by a fast-path speculative
+// commit, or -1 for slow-path and serial commits.
+func (tx *Tx) writeVersion(slot int) uint64 {
+	rt := tx.rt
+	if rt.prof.ClockPolicy != ClockGV5 {
+		return rt.clock.Add(2)
+	}
+	if slot >= 0 {
+		for try := 0; try < lazyWvRetries; try++ {
+			wv := rt.clockTarget.Load() + 2
+			// Publish before the re-check; advancers scan after lifting
+			// the target (see the protocol note above).
+			rt.commitLock.slots[slot].v.Store(wv | lockedBit)
+			if rt.clockTarget.Load() < wv {
+				return wv
+			}
+		}
+	}
+	return rt.clockTarget.Add(2)
+}
+
+// advanceClock lifts the published clock to at least v — waiting out any
+// in-flight fast-path write-back with a version <= v first — and returns
+// the resulting published clock. Only the GV5 policy ever reaches it with
+// clock < v; under GV1 every cell version is <= clock by construction.
+func (tx *Tx) advanceClock(v uint64) uint64 {
+	rt := tx.rt
+	casMax(&rt.clockTarget, v, &tx.clockCASes)
+	rt.commitLock.drainBelow(v)
+	return casMax(&rt.clock, v, &tx.clockCASes)
+}
+
+// casMax lifts c to at least v, counting CAS attempts into *n, and returns
+// the final observed value (>= v).
+func casMax(c *atomic.Uint64, v uint64, n *uint64) uint64 {
+	cur := c.Load()
+	for cur < v {
+		*n++
+		if c.CompareAndSwap(cur, v) {
+			return v
+		}
+		cur = c.Load()
+	}
+	return cur
+}

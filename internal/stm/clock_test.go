@@ -1,0 +1,265 @@
+package stm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newGV5Runtime() *Runtime {
+	return NewRuntime(Profile{ClockPolicy: ClockGV5})
+}
+
+func TestClockPolicyString(t *testing.T) {
+	if ClockGV1.String() != "gv1" || ClockGV5.String() != "gv5" {
+		t.Fatalf("policy names = %q, %q", ClockGV1.String(), ClockGV5.String())
+	}
+}
+
+// TestGV5LazyPublication checks the defining GV5 property: disjoint
+// fast-path writers do not advance the published clock, and a subsequent
+// reader advances it itself (counted in ClockCASes) before trusting the
+// newer version.
+func TestGV5LazyPublication(t *testing.T) {
+	rt := newGV5Runtime()
+	var w Word
+	rt.Atomic(func(tx *Tx) { w.Store(tx, 7) })
+	if got := rt.now(); got != 0 {
+		t.Fatalf("published clock advanced to %d by a fast-path writer", got)
+	}
+	if got := Run(rt, func(tx *Tx) uint64 { return w.Load(tx) }); got != 7 {
+		t.Fatalf("read back %d, want 7", got)
+	}
+	if rt.now() == 0 {
+		t.Fatal("reader did not advance the published clock")
+	}
+	if st := rt.Stats(); st.ClockCASes == 0 {
+		t.Fatalf("expected clock CASes in stats, got %+v", st)
+	}
+}
+
+// TestGV1NoClockCASes pins the GV1 half of the stats contract: the Add-based
+// policy never CASes the clock.
+func TestGV1NoClockCASes(t *testing.T) {
+	rt := newTestRuntime()
+	var w Word
+	for i := 0; i < 100; i++ {
+		rt.Atomic(func(tx *Tx) { w.Store(tx, w.Load(tx)+1) })
+	}
+	if st := rt.Stats(); st.ClockCASes != 0 {
+		t.Fatalf("GV1 performed %d clock CASes", st.ClockCASes)
+	}
+}
+
+// TestGV5CounterSerializability is TestCounterSerializability under the
+// lazy clock: lost updates mean the commit protocol is broken.
+func TestGV5CounterSerializability(t *testing.T) {
+	rt := newGV5Runtime()
+	var w Word
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rt.Atomic(func(tx *Tx) {
+					w.Store(tx, w.Load(tx)+1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := w.Raw(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestGV5SnapshotConsistency is the opacity test under the lazy clock. The
+// naive GV5 formulation (write versions that can sit at or below an already
+// published snapshot bound while their write-back is in flight) fails
+// exactly this test: a reader mixes a committer's already-written cell with
+// the stale value of its not-yet-written one.
+func TestGV5SnapshotConsistency(t *testing.T) {
+	rt := newGV5Runtime()
+	var a, b Word
+	a.Init(100)
+	const iters = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				amt := uint64(i%3 + 1)
+				rt.Atomic(func(tx *Tx) {
+					av := a.Load(tx)
+					if av >= amt {
+						a.Store(tx, av-amt)
+						b.Store(tx, b.Load(tx)+amt)
+					} else {
+						a.Store(tx, av+b.Load(tx))
+						b.Store(tx, 0)
+					}
+				})
+			}
+		}()
+	}
+
+	var violations int
+	var rwg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sum := Run(rt, func(tx *Tx) uint64 {
+					return a.Load(tx) + b.Load(tx)
+				})
+				if sum != 100 {
+					violations++
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	if violations > 0 {
+		t.Fatalf("observed %d torn snapshots (a+b != 100)", violations)
+	}
+	if got := a.Raw() + b.Raw(); got != 100 {
+		t.Fatalf("final sum = %d, want 100", got)
+	}
+}
+
+// TestGV5WriteSkewPrevented mirrors TestWriteSkewPrevented: full
+// serializability must survive the loss of unique write versions.
+func TestGV5WriteSkewPrevented(t *testing.T) {
+	rt := newGV5Runtime()
+	var x, y Word
+	const iters = 3000
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rt.Atomic(func(tx *Tx) {
+					xv, yv := x.Load(tx), y.Load(tx)
+					if id == 0 {
+						if yv == 0 {
+							x.Store(tx, 1)
+						} else {
+							x.Store(tx, 0)
+						}
+					} else {
+						if xv == 0 {
+							y.Store(tx, 1)
+						} else {
+							y.Store(tx, 0)
+						}
+					}
+					_ = xv
+				})
+				if x.Raw() == 1 && y.Raw() == 1 {
+					bad := Run(rt, func(tx *Tx) bool {
+						return x.Load(tx) == 1 && y.Load(tx) == 1
+					})
+					if bad {
+						t.Error("write skew: x == y == 1")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestGV5SerialMix drives capacity-bounded transactions so serial-mode
+// (Add-based) and fast-path (lazy) write versions interleave on the same
+// cells, checking the mixed-policy commit protocol end to end.
+func TestGV5SerialMix(t *testing.T) {
+	rt := NewRuntime(Profile{Capacity: 8, MaxAttempts: 2, ClockPolicy: ClockGV5})
+	cells := make([]Word, 32)
+	var wg sync.WaitGroup
+	const rounds = 300
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if r%4 == 0 {
+					// Overflows capacity -> serial commit.
+					rt.Atomic(func(tx *Tx) {
+						for i := range cells {
+							cells[i].Store(tx, cells[i].Load(tx)+1)
+						}
+					})
+				} else {
+					i := (id*rounds + r) % len(cells)
+					rt.Atomic(func(tx *Tx) {
+						cells[i].Store(tx, cells[i].Load(tx)+1)
+					})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total uint64
+	for i := range cells {
+		total += cells[i].Raw()
+	}
+	// 4 goroutines * (75 full sweeps * 32 cells + 225 single increments).
+	want := uint64(4 * (75*32 + 225))
+	if total != want {
+		t.Fatalf("total increments = %d, want %d", total, want)
+	}
+	if st := rt.Stats(); st.SerialCommits == 0 {
+		t.Fatalf("expected serial commits, got %+v", st)
+	}
+}
+
+// TestGV5ModelEquivalence replays random scripts against a shadow array
+// under the lazy clock, as model_test.go does for the default profile.
+func TestGV5ModelEquivalence(t *testing.T) {
+	rt := newGV5Runtime()
+	const ncells = 8
+	cells := make([]Word, ncells)
+	shadow := make([]uint64, ncells)
+
+	check := func(script []uint16) bool {
+		for _, op := range script {
+			cell := int(op) % ncells
+			val := uint64(op >> 4)
+			if op%3 == 0 {
+				rt.Atomic(func(tx *Tx) { cells[cell].Store(tx, val) })
+				shadow[cell] = val
+			} else {
+				got := Run(rt, func(tx *Tx) uint64 { return cells[cell].Load(tx) })
+				if got != shadow[cell] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Rand:     rand.New(rand.NewSource(42)),
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,13 +8,16 @@ import (
 )
 
 // statShards spreads counter updates across cache lines to keep statistics
-// collection from becoming its own scalability bottleneck.
+// collection from becoming its own scalability bottleneck. Must stay a
+// power of two: shard selection masks with statShards-1.
 const statShards = 16
 
 type statShard struct {
 	commits       atomic.Uint64
 	serialCommits atomic.Uint64
 	extensions    atomic.Uint64
+	clockCASes    atomic.Uint64
+	commitSlow    atomic.Uint64
 	aborts        [numCauses]atomic.Uint64
 	_             pad.Line
 }
@@ -24,7 +27,7 @@ type statCounters struct {
 }
 
 func (s *statCounters) shard(tx *Tx) *statShard {
-	return &s.shards[tx.rng%statShards]
+	return &s.shards[tx.rng&(statShards-1)]
 }
 
 func (s *statCounters) record(tx *Tx, serial bool) {
@@ -33,18 +36,28 @@ func (s *statCounters) record(tx *Tx, serial bool) {
 	if serial {
 		sh.serialCommits.Add(1)
 	}
-	if tx.extensions > 0 {
-		sh.extensions.Add(tx.extensions)
-		tx.extensions = 0
-	}
+	s.flushTx(sh, tx)
 }
 
 func (s *statCounters) recordAbort(tx *Tx) {
 	sh := s.shard(tx)
 	sh.aborts[tx.cause].Add(1)
+	s.flushTx(sh, tx)
+}
+
+// flushTx folds the transaction-local counters into the shard.
+func (s *statCounters) flushTx(sh *statShard, tx *Tx) {
 	if tx.extensions > 0 {
 		sh.extensions.Add(tx.extensions)
 		tx.extensions = 0
+	}
+	if tx.clockCASes > 0 {
+		sh.clockCASes.Add(tx.clockCASes)
+		tx.clockCASes = 0
+	}
+	if tx.slowPaths > 0 {
+		sh.commitSlow.Add(tx.slowPaths)
+		tx.slowPaths = 0
 	}
 }
 
@@ -56,6 +69,20 @@ type Stats struct {
 	SerialCommits uint64
 	Extensions    uint64
 	Aborts        [int(numCauses)]uint64
+
+	// ClockCASes counts CAS attempts on the global clock pair. Under GV1
+	// it is always zero (writers use Add); under GV5 it measures how much
+	// clock traffic validation-driven advances actually generate.
+	ClockCASes uint64
+	// BiasRevocations counts serial-mode writers that found the commit
+	// lock reader-biased and had to revoke it (see biaslock.go).
+	BiasRevocations uint64
+	// WriterWaits counts spin-waits on claimed commit slots, from both
+	// revocation sweeps and lazy-clock drains.
+	WriterWaits uint64
+	// CommitSlowPath counts speculative commits that fell through to the
+	// underlying rwlock (bias revoked, or slot hash collision).
+	CommitSlowPath uint64
 }
 
 // TotalAborts sums aborts across all causes.
@@ -78,10 +105,11 @@ func (s Stats) AbortRate() float64 {
 // String renders the snapshot compactly for logs and examples.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"commits=%d serial=%d extensions=%d aborts=%d (read=%d validate=%d wlock=%d capacity=%d explicit=%d)",
+		"commits=%d serial=%d extensions=%d aborts=%d (read=%d validate=%d wlock=%d capacity=%d explicit=%d) clockcas=%d revoke=%d wwait=%d slow=%d",
 		s.Commits, s.SerialCommits, s.Extensions, s.TotalAborts(),
 		s.Aborts[CauseReadConflict], s.Aborts[CauseValidation],
-		s.Aborts[CauseWriteLock], s.Aborts[CauseCapacity], s.Aborts[CauseExplicit])
+		s.Aborts[CauseWriteLock], s.Aborts[CauseCapacity], s.Aborts[CauseExplicit],
+		s.ClockCASes, s.BiasRevocations, s.WriterWaits, s.CommitSlowPath)
 }
 
 // Stats returns a snapshot of the runtime's counters.
@@ -92,10 +120,14 @@ func (rt *Runtime) Stats() Stats {
 		out.Commits += sh.commits.Load()
 		out.SerialCommits += sh.serialCommits.Load()
 		out.Extensions += sh.extensions.Load()
+		out.ClockCASes += sh.clockCASes.Load()
+		out.CommitSlowPath += sh.commitSlow.Load()
 		for c := 0; c < int(numCauses); c++ {
 			out.Aborts[c] += sh.aborts[c].Load()
 		}
 	}
+	out.BiasRevocations = rt.commitLock.revocations.Load()
+	out.WriterWaits = rt.commitLock.writerWaits.Load()
 	return out
 }
 
@@ -107,8 +139,12 @@ func (rt *Runtime) ResetStats() {
 		sh.commits.Store(0)
 		sh.serialCommits.Store(0)
 		sh.extensions.Store(0)
+		sh.clockCASes.Store(0)
+		sh.commitSlow.Store(0)
 		for c := 0; c < int(numCauses); c++ {
 			sh.aborts[c].Store(0)
 		}
 	}
+	rt.commitLock.revocations.Store(0)
+	rt.commitLock.writerWaits.Store(0)
 }

@@ -113,6 +113,9 @@ type Profile struct {
 	// GOMAXPROCS == 1 (see EXPERIMENTS.md); yields never occur while
 	// commit-time locks are held.
 	YieldShift uint8
+	// ClockPolicy selects how writing commits interact with the global
+	// version clock (see clock.go). The zero value is ClockGV1.
+	ClockPolicy ClockPolicy
 }
 
 // HTMProfile returns the profile used to model the paper's hardware TM:
@@ -127,16 +130,26 @@ func HTMProfile(attempts int) Profile {
 // Runtime each so that benchmarks of different structures do not share
 // clocks or serial locks.
 type Runtime struct {
-	clock atomic.Uint64 // even; advances by 2 per writing commit
+	// clock is the published version clock: the only value transactions
+	// use as a snapshot bound. Even; under GV1 it advances by 2 per
+	// writing commit, under GV5 it is advanced lazily by readers (see
+	// clock.go).
+	clock atomic.Uint64
 	_     pad.Line
-	prof  Profile
-	// serialMu orders serial-mode transactions against speculative
-	// commits: speculative writers commit under RLock, serial transactions
-	// run entirely under Lock. Speculative reads take no lock; they are
-	// protected by version validation alone.
-	serialMu sync.RWMutex
-	stats    statCounters
-	txPool   sync.Pool
+	// clockTarget is the GV5 version frontier: fast-path writers derive
+	// write versions from it without modifying it; serial and slow-path
+	// writers advance it with an Add. Unused (always 0) under GV1.
+	clockTarget atomic.Uint64
+	_           pad.Line
+	prof        Profile
+	// commitLock orders serial-mode transactions against speculative
+	// commits: speculative writers commit under its distributed reader
+	// side (one padded slot per transaction in the common case), serial
+	// transactions run entirely under its exclusive side. Speculative
+	// reads take no lock; they are protected by version validation alone.
+	commitLock bravoLock
+	stats      statCounters
+	txPool     sync.Pool
 }
 
 // NewRuntime returns a Runtime with the given speculation profile.
@@ -148,6 +161,7 @@ func NewRuntime(p Profile) *Runtime {
 		p.SpinBase = 16
 	}
 	rt := &Runtime{prof: p}
+	rt.commitLock.arm()
 	rt.txPool.New = func() any { return newTx(rt) }
 	return rt
 }
@@ -155,9 +169,5 @@ func NewRuntime(p Profile) *Runtime {
 // Profile reports the runtime's speculation profile.
 func (rt *Runtime) Profile() Profile { return rt.prof }
 
-// now returns the current (even) value of the global version clock.
+// now returns the current (even) value of the published version clock.
 func (rt *Runtime) now() uint64 { return rt.clock.Load() }
-
-// tick advances the clock past all prior commits and returns the new (even)
-// write version.
-func (rt *Runtime) tick() uint64 { return rt.clock.Add(2) }

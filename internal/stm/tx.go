@@ -62,14 +62,23 @@ type Tx struct {
 
 	rng        uint64 // xorshift state for backoff jitter
 	extensions uint64 // snapshot extensions performed (stats)
+	clockCASes uint64 // clock-advance CAS attempts performed (stats)
+	slowPaths  uint64 // commit-lock slow-path acquisitions (stats)
+	slotHash   uint64 // per-Tx BRAVO commit-slot hash (fixed at creation)
 }
+
+// txSeq hands out distinct slot hashes to pooled transactions; consecutive
+// values multiplied by the golden-ratio constant spread across the BRAVO
+// table's index bits (Fibonacci hashing).
+var txSeq atomic.Uint64
 
 func newTx(rt *Runtime) *Tx {
 	return &Tx{
-		rt:  rt,
-		rs:  make([]rentry, 0, 256),
-		ws:  make([]wentry, 0, 32),
-		rng: 0x9e3779b97f4a7c15,
+		rt:       rt,
+		rs:       make([]rentry, 0, 256),
+		ws:       make([]wentry, 0, 32),
+		rng:      0x9e3779b97f4a7c15,
+		slotHash: txSeq.Add(1) * 0x9e3779b97f4a7c15,
 	}
 }
 
@@ -181,12 +190,25 @@ func (tx *Tx) recordRead(m *atomic.Uint64, ver uint64) {
 	tx.maybeYield()
 }
 
-// extend slides the snapshot forward to the current clock, aborting if any
-// prior read has been overwritten (which would make the extended snapshot
-// inconsistent). On success subsequent reads accept versions up to the new
-// snapshot.
-func (tx *Tx) extend() {
+// extend slides the snapshot forward past the observed cell version,
+// aborting if any prior read has been overwritten (which would make the
+// extended snapshot inconsistent). On success subsequent reads accept
+// versions up to the new snapshot. Under GV1 the published clock already
+// covers every committed version, so the lazy-clock advance never fires;
+// the advance call is hoisted here so extendTo stays inlinable at the
+// read-path call sites.
+func (tx *Tx) extend(observed uint64) {
 	newRv := tx.rt.now()
+	if newRv < observed {
+		newRv = tx.advanceClock(observed)
+	}
+	tx.extendTo(newRv)
+}
+
+// extendTo validates the read set against the new snapshot bound newRv and
+// adopts it. newRv must be at or above every version the caller has
+// observed (extend establishes that; see clock.go for why it matters).
+func (tx *Tx) extendTo(newRv uint64) {
 	for i := tx.rsHead; i < len(tx.rs); i++ {
 		if tx.rs[i].m.Load() != tx.rs[i].ver {
 			tx.abort(CauseReadConflict)
@@ -273,10 +295,15 @@ func (tx *Tx) commit() bool {
 		return true
 	}
 	rt := tx.rt
+	slot := -1
 	if !tx.serial {
-		// Exclude serial transactions for the duration of the commit.
-		rt.serialMu.RLock()
-		defer rt.serialMu.RUnlock()
+		// Exclude serial transactions for the duration of the commit. The
+		// common case claims one padded slot in the distributed lock's
+		// visible-readers table (see biaslock.go).
+		if slot = rt.commitLock.rlockFast(tx.slotHash); slot < 0 {
+			rt.commitLock.rlockSlow(&tx.slowPaths)
+		}
+		defer rt.commitLock.runlock(slot)
 	}
 
 	// Phase 1: lock the write set (bounded: CAS-or-fail, so no deadlock).
@@ -291,11 +318,19 @@ func (tx *Tx) commit() bool {
 		e.prev = cur
 	}
 
-	wv := rt.tick()
+	// GV1's unique-version fetch stays inline; the lazy policy's
+	// publication dance lives in writeVersion (clock.go).
+	var wv uint64
+	if rt.prof.ClockPolicy == ClockGV1 {
+		wv = rt.clock.Add(2)
+	} else {
+		wv = tx.writeVersion(slot)
+	}
 
 	// Phase 2: validate the read set, unless no other transaction can have
-	// committed since our snapshot (TL2's rv+2 == wv fast path).
-	if wv != tx.rv+2 {
+	// committed since our snapshot (TL2's rv+2 == wv fast path — valid
+	// only under GV1, where write versions are unique).
+	if rt.prof.ClockPolicy != ClockGV1 || wv != tx.rv+2 {
 		for i := tx.rsHead; i < len(tx.rs); i++ {
 			r := &tx.rs[i]
 			cur := r.m.Load()
@@ -311,7 +346,10 @@ func (tx *Tx) commit() bool {
 		}
 	}
 
-	// Phase 3: write back and release each lock with the new version.
+	// Phase 3: write back and release each lock with the new version. GV5
+	// write versions are not unique, so keep each cell's version strictly
+	// increasing by bumping past the pre-lock version on collision (never
+	// fires under GV1).
 	for i := range tx.ws {
 		e := &tx.ws[i]
 		if e.obj != nil {
@@ -319,7 +357,11 @@ func (tx *Tx) commit() bool {
 		} else {
 			e.dst.Store(e.val)
 		}
-		e.m.Store(wv)
+		nv := wv
+		if nv <= e.prev {
+			nv = e.prev + 2
+		}
+		e.m.Store(nv)
 	}
 	return true
 }
@@ -357,6 +399,12 @@ func (tx *Tx) nextRand() uint64 {
 	return x
 }
 
+// pauseSink absorbs the spin loop's accumulator so the compiler cannot
+// prove the loop effect-free and eliminate it. The store is unreachable in
+// practice (the accumulator never hits all-ones), so pause never writes a
+// shared cache line.
+var pauseSink atomic.Uint64
+
 // pause burns a few cycles proportional to the spin count, yielding the
 // processor occasionally so single-core runs make progress.
 func pause(spins int) {
@@ -364,7 +412,11 @@ func pause(spins int) {
 		runtime.Gosched()
 		return
 	}
+	s := pauseSink.Load()
 	for i := 0; i < 4<<uint(spins&7); i++ {
-		_ = i
+		s += s<<1 | uint64(i)
+	}
+	if s == ^uint64(0) {
+		pauseSink.Store(s)
 	}
 }

@@ -89,6 +89,9 @@ type Config struct {
 	// stm.Profile.YieldShift); it composes with whatever Profile is in
 	// effect.
 	YieldShift uint8
+	// ClockPolicy selects the TM global-clock policy (see
+	// stm.Profile.ClockPolicy); composes with the Profile like YieldShift.
+	ClockPolicy stm.ClockPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +103,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.YieldShift != 0 {
 		c.Profile.YieldShift = c.YieldShift
+	}
+	if c.ClockPolicy != 0 {
+		c.Profile.ClockPolicy = c.ClockPolicy
 	}
 	if c.Window.W == 0 && c.Mode != ModeHTM {
 		c.Window.W = 16
@@ -213,6 +219,10 @@ func (b *base) TxAborts() uint64 { return b.rt.Stats().TotalAborts() }
 
 // TxSerial reports serial-mode commits (HTM-fallback events).
 func (b *base) TxSerial() uint64 { return b.rt.Stats().SerialCommits }
+
+// TMStats returns the full TM statistics snapshot (per-cause aborts,
+// clock and commit-lock counters).
+func (b *base) TMStats() stm.Stats { return b.rt.Stats() }
 
 // PeakDeferred reports the reclamation scheme's deferred high-water mark.
 func (b *base) PeakDeferred() uint64 {
