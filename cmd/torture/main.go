@@ -1,0 +1,95 @@
+// Command torture runs the adversarial reclamation stress harness from the
+// command line. It has two modes:
+//
+//	torture -structure=singly -variant=TMHP -seed=42 ...
+//	    run one configuration (the repro mode: paste a failing repro line
+//	    printed by the harness or CI to replay it)
+//
+//	torture -sweep -rounds=20 ...
+//	    run every structure × variant × policy combination with -rounds
+//	    distinct seeds each; failing repro lines are appended to the
+//	    -failures file and the process exits nonzero
+//
+// See internal/torture for the invariants checked.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hohtx/internal/arena"
+	"hohtx/internal/torture"
+)
+
+func main() {
+	var (
+		structure = flag.String("structure", "singly", "structure to torture (singly|doubly|hash|itree|etree|skip)")
+		variant   = flag.String("variant", "RR-List", "mechanism variant (see internal/torture.Variants)")
+		policy    = flag.Int("policy", 0, "arena free-list policy (0=local magazines, 1=shared)")
+		threads   = flag.Int("threads", 4, "worker thread count")
+		ops       = flag.Int("ops", 2000, "operations per worker")
+		keys      = flag.Uint64("keys", 128, "key-space size")
+		lookup    = flag.Int("lookup", 20, "lookup percentage of the op mix")
+		window    = flag.Int("window", 4, "hand-over-hand window size")
+		seed      = flag.Uint64("seed", 1, "schedule seed")
+		guard     = flag.Bool("guard", false, "enable the arena use-after-free sanitizer")
+		sweep     = flag.Bool("sweep", false, "run the full structure × variant × policy matrix")
+		rounds    = flag.Int("rounds", 1, "seeds per combination in sweep mode")
+		failures  = flag.String("failures", "torture-failures.txt", "file to append failing repro lines to (sweep mode)")
+	)
+	flag.Parse()
+
+	if !*sweep {
+		cfg := torture.Config{
+			Structure: *structure, Variant: *variant, Policy: arena.Policy(*policy),
+			Threads: *threads, Ops: *ops, Keys: *keys, LookupPct: *lookup,
+			Window: *window, Seed: *seed, Guard: *guard,
+		}
+		rep, err := torture.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("ok: %s\n  size=%d inserts=%d removes=%d live=%d deferred=%d poisonReads=%d violations=%d\n",
+			cfg, rep.Size, rep.Inserts, rep.Removes, rep.Live, rep.Deferred, rep.PoisonReads, rep.Violations)
+		return
+	}
+
+	var failed []string
+	combos, runs := 0, 0
+	for _, st := range torture.Structures() {
+		for _, v := range torture.Variants(st) {
+			for _, pol := range []arena.Policy{arena.PolicyLocal, arena.PolicyShared} {
+				combos++
+				for r := 0; r < *rounds; r++ {
+					runs++
+					cfg := torture.Config{
+						Structure: st, Variant: v, Policy: pol,
+						Threads: *threads + r%4, Ops: *ops, Keys: *keys,
+						LookupPct: 10 + (combos*7+r*13)%40,
+						Window:    2 + (combos+r)%6,
+						Seed:      *seed + uint64(runs),
+						Guard:     true,
+					}
+					if _, err := torture.Run(cfg); err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						failed = append(failed, cfg.String())
+					}
+				}
+			}
+		}
+	}
+	fmt.Printf("sweep: %d runs over %d combinations, %d failed\n", runs, combos, len(failed))
+	if len(failed) > 0 {
+		f, err := os.OpenFile(*failures, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err == nil {
+			for _, line := range failed {
+				fmt.Fprintln(f, line)
+			}
+			f.Close()
+			fmt.Printf("repro lines appended to %s\n", *failures)
+		}
+		os.Exit(1)
+	}
+}

@@ -132,6 +132,19 @@ type Config struct {
 	// MagazineSize caps a thread's private free list under PolicyLocal;
 	// overflow flushes half to the shared pool. Default 128.
 	MagazineSize int
+	// Guard enables the use-after-free sanitizer: every Free overwrites
+	// the slot payload with a sentinel (via Poison) and records a per-slot
+	// audit trail (last alloc/free thread, transition counts), and the
+	// arena accepts violation reports from the owning structure through
+	// ReportUAF/AccessCheck. Off by default; when off, the only cost is
+	// one predictable nil check in Alloc and Free.
+	Guard bool
+	// AccessCheck receives use-after-free violations reported via
+	// ReportUAF: a committed transaction dereferenced a freed slot. Nil
+	// means panic with the audit trail (the sanitizer's default). The
+	// poison callback itself is generic over the slot type and therefore
+	// installed separately, via Arena.SetPoison.
+	AccessCheck func(GuardEvent)
 }
 
 type slot[T any] struct {
@@ -143,6 +156,75 @@ type slot[T any] struct {
 // dereferencing stale handles memory-safe.
 type page[T any] struct {
 	slots []slot[T]
+}
+
+// PoisonWord is the sentinel guard-mode poisoners are expected to write
+// into freed value words. Both reserved user bits are set, so it is never
+// a valid arena handle, and it is far above the sets package's key range,
+// so it is never a valid key — any committed read of it is evidence.
+const PoisonWord uint64 = 0xDEADBEEFDEADBEEF
+
+// slotAudit is the guard-mode per-slot audit trail (who touched the slot
+// last, and how often it transitioned). Fields are atomics because Stats
+// and violation reporters read them racily against the owning thread.
+type slotAudit struct {
+	lastAllocTid atomic.Int32
+	lastFreeTid  atomic.Int32
+	allocs       atomic.Uint32
+	frees        atomic.Uint32
+}
+
+// auditPage parallels one slot page in guard mode.
+type auditPage struct {
+	slots []slotAudit
+}
+
+// SlotAudit is a point-in-time copy of a slot's guard audit trail.
+type SlotAudit struct {
+	LastAllocTid int32  // tid of the last Alloc that returned this slot
+	LastFreeTid  int32  // tid of the last Free of this slot
+	Allocs       uint32 // times the slot was handed out
+	Frees        uint32 // times the slot was freed
+	Gen          uint32 // current generation (odd = live)
+}
+
+// GuardEvent describes one use-after-free violation: a committed
+// transaction on thread Tid dereferenced the slot named by H after it was
+// freed.
+type GuardEvent struct {
+	H     Handle
+	Tid   int
+	Audit SlotAudit
+}
+
+// String renders the violation with its audit trail.
+func (ev GuardEvent) String() string {
+	return fmt.Sprintf(
+		"use-after-free: tid %d committed a read of dead %v (slot gen %d, last alloc by tid %d, last free by tid %d, %d allocs / %d frees)",
+		ev.Tid, ev.H, ev.Audit.Gen, ev.Audit.LastAllocTid, ev.Audit.LastFreeTid,
+		ev.Audit.Allocs, ev.Audit.Frees)
+}
+
+// GuardStats counts guard-mode observations.
+type GuardStats struct {
+	// PoisonReads counts dereferences that observed a poisoned slot,
+	// including the benign ones made by doomed transaction attempts that
+	// subsequently aborted (see the package comment: such reads are
+	// expected and harmless).
+	PoisonReads uint64
+	// Violations counts poison reads made by transactions that went on to
+	// commit — true use-after-frees.
+	Violations uint64
+}
+
+// guardState exists only when Config.Guard is set, so the disabled-mode
+// cost is a nil check.
+type guardState[T any] struct {
+	audits      atomic.Pointer[[]*auditPage]
+	poison      func(*T)
+	accessCheck func(GuardEvent)
+	poisonReads atomic.Uint64
+	violations  atomic.Uint64
 }
 
 // magazine is a thread-private stack of free slot indices.
@@ -175,6 +257,17 @@ type Arena[T any] struct {
 	mags     []magazine
 	magCap   int
 	magFlush int
+
+	// retire, when installed (SetRetire), runs on every Free after the
+	// generation bump and before the slot reaches any free list. Owning
+	// structures use it to lift the versions of the slot's transactional
+	// cells past the current clock, so that transactions still holding
+	// pre-free snapshots abort instead of reading the slot's next
+	// incarnation (see stm.Word.Retire). Unlike the guard poisoner it is
+	// not a debugging aid: it runs in every mode.
+	retire func(*T)
+
+	guard *guardState[T] // nil unless Config.Guard
 }
 
 // New creates an Arena with the given configuration.
@@ -193,8 +286,35 @@ func New[T any](cfg Config) *Arena[T] {
 	}
 	empty := make([]*page[T], 0)
 	a.pages.Store(&empty)
+	if cfg.Guard {
+		a.guard = &guardState[T]{accessCheck: cfg.AccessCheck}
+		emptyAudits := make([]*auditPage, 0)
+		a.guard.audits.Store(&emptyAudits)
+	}
 	return a
 }
+
+// Guarded reports whether the use-after-free sanitizer is enabled.
+func (a *Arena[T]) Guarded() bool { return a.guard != nil }
+
+// SetPoison installs the guard-mode poisoner: f overwrites a freed slot's
+// payload with a recognizable sentinel (typically PoisonWord in every value
+// word, stored atomically via stm.Word.Poison so racing doomed readers stay
+// race-detector clean). Call once, before any Free; a no-op unless
+// Config.Guard was set.
+func (a *Arena[T]) SetPoison(f func(*T)) {
+	if a.guard != nil {
+		a.guard.poison = f
+	}
+}
+
+// SetRetire installs the free-time retire callback: f is invoked for every
+// freed slot while the slot is still unreachable (after the generation
+// bump, before the index is pushed to a free list, and before the guard
+// poisoner). Structures whose slots contain stm cells must install one
+// that retires every cell's version (stm.Word.Retire); see that method for
+// why recycling is unsound without it. Call once, before any Free.
+func (a *Arena[T]) SetRetire(f func(*T)) { a.retire = f }
 
 // Policy reports the arena's free-list policy.
 func (a *Arena[T]) Policy() Policy { return a.cfg.Policy }
@@ -257,6 +377,11 @@ func (a *Arena[T]) Alloc(tid int) Handle {
 	s := a.slotAt(idx)
 	g := s.gen.Load() // even (free)
 	s.gen.Store(g + 1)
+	if a.guard != nil {
+		au := a.auditAt(idx)
+		au.lastAllocTid.Store(int32(tid))
+		au.allocs.Add(1)
+	}
 	return makeHandle(idx, g+1)
 }
 
@@ -276,6 +401,23 @@ func (a *Arena[T]) Free(tid int, h Handle) {
 	cur := s.gen.Load()
 	if g&1 == 0 || cur&genMask != g || !s.gen.CompareAndSwap(cur, cur+1) {
 		panic(fmt.Sprintf("arena: double free or stale handle %v", h))
+	}
+	if a.retire != nil {
+		// Retire before poisoning: once the cell versions are lifted, no
+		// pre-free snapshot can validate a read of the sentinel (or of the
+		// slot's next incarnation) written below.
+		a.retire(&s.val)
+	}
+	if a.guard != nil {
+		// The slot is free but not yet on any free list, so no other
+		// thread can re-allocate it while we poison: the sentinel is in
+		// place before the index becomes reachable again.
+		au := a.auditAt(idx)
+		au.lastFreeTid.Store(int32(tid))
+		au.frees.Add(1)
+		if a.guard.poison != nil {
+			a.guard.poison(&s.val)
+		}
 	}
 	m := &a.mags[tid]
 	m.frees.Add(1)
@@ -351,10 +493,17 @@ func (a *Arena[T]) pushShared(idx uint32) {
 }
 
 // bumpAlloc hands out a never-used slot index, growing the page vector as
-// needed.
+// needed. The index space is 32 bits; handing out the last index would
+// wrap the bump pointer back to page 0 and silently alias live slots, so
+// exhaustion panics instead (the final index, ^uint32(0), is sacrificed as
+// the exhaustion sentinel).
 func (a *Arena[T]) bumpAlloc() uint32 {
 	for {
 		n := a.next.Load()
+		if n == ^uint32(0) {
+			panic("arena: bump pointer exhausted the 32-bit slot index space; " +
+				"wraparound would alias live slots (allocate fewer than 2^32 fresh slots, or recycle)")
+		}
 		pages := *a.pages.Load()
 		if int(n) < len(pages)*pageSize {
 			if a.next.CompareAndSwap(n, n+1) {
@@ -377,15 +526,84 @@ func (a *Arena[T]) grow(seen int) {
 	next := make([]*page[T], len(cur)+1)
 	copy(next, cur)
 	next[len(cur)] = &page[T]{slots: make([]slot[T], pageSize)}
+	if a.guard != nil {
+		// Grow the audit shadow in lockstep (same growMu critical section).
+		curAu := *a.guard.audits.Load()
+		nextAu := make([]*auditPage, len(curAu)+1)
+		copy(nextAu, curAu)
+		nextAu[len(curAu)] = &auditPage{slots: make([]slotAudit, pageSize)}
+		a.guard.audits.Store(&nextAu)
+	}
 	a.pages.Store(&next)
 	a.grows.Add(1)
+}
+
+// auditAt returns the guard audit record for a slot index (guard mode only).
+func (a *Arena[T]) auditAt(idx uint32) *slotAudit {
+	audits := *a.guard.audits.Load()
+	return &audits[idx>>pageShift].slots[idx&pageMask]
+}
+
+// Audit returns a copy of the slot's guard audit trail. It panics unless
+// guard mode is enabled.
+func (a *Arena[T]) Audit(h Handle) SlotAudit {
+	if a.guard == nil {
+		panic("arena: Audit requires Config.Guard")
+	}
+	idx := h.Index()
+	au := a.auditAt(idx)
+	return SlotAudit{
+		LastAllocTid: au.lastAllocTid.Load(),
+		LastFreeTid:  au.lastFreeTid.Load(),
+		Allocs:       au.allocs.Load(),
+		Frees:        au.frees.Load(),
+		Gen:          a.slotAt(idx).gen.Load(),
+	}
+}
+
+// NotePoisonRead records that a transaction attempt dereferenced a
+// poisoned (freed) slot. Most such reads are benign: a doomed attempt read
+// through a stale handle and will abort at validation. The owning
+// structure calls ReportUAF only if the attempt goes on to commit.
+func (a *Arena[T]) NotePoisonRead(h Handle) {
+	if a.guard != nil {
+		a.guard.poisonReads.Add(1)
+	}
+}
+
+// ReportUAF reports a true use-after-free: a transaction on thread tid
+// dereferenced the freed slot named by h and then committed. The event is
+// counted and handed to Config.AccessCheck; with no AccessCheck installed
+// it panics with the slot's audit trail.
+func (a *Arena[T]) ReportUAF(tid int, h Handle) {
+	if a.guard == nil {
+		return
+	}
+	a.guard.violations.Add(1)
+	ev := GuardEvent{H: h, Tid: tid, Audit: a.Audit(h)}
+	if a.guard.accessCheck != nil {
+		a.guard.accessCheck(ev)
+		return
+	}
+	panic("arena: " + ev.String())
+}
+
+// GuardStats returns the sanitizer's counters (zero when guard is off).
+func (a *Arena[T]) GuardStats() GuardStats {
+	if a.guard == nil {
+		return GuardStats{}
+	}
+	return GuardStats{
+		PoisonReads: a.guard.poisonReads.Load(),
+		Violations:  a.guard.violations.Load(),
+	}
 }
 
 // Stats is a point-in-time snapshot of allocator activity.
 type Stats struct {
 	Allocs   uint64 // total allocations
 	Frees    uint64 // total frees
-	Live     uint64 // Allocs - Frees: objects currently allocated
+	Live     uint64 // Allocs - Frees (clamped at 0): objects currently allocated
 	Fresh    uint64 // allocations served by the bump pointer (new memory)
 	PoolOps  uint64 // shared-pool critical sections (contention proxy)
 	Pages    uint64 // slab pages allocated from the Go heap
@@ -400,7 +618,13 @@ func (a *Arena[T]) Stats() Stats {
 		st.Allocs += a.mags[i].allocs.Load()
 		st.Frees += a.mags[i].frees.Load()
 	}
-	st.Live = st.Allocs - st.Frees
+	// The per-magazine counters are read racily: a free can be observed
+	// before the alloc it balances, making Frees momentarily exceed
+	// Allocs. Unsigned subtraction would then report a near-2^64 Live;
+	// compute signed and clamp at zero instead.
+	if live := int64(st.Allocs) - int64(st.Frees); live > 0 {
+		st.Live = uint64(live)
+	}
 	st.Fresh = a.fresh.Load()
 	st.PoolOps = a.poolOps.Load()
 	st.Pages = uint64(len(*a.pages.Load()))

@@ -61,7 +61,7 @@ func (d *DList) Remove(tid int, key uint64) bool {
 		// together, so no reservation is involved.
 		res, _ := d.apply(tid, key, false,
 			func(tx *stm.Tx, prevH, currH arena.Handle) bool {
-				d.unlinkDoubly(tx, currH)
+				d.unlinkDoubly(tx, tid, currH)
 				tx.OnCommit(func() { d.ar.Free(tid, currH) })
 				return true
 			},
@@ -116,7 +116,7 @@ func (d *DList) removePhase2RR(tid int, target arena.Handle) int {
 		}
 		// Get can only return what phase 1 reserved.
 		h := arena.Handle(r)
-		d.unlinkDoubly(tx, h)
+		d.unlinkDoubly(tx, tid, h)
 		d.rr.Revoke(tx, uint64(h))
 		d.rr.Release(tx, tid)
 		tx.OnCommit(func() { d.ar.Free(tid, h) })
@@ -133,11 +133,11 @@ func (d *DList) removePhase2TMHP(tid int, target arena.Handle) int {
 	d.rt.Atomic(func(tx *stm.Tx) {
 		out = retryOp
 		curr := d.ar.At(target)
-		if curr.dead.Load(tx) != 0 {
+		if d.loadWord(tx, tid, target, &curr.dead) != 0 {
 			out = lostOp
 			return
 		}
-		d.unlinkDoubly(tx, target)
+		d.unlinkDoubly(tx, tid, target)
 		curr.dead.Store(tx, 1)
 		stamp := ts.ops
 		tx.OnCommit(func() {
@@ -156,10 +156,15 @@ func (d *DList) removePhase2TMHP(tid int, target arena.Handle) int {
 
 // unlinkDoubly splices currH out using its own links; the predecessor is
 // always a real node (ultimately the head sentinel).
-func (d *DList) unlinkDoubly(tx *stm.Tx, currH arena.Handle) {
+func (d *DList) unlinkDoubly(tx *stm.Tx, tid int, currH arena.Handle) {
 	curr := d.ar.At(currH)
-	p := arena.Handle(curr.prev.Load(tx))
-	nx := arena.Handle(curr.next.Load(tx))
+	p := d.loadLink(tx, tid, currH, &curr.prev)
+	nx := d.loadLink(tx, tid, currH, &curr.next)
+	if p.IsNil() {
+		// Only a poisoned prev defuses to Nil (real predecessors bottom out
+		// at the head sentinel); this attempt is doomed, skip the splice.
+		return
+	}
 	d.ar.At(p).next.Store(tx, uint64(nx))
 	if !nx.IsNil() {
 		d.ar.At(nx).prev.Store(tx, uint64(p))

@@ -74,7 +74,7 @@ func (l *List) applyAt(tid int, key uint64, head arena.Handle, reserveFound bool
 			}
 
 			prevH := startH
-			currH := arena.Handle(l.ar.At(prevH).next.Load(tx))
+			currH := l.loadLink(tx, tid, prevH, &l.ar.At(prevH).next)
 			steps := 0
 			var k uint64
 			for !currH.IsNil() {
@@ -87,12 +87,12 @@ func (l *List) applyAt(tid int, key uint64, head arena.Handle, reserveFound bool
 					}
 					ts.marks[steps%w] = tx.ReadMark()
 				}
-				k = l.ar.At(currH).key.Load(tx)
+				k = l.loadWord(tx, tid, currH, &l.ar.At(currH).key)
 				if k >= key || steps >= budget {
 					break
 				}
 				prevH = currH
-				currH = arena.Handle(l.ar.At(currH).next.Load(tx))
+				currH = l.loadLink(tx, tid, currH, &l.ar.At(currH).next)
 				steps++
 			}
 
@@ -138,7 +138,7 @@ func (l *List) windowStart(tx *stm.Tx, tid int, head arena.Handle) (arena.Handle
 		if s.IsNil() {
 			return head, false
 		}
-		if l.ar.At(s).dead.Load(tx) != 0 {
+		if l.loadWord(tx, tid, s, &l.ar.At(s).dead) != 0 {
 			// The start was removed since our last window; its memory is
 			// still pinned by our hazard, so the flag is trustworthy.
 			return head, false
@@ -149,7 +149,7 @@ func (l *List) windowStart(tx *stm.Tx, tid int, head arena.Handle) (arena.Handle
 		if s.IsNil() {
 			return head, false
 		}
-		if l.ar.At(s).dead.Load(tx) != 0 {
+		if l.loadWord(tx, tid, s, &l.ar.At(s).dead) != 0 {
 			// Give back our count on the removed node and restart.
 			l.refDecrement(tx, tid, s)
 			return head, false
@@ -174,7 +174,7 @@ func (l *List) windowHold(tx *stm.Tx, tid int, held bool, startH, currH arena.Ha
 		slot := ts.parity & 1
 		l.hp.Protect(tid, slot, currH)
 		// Ordering re-check; see the protocol note atop this file.
-		_ = l.ar.At(currH).dead.Load(tx)
+		_ = l.loadWord(tx, tid, currH, &l.ar.At(currH).dead)
 		tx.OnCommit(func() {
 			ts.start = currH
 			l.hp.Protect(tid, slot^1, 0) // drop the previous window's hazard
@@ -182,7 +182,7 @@ func (l *List) windowHold(tx *stm.Tx, tid int, held bool, startH, currH arena.Ha
 		})
 	case ModeREF:
 		n := l.ar.At(currH)
-		n.rc.Store(tx, n.rc.Load(tx)+1)
+		n.rc.Store(tx, l.loadWord(tx, tid, currH, &n.rc)+1)
 		if held {
 			l.refDecrement(tx, tid, startH)
 		}

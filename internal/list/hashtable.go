@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"hohtx/internal/arena"
+	"hohtx/internal/reclaim"
 	"hohtx/internal/sets"
 	"hohtx/internal/stm"
 )
@@ -147,6 +148,12 @@ func (h *HashTable) TxAborts() uint64     { return h.l.TxAborts() }
 func (h *HashTable) TxSerial() uint64     { return h.l.TxSerial() }
 func (h *HashTable) TMStats() stm.Stats   { return h.l.TMStats() }
 func (h *HashTable) PeakDeferred() uint64 { return h.l.PeakDeferred() }
+
+// GuardStats exposes the arena sanitizer counters (zero when guard is off).
+func (h *HashTable) GuardStats() arena.GuardStats { return h.l.GuardStats() }
+
+// ReclaimStats exposes the deferred-reclamation counters (ModeTMHP).
+func (h *HashTable) ReclaimStats() reclaim.Stats { return h.l.ReclaimStats() }
 
 // SetWindow implements the runtime window knob.
 func (h *HashTable) SetWindow(w int) { h.l.SetWindow(w) }

@@ -105,6 +105,15 @@ type Config struct {
 	// stm.Profile.ClockPolicy); like YieldShift it composes with whatever
 	// Profile is in effect.
 	ClockPolicy stm.ClockPolicy
+	// Guard enables the arena use-after-free sanitizer: freed nodes are
+	// poisoned and any *committed* read of a dead node is reported (see
+	// guard.go). Off by default; the enabled-mode overhead is one
+	// predictable branch per traversal load.
+	Guard bool
+	// GuardSink receives guard violations instead of the default panic
+	// (torture harnesses collect events; tests assert on them). Only
+	// meaningful with Guard set.
+	GuardSink func(arena.GuardEvent)
 }
 
 func (c Config) withDefaults() Config {
@@ -144,6 +153,7 @@ type List struct {
 	winOverride atomic.Int32
 	head        arena.Handle
 	threads     []threadState
+	guard       bool
 }
 
 var _ sets.Set = (*List)(nil)
@@ -153,11 +163,19 @@ var _ sets.MemoryReporter = (*List)(nil)
 func New(cfg Config) *List {
 	cfg = cfg.withDefaults()
 	l := &List{
-		rt:      stm.NewRuntime(cfg.Profile),
-		ar:      arena.New[node](arena.Config{Policy: cfg.ArenaPolicy, Threads: cfg.Threads}),
+		rt: stm.NewRuntime(cfg.Profile),
+		ar: arena.New[node](arena.Config{
+			Policy: cfg.ArenaPolicy, Threads: cfg.Threads,
+			Guard: cfg.Guard, AccessCheck: cfg.GuardSink,
+		}),
 		mode:    cfg.Mode,
 		win:     cfg.Window,
 		threads: make([]threadState, cfg.Threads),
+		guard:   cfg.Guard,
+	}
+	l.ar.SetRetire(func(n *node) { retireNode(n, l.rt.VersionFence()) })
+	if cfg.Guard {
+		l.ar.SetPoison(poisonNode)
 	}
 	switch cfg.Mode {
 	case ModeRR:
@@ -174,6 +192,7 @@ func New(cfg Config) *List {
 	case ModeER:
 		l.ep = reclaim.NewEpochs(cfg.Threads, cfg.ScanThreshold,
 			func(tid int, h arena.Handle) { l.ar.Free(tid, h) })
+		l.ep.Guard = cfg.Guard
 		for i := range l.threads {
 			l.threads[i].marks = make([]uint64, cfg.Window.W)
 		}
@@ -303,7 +322,7 @@ func (l *List) allocNode(tx *stm.Tx, tid int, key uint64, nextH, prevH arena.Han
 // point — precise reclamation.
 func (l *List) unlinkAndReclaim(tx *stm.Tx, tid int, prevH, currH arena.Handle) {
 	curr := l.ar.At(currH)
-	l.ar.At(prevH).next.Store(tx, curr.next.Load(tx))
+	l.ar.At(prevH).next.Store(tx, uint64(l.loadLink(tx, tid, currH, &curr.next)))
 	switch l.mode {
 	case ModeRR:
 		l.rr.Revoke(tx, uint64(currH))
@@ -317,7 +336,7 @@ func (l *List) unlinkAndReclaim(tx *stm.Tx, tid int, prevH, currH arena.Handle) 
 		tx.OnCommit(func() { l.hp.Retire(tid, currH, stamp) })
 	case ModeREF:
 		curr.dead.Store(tx, 1)
-		if curr.rc.Load(tx) == 0 {
+		if l.loadWord(tx, tid, currH, &curr.rc) == 0 {
 			tx.OnCommit(func() { l.ar.Free(tid, currH) })
 		}
 		// Otherwise the last window-holder's decrement frees it.
@@ -327,7 +346,7 @@ func (l *List) unlinkAndReclaim(tx *stm.Tx, tid int, prevH, currH arena.Handle) 
 		// their (un-released) read suffix, so this write is what makes a
 		// racing insert-after-currH or remove-of-successor abort even
 		// though the writes to our predecessor were early-released.
-		curr.next.Store(tx, curr.next.Load(tx))
+		curr.next.Store(tx, uint64(l.loadLink(tx, tid, currH, &curr.next)))
 		curr.dead.Store(tx, 1)
 		stamp := l.threads[tid].ops
 		tx.OnCommit(func() { l.ep.Retire(tid, currH, stamp) })
@@ -338,9 +357,9 @@ func (l *List) unlinkAndReclaim(tx *stm.Tx, tid int, prevH, currH arena.Handle) 
 // it reaches zero on a logically deleted node (ModeREF).
 func (l *List) refDecrement(tx *stm.Tx, tid int, h arena.Handle) {
 	n := l.ar.At(h)
-	v := n.rc.Load(tx) - 1
+	v := l.loadWord(tx, tid, h, &n.rc) - 1
 	n.rc.Store(tx, v)
-	if v == 0 && n.dead.Load(tx) != 0 {
+	if v == 0 && l.loadWord(tx, tid, h, &n.dead) != 0 {
 		tx.OnCommit(func() { l.ar.Free(tid, h) })
 	}
 }
@@ -359,10 +378,14 @@ func (l *List) DeferredNodes() uint64 {
 	return 0
 }
 
-// ReclaimStats exposes the hazard-pointer scheme's counters (ModeTMHP).
+// ReclaimStats exposes the deferred-reclamation counters (ModeTMHP's
+// hazard pointers or ModeER's epochs; zero for the precise modes).
 func (l *List) ReclaimStats() reclaim.Stats {
 	if l.hp != nil {
 		return l.hp.Stats()
+	}
+	if l.ep != nil {
+		return l.ep.Stats()
 	}
 	return reclaim.Stats{}
 }

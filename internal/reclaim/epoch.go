@@ -22,6 +22,13 @@ type Epochs struct {
 	// advanceEvery makes threads attempt an epoch advance every N
 	// retirements, batching frees like an epoch allocator would.
 	advanceEvery int
+	// Guard, when set, makes Retire panic if the calling thread is not
+	// inside an Enter/Exit bracket. An unbracketed retire is a protocol
+	// violation: the retiring thread looks quiescent to tryAdvance, so the
+	// epoch can advance past the retiree and free it under a concurrent
+	// reader. Off by default (release builds pay no assertion cost beyond
+	// one predictable branch); torture harnesses switch it on.
+	Guard bool
 }
 
 // epochRetiree is a retired node stamped with its retirement epoch.
@@ -84,6 +91,9 @@ func (e *Epochs) ClearSlots(tid int) {}
 // Retire implements Scheme. The caller must be between Enter and Exit.
 func (e *Epochs) Retire(tid int, h arena.Handle, stamp uint64) {
 	t := &e.threads[tid]
+	if e.Guard && t.epoch.Load()&1 == 0 {
+		panic("reclaim: Epochs.Retire outside an Enter/Exit bracket; the epoch can advance past this retiree and free it under a concurrent reader")
+	}
 	g := e.global.Load()
 	t.pending = append(t.pending, epochRetiree{h: h, stamp: stamp, epoch: g})
 	e.stats[tid].noteRetire()
@@ -142,6 +152,7 @@ func (e *Epochs) drain(tid int, stamp uint64) {
 		t.pending = append(t.pending[:0], t.pending[t.head:]...)
 		t.head = 0
 	}
+	st.leftover.Store(uint64(len(t.pending) - t.head))
 }
 
 // Stats implements Scheme.

@@ -96,9 +96,22 @@ func (hp *HazardPointers) Retire(tid int, h arena.Handle, stamp uint64) {
 }
 
 // Flush implements Scheme.
+//
+// A single scan is not enough at teardown: freeing one retiree can be what
+// lets another thread's traversal move off a second retiree, and hazard
+// slots published by threads that finished *after* this one may still cover
+// entries in our list on the first pass. Rescanning until the retired list
+// stops shrinking frees everything that can ever become free without
+// further Retire traffic; whatever remains is still genuinely hazardous and
+// shows up in Stats.Leftover for harnesses to assert on.
 func (hp *HazardPointers) Flush(tid int, stamp uint64) {
-	if len(hp.threads[tid].retired) > 0 {
+	t := &hp.threads[tid]
+	for len(t.retired) > 0 {
+		before := len(t.retired)
 		hp.scan(tid, stamp)
+		if len(t.retired) == before {
+			break
+		}
 	}
 }
 
@@ -127,6 +140,7 @@ func (hp *HazardPointers) scan(tid int, stamp uint64) {
 		st.noteFree(stamp - r.stamp)
 	}
 	t.retired = kept
+	st.leftover.Store(uint64(len(kept)))
 }
 
 // Stats implements Scheme.

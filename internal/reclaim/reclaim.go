@@ -31,6 +31,13 @@ type Stats struct {
 	PeakDeferred uint64 // high-water mark of Deferred
 	Scans        uint64 // reclamation passes (HP scans / epoch flips)
 	DelayOpsSum  uint64 // sum over freed nodes of (free stamp - retire stamp)
+	// Leftover counts retirees still held back by the scheme after its
+	// most recent reclamation pass per thread: nodes a scan or drain
+	// looked at and could not free (hazard still published, epoch not yet
+	// safe). Zero for Leak, which never scans — its deferral is by
+	// design and fully counted in Deferred. Torture harnesses assert on
+	// this to catch retirees stranded by an incomplete Flush.
+	Leftover uint64
 }
 
 // AvgDelayOps is the mean number of caller-supplied "operation stamps"
@@ -76,6 +83,7 @@ type threadStats struct {
 	delaySum atomic.Uint64
 	deferred atomic.Uint64
 	peak     atomic.Uint64
+	leftover atomic.Uint64 // retirees surviving the thread's last pass
 	_        pad.Line
 }
 
@@ -101,6 +109,7 @@ func sumStats(ts []threadStats) Stats {
 		out.Scans += ts[i].scans.Load()
 		out.DelayOpsSum += ts[i].delaySum.Load()
 		out.Deferred += ts[i].deferred.Load()
+		out.Leftover += ts[i].leftover.Load()
 		if p := ts[i].peak.Load(); p > out.PeakDeferred {
 			out.PeakDeferred = p
 		}

@@ -51,9 +51,9 @@ const (
 func (s *SkipList) run(c *searchCtx, key uint64, budget, noCutBelow, stopLevel int) advanceResult {
 	for {
 		n := s.ar.At(c.curr)
-		nextH := arena.Handle(n.next[c.level].Load(c.tx))
+		nextH := s.loadLink(c.tx, c.tid, c.curr, &n.next[c.level])
 		if !nextH.IsNil() {
-			nk := s.ar.At(nextH).key.Load(c.tx)
+			nk := s.loadWord(c.tx, c.tid, nextH, &s.ar.At(nextH).key)
 			if nk == key {
 				return advMatched
 			}
@@ -159,11 +159,11 @@ func (s *SkipList) collectPreds(c *searchCtx, key uint64, stopAt arena.Handle, p
 		c.level = l
 		for {
 			n := s.ar.At(c.curr)
-			nextH := arena.Handle(n.next[l].Load(c.tx))
+			nextH := s.loadLink(c.tx, c.tid, c.curr, &n.next[l])
 			if nextH.IsNil() || nextH == stopAt {
 				break
 			}
-			nk := s.ar.At(nextH).key.Load(c.tx)
+			nk := s.loadWord(c.tx, c.tid, nextH, &s.ar.At(nextH).key)
 			if nk == key {
 				if stopAt.IsNil() {
 					return false // duplicate insert
@@ -234,7 +234,7 @@ func (s *SkipList) Insert(tid int, key uint64) bool {
 			n.height.Store(tx, uint64(h))
 			for l := 0; l < h; l++ {
 				p := s.ar.At(preds[l])
-				n.next[l].Store(tx, p.next[l].Load(tx))
+				n.next[l].Store(tx, uint64(s.loadLink(tx, tid, preds[l], &p.next[l])))
 				p.next[l].Store(tx, uint64(nh))
 			}
 			res = true
@@ -277,9 +277,16 @@ func (s *SkipList) Remove(tid int, key uint64) bool {
 				return
 			case advMatched:
 			}
-			victim := arena.Handle(s.ar.At(c.curr).next[c.level].Load(tx))
+			victim := s.loadLink(tx, tid, c.curr, &s.ar.At(c.curr).next[c.level])
+			if victim.IsNil() {
+				// Only a poisoned link defuses to Nil after advMatched; this
+				// attempt is doomed — restart with a full descent.
+				s.dropHold(c, held)
+				full = true
+				return
+			}
 			v := s.ar.At(victim)
-			vh := int(v.height.Load(tx))
+			vh := int(s.loadWord(tx, tid, victim, &v.height))
 			if c.level != vh-1 {
 				// Met the victim under its tower (resumed traversal):
 				// restart with a full descent that sees its top.
@@ -292,7 +299,7 @@ func (s *SkipList) Remove(tid int, key uint64) bool {
 				panic("skiplist: unreachable: duplicate key beside victim")
 			}
 			for l := 0; l < vh; l++ {
-				s.ar.At(preds[l]).next[l].Store(tx, v.next[l].Load(tx))
+				s.ar.At(preds[l]).next[l].Store(tx, uint64(s.loadLink(tx, tid, victim, &v.next[l])))
 			}
 			if s.mode == ModeRR {
 				s.rr.Revoke(tx, uint64(victim))

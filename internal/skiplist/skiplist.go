@@ -90,6 +90,11 @@ type Config struct {
 	// TableBits/Assoc size the reservation metadata.
 	TableBits int
 	Assoc     int
+	// Guard enables the arena use-after-free sanitizer (see guard.go and
+	// the identically named field in package list).
+	Guard bool
+	// GuardSink receives guard violations instead of the default panic.
+	GuardSink func(arena.GuardEvent)
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +128,7 @@ type SkipList struct {
 	win     core.Window
 	head    arena.Handle // sentinel at full height, key 0
 	threads []threadState
+	guard   bool
 }
 
 var _ sets.Set = (*SkipList)(nil)
@@ -132,11 +138,19 @@ var _ sets.MemoryReporter = (*SkipList)(nil)
 func New(cfg Config) *SkipList {
 	cfg = cfg.withDefaults()
 	s := &SkipList{
-		rt:      stm.NewRuntime(cfg.Profile),
-		ar:      arena.New[node](arena.Config{Threads: cfg.Threads, Policy: cfg.ArenaPolicy}),
+		rt: stm.NewRuntime(cfg.Profile),
+		ar: arena.New[node](arena.Config{
+			Threads: cfg.Threads, Policy: cfg.ArenaPolicy,
+			Guard: cfg.Guard, AccessCheck: cfg.GuardSink,
+		}),
 		mode:    cfg.Mode,
 		win:     cfg.Window,
 		threads: make([]threadState, cfg.Threads),
+		guard:   cfg.Guard,
+	}
+	s.ar.SetRetire(func(n *node) { retireNode(n, s.rt.VersionFence()) })
+	if cfg.Guard {
+		s.ar.SetPoison(poisonNode)
 	}
 	if cfg.Mode == ModeRR {
 		s.rr = core.New(cfg.RRKind, core.Config{

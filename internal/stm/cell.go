@@ -8,9 +8,21 @@ import "sync/atomic"
 // word plus an atomically accessed value word. The version lock encoding is
 // TL2's: even values are commit timestamps, odd values mean "locked by a
 // committing writer" and carry the pre-lock version in the remaining bits.
-// Versions only ever increase, which is what makes recycling nodes that
-// contain cells safe: a reused cell keeps its version history, so a
-// transaction that read the cell before the recycle can never revalidate.
+// Versions only ever increase, and recycling nodes that contain cells is
+// safe under two rules. First, a reused cell keeps its version history, so
+// a transaction that read the cell before the recycle can never
+// revalidate. Second — and easy to miss — the freeing code must *retire*
+// each cell's version (Word.Retire) past the current clock before the slot
+// can be reused: a transaction that merely holds a stale *path* to the
+// node (it read the link that pointed there before the unlinking commit's
+// write-back) has not read the node's cells yet, and a fresh first read at
+// the cell's old version would validate against the stale snapshot. For a
+// read-only transaction, which never revalidates its read set at commit,
+// that fresh read would assemble a zombie snapshot out of the recycled
+// node's raw-initialized values and commit it. Retiring the versions makes
+// such a read force a snapshot extension, which fails on the bumped link
+// cell and aborts the doomed reader — the software analog of the hardware
+// conflict that would have aborted it under real HTM.
 
 const lockedBit = uint64(1)
 
@@ -79,6 +91,44 @@ func (w *Word) Init(x uint64) { w.v.Store(x) }
 // verification; the value may be mid-commit torn with respect to other
 // cells.
 func (w *Word) Raw() uint64 { return w.v.Load() }
+
+// Poison overwrites the cell's value with sentinel x without touching the
+// version lock, for the arena's guard (use-after-free sanitizer) mode.
+// Unlike Init, the cell may still be reachable through stale handles; the
+// sentinel makes such a read *observable* to the sanitizer. Poison relies
+// on the freeing code having already retired the cell (Retire): with the
+// version lifted past every pre-free snapshot, a doomed reader's load of
+// the sentinel cannot validate, so the only reads that can return it are
+// made by transactions whose snapshot postdates the free — true
+// use-after-frees, which the sanitizer reports. The store is atomic, so
+// racing readers stay race-detector clean.
+func (w *Word) Poison(x uint64) { w.v.Store(x) }
+
+// Retire lifts the cell's version lock to at least ver without writing the
+// value, where ver is an even fence obtained from Runtime.VersionFence.
+// Freeing code calls it on every cell of a node leaving a structure, per
+// the recycling rules in the package comment: a transaction whose snapshot
+// predates the free then cannot take a fresh read of the dead cell — the
+// read observes a version above its snapshot, forces an extension, and the
+// extension fails on the (bumped) cell whose rewrite unlinked the node.
+// Transactions that reach the slot's next incarnation legitimately are
+// unaffected, because the commit that republishes it chooses a write
+// version at or above the fence. If a committing writer transiently holds
+// the cell's lock, Retire waits it out: any such writer reached the cell
+// through the rewritten link, so it must fail its read-set validation and
+// release.
+func (w *Word) Retire(ver uint64) {
+	for spins := 0; ; spins++ {
+		cur := w.m.Load()
+		if cur&lockedBit == 0 {
+			if cur >= ver || w.m.CompareAndSwap(cur, ver) {
+				return
+			}
+			continue
+		}
+		pause(spins)
+	}
+}
 
 // Ptr is a transactional typed pointer cell, provided for library users who
 // want to attach arbitrary payloads (e.g. map values) to transactional

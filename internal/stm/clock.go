@@ -118,6 +118,21 @@ func (tx *Tx) advanceClock(v uint64) uint64 {
 	return casMax(&rt.clock, v, &tx.clockCASes)
 }
 
+// VersionFence returns an even version v with two properties: every write
+// version whose commit write-back has completed is <= v, and every write
+// version chosen after VersionFence returns is >= v. Under GV1 the
+// published clock itself is such a bound; under GV5 the published clock can
+// trail completed write versions, so the fence is derived from the version
+// frontier instead. Reclamation code retires a freed node's cell versions
+// to a fence (stm.Word.Retire) so that transactions still holding pre-free
+// snapshots cannot take fresh reads of the dead cells at stale versions.
+func (rt *Runtime) VersionFence() uint64 {
+	if rt.prof.ClockPolicy == ClockGV5 {
+		return rt.clockTarget.Load() + 2
+	}
+	return rt.clock.Load()
+}
+
 // casMax lifts c to at least v, counting CAS attempts into *n, and returns
 // the final observed value (>= v).
 func casMax(c *atomic.Uint64, v uint64, n *uint64) uint64 {

@@ -1,0 +1,300 @@
+package torture
+
+import (
+	"fmt"
+	"sync"
+
+	"hohtx/internal/arena"
+	"hohtx/internal/core"
+	"hohtx/internal/list"
+	"hohtx/internal/lockfree"
+	"hohtx/internal/reclaim"
+	"hohtx/internal/sets"
+	"hohtx/internal/skiplist"
+	"hohtx/internal/tree"
+)
+
+// Structure names accepted by Config.Structure.
+const (
+	StructSingly = "singly" // singly linked list
+	StructDoubly = "doubly" // doubly linked list
+	StructHash   = "hash"   // bucketed hash set
+	StructITree  = "itree"  // internal BST
+	StructETree  = "etree"  // external BST
+	StructSkip   = "skip"   // skiplist
+)
+
+// Structures lists every structure the harness can torture.
+func Structures() []string {
+	return []string{StructSingly, StructDoubly, StructHash, StructITree, StructETree, StructSkip}
+}
+
+// Variants returns the mechanism labels defined for a structure: the six
+// reservation kinds, the whole-operation HTM baseline, and whichever of
+// the deferred-reclamation comparators (TMHP, REF, ER) and lock-free
+// baselines (Leak, LFHP) the paper defines for it.
+func Variants(structure string) []string {
+	var rr []string
+	for _, k := range core.Kinds() {
+		rr = append(rr, k.String())
+	}
+	switch structure {
+	case StructSingly:
+		return append(rr, "HTM", "TMHP", "REF", "ER", "Leak", "LFHP")
+	case StructDoubly:
+		return append(rr, "HTM", "TMHP")
+	case StructHash:
+		return append(rr, "HTM", "TMHP", "REF", "ER")
+	case StructITree:
+		return append(rr, "HTM")
+	case StructETree:
+		return append(rr, "HTM", "TMHP", "Leak")
+	case StructSkip:
+		return append(rr, "HTM")
+	default:
+		return nil
+	}
+}
+
+// guardCollector gathers use-after-free events reported by the arena so a
+// violation fails the run with a reproducible seed instead of panicking
+// mid-schedule.
+type guardCollector struct {
+	mu     sync.Mutex
+	events []arena.GuardEvent
+}
+
+func (g *guardCollector) sink(ev arena.GuardEvent) {
+	g.mu.Lock()
+	g.events = append(g.events, ev)
+	g.mu.Unlock()
+}
+
+func (g *guardCollector) take() []arena.GuardEvent {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.events
+}
+
+// instance is a built structure plus the metadata the invariant checks
+// need: how many arena nodes one key costs, the sentinel overhead, which
+// reclamation discipline applies, and structure-specific validators.
+type instance struct {
+	set      sets.Set
+	guard    *guardCollector // nil when the variant cannot run guarded
+	perKey   uint64          // arena nodes per resident key
+	baseLive uint64          // sentinel/bootstrap nodes (measured post-build)
+	deferred bool            // uses a deferred scheme (TMHP/ER/Leak/LFHP)
+	leak     bool            // never frees (Leak/LFLeak-style)
+	rounds   int             // Finish rounds needed to drain (2 for hazard schemes)
+	reclaim  func() reclaim.Stats
+	validate func() error
+}
+
+func zeroStats() reclaim.Stats { return reclaim.Stats{} }
+
+// build constructs the structure × variant × policy instance for a run.
+func build(cfg Config) (*instance, error) {
+	inst := &instance{perKey: 1, rounds: 1, reclaim: zeroStats}
+	var guard *guardCollector
+	var sink func(arena.GuardEvent)
+	if cfg.Guard {
+		guard = &guardCollector{}
+		sink = guard.sink
+	}
+
+	rrKind, isRR := kindByName(cfg.Variant)
+
+	switch cfg.Structure {
+	case StructSingly, StructDoubly, StructHash:
+		if cfg.Variant == "Leak" || cfg.Variant == "LFHP" {
+			if cfg.Structure != StructSingly {
+				return nil, fmt.Errorf("torture: %s is undefined for %s", cfg.Variant, cfg.Structure)
+			}
+			l := lockfree.NewHarrisList(lockfree.ListConfig{
+				Threads:           cfg.Threads,
+				UseHazardPointers: cfg.Variant == "LFHP",
+				ArenaPolicy:       cfg.Policy,
+			})
+			inst.set = l
+			inst.deferred = true
+			inst.leak = cfg.Variant == "Leak"
+			if cfg.Variant == "LFHP" {
+				inst.rounds = 2
+			}
+			inst.reclaim = l.ReclaimStats
+			return measureBase(inst), nil
+		}
+		lcfg := list.Config{
+			Threads:     cfg.Threads,
+			Window:      core.Window{W: cfg.Window},
+			ArenaPolicy: cfg.Policy,
+			Guard:       cfg.Guard,
+			GuardSink:   sink,
+		}
+		switch cfg.Variant {
+		case "HTM":
+			lcfg.Mode = list.ModeHTM
+		case "TMHP":
+			lcfg.Mode = list.ModeTMHP
+			inst.deferred = true
+			inst.rounds = 2
+		case "REF":
+			if cfg.Structure == StructDoubly {
+				return nil, fmt.Errorf("torture: REF is undefined for %s", cfg.Structure)
+			}
+			lcfg.Mode = list.ModeREF
+		case "ER":
+			if cfg.Structure == StructDoubly {
+				return nil, fmt.Errorf("torture: ER is undefined for %s", cfg.Structure)
+			}
+			lcfg.Mode = list.ModeER
+			inst.deferred = true
+		default:
+			if !isRR {
+				return nil, fmt.Errorf("torture: unknown variant %q", cfg.Variant)
+			}
+			lcfg.Mode = list.ModeRR
+			lcfg.RRKind = rrKind
+		}
+		inst.guard = guard
+		switch cfg.Structure {
+		case StructSingly:
+			l := list.New(lcfg)
+			inst.set = l
+			inst.reclaim = l.ReclaimStats
+		case StructDoubly:
+			d := list.NewDoubly(lcfg)
+			inst.set = d
+			inst.reclaim = d.ReclaimStats
+			inst.validate = func() error {
+				if !d.ValidateLinks() {
+					return fmt.Errorf("prev/next link symmetry violated")
+				}
+				return nil
+			}
+		case StructHash:
+			h := list.NewHashTable(lcfg, cfg.Threads*4)
+			inst.set = h
+			inst.reclaim = h.ReclaimStats
+		}
+
+	case StructITree, StructETree:
+		if cfg.Variant == "Leak" {
+			if cfg.Structure != StructETree {
+				return nil, fmt.Errorf("torture: Leak is undefined for %s", cfg.Structure)
+			}
+			t := lockfree.NewNMTree(lockfree.NMConfig{Threads: cfg.Threads})
+			inst.set = t
+			inst.perKey = 2
+			inst.deferred = true
+			inst.leak = true
+			inst.validate = func() error {
+				if !t.ValidateRouting() {
+					return fmt.Errorf("NM-tree routing invariant violated")
+				}
+				return nil
+			}
+			return measureBase(inst), nil
+		}
+		tcfg := tree.Config{
+			Threads:     cfg.Threads,
+			Window:      core.Window{W: cfg.Window},
+			ArenaPolicy: cfg.Policy,
+			Guard:       cfg.Guard,
+			GuardSink:   sink,
+		}
+		switch cfg.Variant {
+		case "HTM":
+			tcfg.Mode = tree.ModeHTM
+		case "TMHP":
+			if cfg.Structure == StructITree {
+				return nil, fmt.Errorf("torture: TMHP is undefined for %s", cfg.Structure)
+			}
+			tcfg.Mode = tree.ModeTMHP
+			inst.deferred = true
+			inst.rounds = 2
+		default:
+			if !isRR {
+				return nil, fmt.Errorf("torture: unknown variant %q", cfg.Variant)
+			}
+			tcfg.Mode = tree.ModeRR
+			tcfg.RRKind = rrKind
+		}
+		inst.guard = guard
+		if cfg.Structure == StructITree {
+			t := tree.NewInternal(tcfg)
+			inst.set = t
+			inst.reclaim = t.ReclaimStats
+			inst.validate = func() error {
+				if !t.ValidateBST() {
+					return fmt.Errorf("BST ordering invariant violated")
+				}
+				return nil
+			}
+		} else {
+			t := tree.NewExternal(tcfg)
+			inst.set = t
+			inst.perKey = 2
+			inst.reclaim = t.ReclaimStats
+			inst.validate = func() error {
+				if !t.ValidateRouting() {
+					return fmt.Errorf("external-tree routing invariant violated")
+				}
+				return nil
+			}
+		}
+
+	case StructSkip:
+		scfg := skiplist.Config{
+			Threads:     cfg.Threads,
+			Window:      core.Window{W: cfg.Window},
+			ArenaPolicy: cfg.Policy,
+			Guard:       cfg.Guard,
+			GuardSink:   sink,
+		}
+		switch cfg.Variant {
+		case "HTM":
+			scfg.Mode = skiplist.ModeHTM
+		default:
+			if !isRR {
+				return nil, fmt.Errorf("torture: unknown variant %q", cfg.Variant)
+			}
+			scfg.Mode = skiplist.ModeRR
+			scfg.RRKind = rrKind
+		}
+		s := skiplist.New(scfg)
+		inst.set = s
+		inst.guard = guard
+		inst.validate = func() error {
+			if !s.ValidateLevels() {
+				return fmt.Errorf("skiplist level invariant violated")
+			}
+			return nil
+		}
+
+	default:
+		return nil, fmt.Errorf("torture: unknown structure %q", cfg.Structure)
+	}
+
+	return measureBase(inst), nil
+}
+
+// measureBase records the freshly built structure's sentinel/bootstrap node
+// count, the constant term of the memory-accounting invariant.
+func measureBase(inst *instance) *instance {
+	if mr, ok := inst.set.(sets.MemoryReporter); ok {
+		inst.baseLive = mr.LiveNodes()
+	}
+	return inst
+}
+
+// kindByName resolves a reservation-kind label.
+func kindByName(name string) (core.Kind, bool) {
+	for _, k := range core.Kinds() {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}

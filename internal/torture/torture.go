@@ -1,0 +1,330 @@
+// Package torture is the adversarial stress harness that turns the
+// repository's headline claim — precise memory reclamation with no grace
+// period — from design prose into a checked property. A run hammers one
+// (structure × variant × allocator-policy) instance with randomized
+// concurrent operation mixes, then quiesces and checks every invariant the
+// claim implies:
+//
+//   - the final snapshot is strictly sorted and in the key range;
+//   - per-key presence matches an exact oracle (a successful insert or
+//     remove toggles presence, so presence after quiesce equals prefill
+//     presence + successful inserts − successful removes, independent of
+//     interleaving);
+//   - arena accounting balances: Live == sentinels + perKey·|set| for the
+//     precise modes, with the deferred remainder explicitly accounted for
+//     (and bounded) in the HP/epoch/leak modes;
+//   - hazard-pointer leftovers drain to zero after a second Finish round
+//     (the first round can strand retirees pinned by hazards of threads
+//     that finished later);
+//   - guard mode (arena use-after-free sanitizer) observed zero committed
+//     reads of freed slots;
+//   - structure-specific shape validators (link symmetry, BST ordering,
+//     routing, skiplist levels) pass;
+//   - no operation panicked (double frees, bump-pointer exhaustion and
+//     guard violations without a sink all panic deterministically).
+//
+// Every failure message embeds the Config repro string, so a schedule-
+// dependent bug becomes a reproducible failing seed.
+package torture
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"hohtx/internal/arena"
+	"hohtx/internal/sets"
+)
+
+// Config fully determines one torture run; String() is the repro line.
+type Config struct {
+	Structure string       // see Structures()
+	Variant   string       // see Variants(structure)
+	Policy    arena.Policy // allocator free-list policy
+	Threads   int          // concurrent worker count (default 4)
+	Ops       int          // operations per worker (default 2000)
+	Keys      uint64       // key-space size; keys are 1..Keys (default 128)
+	LookupPct int          // % of ops that are lookups (default 20)
+	Window    int          // hand-over-hand window size (default 4)
+	Seed      uint64       // schedule seed; 0 means 1
+	Guard     bool         // enable the arena use-after-free sanitizer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = 4
+	}
+	if c.Ops <= 0 {
+		c.Ops = 2000
+	}
+	if c.Keys == 0 {
+		c.Keys = 128
+	}
+	if c.LookupPct == 0 {
+		c.LookupPct = 20
+	}
+	if c.Window == 0 {
+		c.Window = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// String renders the run as a reproducible `go run ./cmd/torture` command
+// line; it is embedded in every failure.
+func (c Config) String() string {
+	g := ""
+	if c.Guard {
+		g = " -guard"
+	}
+	return fmt.Sprintf(
+		"torture -structure=%s -variant=%s -policy=%d -threads=%d -ops=%d -keys=%d -lookup=%d -window=%d -seed=%d%s",
+		c.Structure, c.Variant, c.Policy, c.Threads, c.Ops, c.Keys, c.LookupPct, c.Window, c.Seed, g)
+}
+
+// Report summarizes a completed run.
+type Report struct {
+	Size        int    // final set cardinality
+	Inserts     uint64 // successful inserts (workers, not prefill)
+	Removes     uint64 // successful removes
+	Live        uint64 // arena live nodes after quiesce
+	Deferred    uint64 // retired-but-unfreed nodes after quiesce
+	Leftover    uint64 // scheme leftovers after the final Finish round
+	PoisonReads uint64 // benign doomed-reader poison observations (guard)
+	Violations  uint64 // committed use-after-free reads (guard; must be 0)
+}
+
+// splitmix64 is the per-worker deterministic RNG step.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// workerTally is one worker's contribution to the exact oracle.
+type workerTally struct {
+	ins []int64 // successful inserts per key
+	rem []int64 // successful removes per key
+	err error   // recovered panic, if any
+}
+
+// Run executes one torture configuration and checks every invariant.
+// The returned error (if any) embeds cfg.String() for reproduction.
+func Run(cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	inst, err := build(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	return runOn(cfg, inst)
+}
+
+// runOn drives a pre-built instance (split out so tests can inspect the
+// structure after the run).
+func runOn(cfg Config, inst *instance) (Report, error) {
+	var rep Report
+	s := inst.set
+
+	// Prefill about half the key space single-threaded through tid 0 so
+	// removals have something to chew on from the first operation.
+	presence := make([]int64, cfg.Keys+1)
+	s.Register(0)
+	seed := cfg.Seed
+	for i := uint64(0); i < cfg.Keys/2; i++ {
+		k := 1 + splitmix64(&seed)%cfg.Keys
+		if s.Insert(0, k) {
+			presence[k] = 1
+		}
+	}
+
+	// Concurrent phase: every worker runs a deterministic op stream drawn
+	// from its own seed and tallies its successful mutations per key.
+	tallies := make([]workerTally, cfg.Threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < cfg.Threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			t := &tallies[tid]
+			t.ins = make([]int64, cfg.Keys+1)
+			t.rem = make([]int64, cfg.Keys+1)
+			defer func() {
+				if r := recover(); r != nil {
+					buf := make([]byte, 8<<10)
+					buf = buf[:runtime.Stack(buf, false)]
+					t.err = fmt.Errorf("worker %d panicked: %v\n%s", tid, r, buf)
+				}
+			}()
+			if tid != 0 {
+				s.Register(tid)
+			}
+			rng := cfg.Seed*0x2545f4914f6cdd1d + uint64(tid+1)
+			for i := 0; i < cfg.Ops; i++ {
+				r := splitmix64(&rng)
+				k := 1 + (r>>16)%cfg.Keys
+				switch {
+				case int(r%100) < cfg.LookupPct:
+					s.Lookup(tid, k)
+				case r&(1<<40) == 0:
+					if s.Insert(tid, k) {
+						t.ins[k]++
+					}
+				default:
+					if s.Remove(tid, k) {
+						t.rem[k]++
+					}
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+	for i := range tallies {
+		if tallies[i].err != nil {
+			fail("%v", tallies[i].err)
+		}
+	}
+	if len(failures) > 0 {
+		// A worker died mid-transaction; the structure may hold locks, so
+		// post-quiesce checks would only add noise.
+		return rep, runError(cfg, failures)
+	}
+
+	// Quiesce and drain deferred reclamation. Sequential Finish can leave
+	// a thread's retirees pinned by hazards that threads with higher tids
+	// only clear in their own (later) Finish; after round one the leftovers
+	// must be bounded by the published-slot count, and a second round —
+	// with every slot cleared — must free them all.
+	for tid := 0; tid < cfg.Threads; tid++ {
+		s.Finish(tid)
+	}
+	if inst.rounds > 1 {
+		if left := inst.reclaim().Leftover; left > uint64(cfg.Threads)*3 {
+			fail("after Finish round 1: %d leftover retirees exceeds the hazard-slot bound %d", left, cfg.Threads*3)
+		}
+		for tid := 0; tid < cfg.Threads; tid++ {
+			s.Finish(tid)
+		}
+	}
+
+	// Exact oracle: presence after quiesce is prefill presence plus the
+	// net successful mutations, key by key, in any interleaving.
+	for k := uint64(1); k <= cfg.Keys; k++ {
+		for i := range tallies {
+			presence[k] += tallies[i].ins[k] - tallies[i].rem[k]
+			rep.Inserts += uint64(tallies[i].ins[k])
+			rep.Removes += uint64(tallies[i].rem[k])
+		}
+		if presence[k] != 0 && presence[k] != 1 {
+			fail("key %d: net presence %d (duplicate insert or phantom remove)", k, presence[k])
+		}
+	}
+
+	snap := s.Snapshot()
+	rep.Size = len(snap)
+	for i, k := range snap {
+		if k < 1 || k > cfg.Keys {
+			fail("snapshot[%d] = %d outside key range [1, %d]", i, k, cfg.Keys)
+		}
+		if i > 0 && snap[i-1] >= k {
+			fail("snapshot not strictly sorted at %d: %d then %d", i-1, snap[i-1], k)
+		}
+	}
+	want := 0
+	for k := uint64(1); k <= cfg.Keys; k++ {
+		if presence[k] == 1 {
+			want++
+			if !contains(snap, k) {
+				fail("oracle says key %d present, snapshot disagrees", k)
+			}
+		}
+	}
+	if want != len(snap) {
+		fail("oracle size %d != snapshot size %d", want, len(snap))
+	}
+
+	// Memory books. Precise modes must balance exactly — that is the
+	// paper's claim; deferred modes balance once the deferred remainder is
+	// added back, and non-leaky deferred modes must have drained to zero.
+	if mr, ok := s.(sets.MemoryReporter); ok {
+		rep.Live = mr.LiveNodes()
+		rep.Deferred = mr.DeferredNodes()
+		rep.Leftover = inst.reclaim().Leftover
+		expect := inst.baseLive + inst.perKey*uint64(len(snap))
+		switch {
+		case !inst.deferred:
+			if rep.Live != expect {
+				fail("precise mode: live %d != sentinels %d + %d per key × size %d = %d",
+					rep.Live, inst.baseLive, inst.perKey, len(snap), expect)
+			}
+			if rep.Deferred != 0 {
+				fail("precise mode: %d deferred nodes", rep.Deferred)
+			}
+		case inst.leak:
+			if rep.Live != expect+rep.Deferred {
+				fail("leak mode: live %d != %d expected + %d leaked", rep.Live, expect, rep.Deferred)
+			}
+		default:
+			if rep.Deferred != 0 {
+				fail("deferred mode: %d nodes still deferred after full drain", rep.Deferred)
+			}
+			if rep.Leftover != 0 {
+				fail("deferred mode: %d leftover retirees after full drain", rep.Leftover)
+			}
+			if rep.Live != expect {
+				fail("deferred mode after drain: live %d != expected %d", rep.Live, expect)
+			}
+		}
+	}
+
+	if inst.validate != nil {
+		if err := inst.validate(); err != nil {
+			fail("%v", err)
+		}
+	}
+
+	if inst.guard != nil {
+		gs := guardStatsOf(s)
+		rep.PoisonReads = gs.PoisonReads
+		rep.Violations = gs.Violations
+		for _, ev := range inst.guard.take() {
+			fail("guard: %s", ev)
+		}
+		if rep.Violations != 0 && len(inst.guard.take()) == 0 {
+			fail("guard: %d violations counted", rep.Violations)
+		}
+	}
+
+	if len(failures) > 0 {
+		return rep, runError(cfg, failures)
+	}
+	return rep, nil
+}
+
+// guardStatsOf fetches the sanitizer counters from any guarded structure.
+func guardStatsOf(s sets.Set) arena.GuardStats {
+	if g, ok := s.(interface{ GuardStats() arena.GuardStats }); ok {
+		return g.GuardStats()
+	}
+	return arena.GuardStats{}
+}
+
+func contains(sorted []uint64, k uint64) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= k })
+	return i < len(sorted) && sorted[i] == k
+}
+
+func runError(cfg Config, failures []string) error {
+	return fmt.Errorf("torture run failed (repro: %s):\n  - %s",
+		cfg, strings.Join(failures, "\n  - "))
+}

@@ -1,0 +1,101 @@
+package torture
+
+import (
+	"flag"
+	"testing"
+
+	"hohtx/internal/arena"
+)
+
+var seedFlag = flag.Uint64("torture.seed", 0, "override the sweep's base seed")
+
+// sweepParams sizes a run so the full matrix fits the CI budget in -short
+// mode while still interleaving aggressively (small key space, several
+// threads), and stretches out for nightly runs.
+func sweepParams(short bool) (threads, ops int, keys uint64) {
+	if short {
+		return 4, 400, 64
+	}
+	return 8, 5000, 256
+}
+
+// TestTortureSweep drives every structure × variant × allocator-policy
+// combination through the harness. Guard mode is enabled wherever the
+// variant supports it, so this is simultaneously a correctness sweep and a
+// use-after-free sanitizer sweep. Failures print a repro command line.
+func TestTortureSweep(t *testing.T) {
+	threads, ops, keys := sweepParams(testing.Short())
+	baseSeed := *seedFlag
+	if baseSeed == 0 {
+		baseSeed = 0x5eed
+	}
+	combo := uint64(0)
+	for _, structure := range Structures() {
+		for _, variant := range Variants(structure) {
+			for _, policy := range []arena.Policy{arena.PolicyLocal, arena.PolicyShared} {
+				combo++
+				cfg := Config{
+					Structure: structure,
+					Variant:   variant,
+					Policy:    policy,
+					Threads:   threads + int(combo%3),       // 4..6 (short)
+					Ops:       ops,
+					Keys:      keys,
+					LookupPct: 10 + int(combo*7%40),          // 10..49
+					Window:    2 + int(combo%6),              // 2..7
+					Seed:      baseSeed + combo,
+					Guard:     true, // ignored by variants without an arena guard
+				}
+				name := structure + "/" + variant + "/" + policyName(policy)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					rep, err := Run(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if rep.Inserts == 0 || rep.Removes == 0 {
+						t.Fatalf("degenerate run: %d inserts, %d removes (repro: %s)",
+							rep.Inserts, rep.Removes, cfg)
+					}
+				})
+			}
+		}
+	}
+}
+
+func policyName(p arena.Policy) string {
+	if p == arena.PolicyShared {
+		return "shared"
+	}
+	return "local"
+}
+
+// TestTortureRejectsUnknown ensures the builder reports undefined
+// combinations instead of silently testing the wrong thing.
+func TestTortureRejectsUnknown(t *testing.T) {
+	for _, cfg := range []Config{
+		{Structure: "singly", Variant: "nope"},
+		{Structure: "ring", Variant: "HTM"},
+		{Structure: "doubly", Variant: "REF"},
+		{Structure: "itree", Variant: "TMHP"},
+		{Structure: "skip", Variant: "Leak"},
+	} {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("Run(%s/%s) accepted an undefined combination", cfg.Structure, cfg.Variant)
+		}
+	}
+}
+
+// TestTortureReproString pins the repro line format the failure messages
+// and cmd/torture rely on.
+func TestTortureReproString(t *testing.T) {
+	cfg := Config{
+		Structure: "etree", Variant: "TMHP", Policy: arena.PolicyShared,
+		Threads: 6, Ops: 1000, Keys: 64, LookupPct: 30, Window: 5,
+		Seed: 42, Guard: true,
+	}
+	want := "torture -structure=etree -variant=TMHP -policy=1 -threads=6 -ops=1000 -keys=64 -lookup=30 -window=5 -seed=42 -guard"
+	if got := cfg.String(); got != want {
+		t.Fatalf("repro string drifted:\n got %s\nwant %s", got, want)
+	}
+}

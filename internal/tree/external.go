@@ -88,7 +88,7 @@ func (t *External) applyExt(tid int, key uint64, needsDepth int,
 			steps := 0
 			for {
 				n := t.ar.At(currH)
-				if arena.Handle(n.left.Load(tx)).IsNil() {
+				if t.loadLink(tx, tid, currH, &n.left).IsNil() {
 					// Reached a leaf.
 					depth := 0
 					if !pH.IsNil() {
@@ -112,12 +112,19 @@ func (t *External) applyExt(tid int, key uint64, needsDepth int,
 				}
 				gH, pDir = pH, cDir
 				pH = currH
-				if key < n.key.Load(tx) {
-					currH = arena.Handle(n.left.Load(tx))
+				if key < t.loadWord(tx, tid, currH, &n.key) {
+					currH = t.loadLink(tx, tid, currH, &n.left)
 					cDir = 0
 				} else {
-					currH = arena.Handle(n.right.Load(tx))
+					currH = t.loadLink(tx, tid, currH, &n.right)
 					cDir = 1
+				}
+				if currH.IsNil() {
+					// A router's children are never Nil; only a poisoned
+					// link defuses to Nil. This attempt is doomed — drop
+					// the hold and retry from the root.
+					t.dropHold(tx, tid, held)
+					return
 				}
 				steps++
 			}
@@ -132,7 +139,7 @@ func (t *External) applyExt(tid int, key uint64, needsDepth int,
 func (t *External) Lookup(tid int, key uint64) bool {
 	return t.applyExt(tid, key, 0,
 		func(tx *stm.Tx, gH, pH, leafH arena.Handle, pDir, lDir int) bool {
-			return t.ar.At(leafH).key.Load(tx) == key
+			return t.loadWord(tx, tid, leafH, &t.ar.At(leafH).key) == key
 		},
 	)
 }
@@ -144,7 +151,7 @@ func (t *External) Insert(tid int, key uint64) bool {
 	}
 	return t.applyExt(tid, key, 1,
 		func(tx *stm.Tx, gH, pH, leafH arena.Handle, pDir, lDir int) bool {
-			leafKey := t.ar.At(leafH).key.Load(tx)
+			leafKey := t.loadWord(tx, tid, leafH, &t.ar.At(leafH).key)
 			if leafKey == key {
 				return false
 			}
@@ -166,10 +173,10 @@ func (t *External) Insert(tid int, key uint64) bool {
 func (t *External) Remove(tid int, key uint64) bool {
 	return t.applyExt(tid, key, 2,
 		func(tx *stm.Tx, gH, pH, leafH arena.Handle, pDir, lDir int) bool {
-			if t.ar.At(leafH).key.Load(tx) != key {
+			if t.loadWord(tx, tid, leafH, &t.ar.At(leafH).key) != key {
 				return false
 			}
-			sibling := child(t.ar.At(pH), 1-lDir).Load(tx)
+			sibling := uint64(t.loadLink(tx, tid, pH, child(t.ar.At(pH), 1-lDir)))
 			child(t.ar.At(gH), pDir).Store(tx, sibling)
 			t.reclaimNode(tx, tid, pH)
 			t.reclaimNode(tx, tid, leafH)

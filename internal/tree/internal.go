@@ -88,7 +88,7 @@ func (t *Internal) apply(tid int, key uint64, needsParent bool,
 					return
 				}
 				n := t.ar.At(currH)
-				ck := n.key.Load(tx)
+				ck := t.loadWord(tx, tid, currH, &n.key)
 				if ck == key {
 					if needsParent && prevH.IsNil() {
 						// Matched at the resumed start: ancestors unknown.
@@ -106,10 +106,10 @@ func (t *Internal) apply(tid int, key uint64, needsParent bool,
 				}
 				prevH = currH
 				if key < ck {
-					currH = arena.Handle(n.left.Load(tx))
+					currH = t.loadLink(tx, tid, currH, &n.left)
 					dir = 0
 				} else {
-					currH = arena.Handle(n.right.Load(tx))
+					currH = t.loadLink(tx, tid, currH, &n.right)
 					dir = 1
 				}
 				steps++
@@ -151,8 +151,8 @@ func (t *Internal) Remove(tid int, key uint64) bool {
 	return t.apply(tid, key, true,
 		func(tx *stm.Tx, parentH, vH arena.Handle, dir int) bool {
 			v := t.ar.At(vH)
-			lH := arena.Handle(v.left.Load(tx))
-			rH := arena.Handle(v.right.Load(tx))
+			lH := t.loadLink(tx, tid, vH, &v.left)
+			rH := t.loadLink(tx, tid, vH, &v.right)
 			switch {
 			case lH.IsNil() && rH.IsNil():
 				child(t.ar.At(parentH), dir).Store(tx, 0)
@@ -189,7 +189,7 @@ func (t *Internal) removeTwoChildren(tx *stm.Tx, tid int, vH, rH arena.Handle) {
 		if t.mode == ModeRR {
 			t.rr.Revoke(tx, uint64(lH))
 		}
-		next := arena.Handle(t.ar.At(lH).left.Load(tx))
+		next := t.loadLink(tx, tid, lH, &t.ar.At(lH).left)
 		if next.IsNil() {
 			break
 		}
@@ -199,8 +199,8 @@ func (t *Internal) removeTwoChildren(tx *stm.Tx, tid int, vH, rH arena.Handle) {
 	l := t.ar.At(lH)
 	// Move the successor's key up, then splice the successor out by
 	// promoting its right child.
-	t.ar.At(vH).key.Store(tx, l.key.Load(tx))
-	promoted := l.right.Load(tx)
+	t.ar.At(vH).key.Store(tx, t.loadWord(tx, tid, lH, &l.key))
+	promoted := uint64(t.loadLink(tx, tid, lH, &l.right))
 	if parentOfL == vH {
 		t.ar.At(vH).right.Store(tx, promoted)
 	} else {

@@ -92,6 +92,11 @@ type Config struct {
 	// ClockPolicy selects the TM global-clock policy (see
 	// stm.Profile.ClockPolicy); composes with the Profile like YieldShift.
 	ClockPolicy stm.ClockPolicy
+	// Guard enables the arena use-after-free sanitizer (see guard.go and
+	// the identically named field in package list).
+	Guard bool
+	// GuardSink receives guard violations instead of the default panic.
+	GuardSink func(arena.GuardEvent)
 }
 
 func (c Config) withDefaults() Config {
@@ -129,15 +134,24 @@ type base struct {
 	win         core.Window
 	winOverride atomic.Int32
 	threads     []threadState
+	guard       bool
 }
 
 func newBase(cfg Config) *base {
 	b := &base{
-		rt:      stm.NewRuntime(cfg.Profile),
-		ar:      arena.New[node](arena.Config{Policy: cfg.ArenaPolicy, Threads: cfg.Threads}),
+		rt: stm.NewRuntime(cfg.Profile),
+		ar: arena.New[node](arena.Config{
+			Policy: cfg.ArenaPolicy, Threads: cfg.Threads,
+			Guard: cfg.Guard, AccessCheck: cfg.GuardSink,
+		}),
 		mode:    cfg.Mode,
 		win:     cfg.Window,
 		threads: make([]threadState, cfg.Threads),
+		guard:   cfg.Guard,
+	}
+	b.ar.SetRetire(func(n *node) { retireNode(n, b.rt.VersionFence()) })
+	if cfg.Guard {
+		b.ar.SetPoison(poisonNode)
 	}
 	switch cfg.Mode {
 	case ModeRR:
@@ -232,6 +246,15 @@ func (b *base) PeakDeferred() uint64 {
 	return 0
 }
 
+// ReclaimStats exposes the deferred-reclamation counters (ModeTMHP; zero
+// for the precise modes).
+func (b *base) ReclaimStats() reclaim.Stats {
+	if b.hp != nil {
+		return b.hp.Stats()
+	}
+	return reclaim.Stats{}
+}
+
 // LiveNodes implements sets.MemoryReporter.
 func (b *base) LiveNodes() uint64 { return b.ar.Stats().Live }
 
@@ -257,7 +280,7 @@ func (b *base) windowStart(tx *stm.Tx, tid int, root arena.Handle) (arena.Handle
 		if s.IsNil() {
 			return root, false
 		}
-		if b.ar.At(s).dead.Load(tx) != 0 {
+		if b.loadWord(tx, tid, s, &b.ar.At(s).dead) != 0 {
 			return root, false
 		}
 		return s, true
@@ -278,7 +301,7 @@ func (b *base) windowHold(tx *stm.Tx, tid int, held bool, currH arena.Handle) {
 	case ModeTMHP:
 		slot := ts.parity & 1
 		b.hp.Protect(tid, slot, currH)
-		_ = b.ar.At(currH).dead.Load(tx) // ordering re-check (see list)
+		_ = b.loadWord(tx, tid, currH, &b.ar.At(currH).dead) // ordering re-check (see list)
 		tx.OnCommit(func() {
 			ts.start = currH
 			b.hp.Protect(tid, slot^1, 0)
