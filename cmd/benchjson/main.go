@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"hohtx/internal/bench"
+	"hohtx/internal/obs"
 	"hohtx/internal/sets"
 )
 
@@ -51,6 +52,20 @@ type Cell struct {
 	ClockCASPerOp   float64 `json:"clock_cas_per_op"`
 	BiasRevocations uint64  `json:"bias_revocations"`
 	PeakDeferred    uint64  `json:"peak_deferred"`
+
+	// Sampled observability percentiles (1 in 2^bench.BenchSampleShift
+	// transactions traced): commit latency, allocator free→reuse distance,
+	// and — for the deferred schemes — retire→free reclamation delay.
+	CommitP50Ns   uint64 `json:"commit_p50_ns"`
+	CommitP99Ns   uint64 `json:"commit_p99_ns"`
+	ReuseP50Ops   uint64 `json:"reuse_p50_ops"`
+	ReuseP99Ops   uint64 `json:"reuse_p99_ops"`
+	ReclaimP50Ops uint64 `json:"reclaim_p50_ops,omitempty"`
+	ReclaimP99Ops uint64 `json:"reclaim_p99_ops,omitempty"`
+	ReclaimMaxOps uint64 `json:"reclaim_max_ops,omitempty"`
+	// Obs is the final trial's full domain snapshot (log2-bucket histograms,
+	// gauges, abort-attribution edges); nil for the lock-free variants.
+	Obs *obs.DomainSnapshot `json:"obs,omitempty"`
 }
 
 // Summary is the file's top-level shape.
@@ -107,10 +122,11 @@ func main() {
 		{name: "RR-XO", lazy: true},
 		{name: "HTM"},
 		{name: "TMHP"},
+		{name: "ER"},
 	}
 	for _, sr := range suite {
 		for _, th := range ths {
-			spec := bench.VariantSpec{Name: sr.name, LazyClock: sr.lazy}
+			spec := bench.VariantSpec{Name: sr.name, LazyClock: sr.lazy, Observe: true}
 			spec.Window = bench.BestWindow(bench.FamilySingly, th)
 			var buildErr error
 			mk := bench.MakeSet(func(t int) sets.Set {
@@ -150,6 +166,10 @@ func main() {
 			c.Aborts.Validation = res.ValidationsPerOp
 			c.Aborts.WriteLock = res.WriteLocksPerOp
 			c.Aborts.Capacity = res.CapacityPerOp
+			c.CommitP50Ns, c.CommitP99Ns = res.CommitP50Ns, res.CommitP99Ns
+			c.ReuseP50Ops, c.ReuseP99Ops = res.ReuseP50Ops, res.ReuseP99Ops
+			c.ReclaimP50Ops, c.ReclaimP99Ops, c.ReclaimMaxOps = res.ReclaimP50Ops, res.ReclaimP99Ops, res.ReclaimMaxOps
+			c.Obs = res.Obs
 			sum.Cells = append(sum.Cells, c)
 			fmt.Fprintf(os.Stderr, "benchjson: %-5s %s %dT  %.4f Mops/s\n",
 				sr.name, c.Clock, th, res.MopsPerSec)

@@ -30,7 +30,7 @@ type table struct {
 }
 
 func main() {
-	metric := flag.String("metric", "mops", "column to tabulate: mops, aborts, serial, deferred, read, valid, wlock, cap")
+	metric := flag.String("metric", "mops", "column to tabulate: mops, aborts, serial, deferred, read, valid, wlock, cap, delay, rp50, rp99, rmax")
 	flag.Parse()
 
 	in := os.Stdin
@@ -47,6 +47,7 @@ func main() {
 	col := map[string]int{
 		"mops": 5, "aborts": 7, "serial": 8, "deferred": 9,
 		"read": 10, "valid": 11, "wlock": 12, "cap": 13,
+		"delay": 14, "rp50": 15, "rp99": 16, "rmax": 17,
 	}[*metric]
 	if col == 0 {
 		fmt.Fprintf(os.Stderr, "figtable: unknown metric %q\n", *metric)
@@ -101,6 +102,8 @@ func main() {
 		"mops": "Mops/s", "aborts": "aborts/op", "serial": "serial/op", "deferred": "peak deferred",
 		"read": "read-conflict aborts/op", "valid": "validation aborts/op",
 		"wlock": "write-lock aborts/op", "cap": "capacity aborts/op",
+		"delay": "mean reclamation delay (ops)", "rp50": "p50 reclamation delay (ops)",
+		"rp99": "p99 reclamation delay (ops)", "rmax": "max reclamation delay (ops)",
 	}[*metric]
 	for _, key := range order {
 		t := tables[key]

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"hohtx/internal/bench"
+	"hohtx/internal/obs"
 	"hohtx/internal/sets"
 )
 
@@ -36,7 +37,12 @@ var (
 	family  = flag.String("family", "all", "structure family: singly, doubly, itree, etree, or all")
 	variant = flag.String("variant", "all", "variant name (e.g. RR-XO) or all")
 	seed    = flag.Int64("seed", 0, "base seed (0 = time-derived)")
+	obsAddr = flag.String("obs", "", "serve live metrics (/metrics, /snapshot, pprof) on this address, e.g. :8372")
 )
+
+// registry is non-nil when -obs is set; each round's structure registers
+// its observability domain for the duration of the round.
+var registry *obs.Registry
 
 // cell is one (family, variant) combination under stress.
 type cell struct {
@@ -69,9 +75,18 @@ func cells() []cell {
 
 // stressOnce runs one round against a fresh structure and verifies it.
 func stressOnce(c cell, roundSeed int64) error {
-	s, err := bench.Build(c.fam, bench.VariantSpec{Name: c.name, Window: 2 + int(roundSeed%7)}, *threads)
+	spec := bench.VariantSpec{Name: c.name, Window: 2 + int(roundSeed%7), Observe: registry != nil}
+	s, err := bench.Build(c.fam, spec, *threads)
 	if err != nil {
 		return fmt.Errorf("build: %w", err)
+	}
+	if registry != nil {
+		if or, ok := s.(bench.ObsReporter); ok {
+			if d := or.ObsDomain(); d != nil {
+				registry.Register(d)
+				defer registry.Unregister(d)
+			}
+		}
 	}
 	var succIns, succRem atomic.Int64
 	var wg sync.WaitGroup
@@ -145,6 +160,15 @@ func stressOnce(c cell, roundSeed int64) error {
 
 func main() {
 	flag.Parse()
+	if *obsAddr != "" {
+		registry = obs.NewRegistry()
+		addr, err := obs.Serve(*obsAddr, registry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rrstress: obs endpoint:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("obs endpoint on http://%s (/metrics, /snapshot, /flight, /debug/pprof)\n", addr)
+	}
 	base := *seed
 	if base == 0 {
 		base = time.Now().UnixNano()

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"hohtx/internal/arena"
+	"hohtx/internal/obs"
 	"hohtx/internal/torture"
 )
 
@@ -37,22 +38,35 @@ func main() {
 		sweep     = flag.Bool("sweep", false, "run the full structure × variant × policy matrix")
 		rounds    = flag.Int("rounds", 1, "seeds per combination in sweep mode")
 		failures  = flag.String("failures", "torture-failures.txt", "file to append failing repro lines to (sweep mode)")
+		obsAddr   = flag.String("obs", "", "serve live metrics (/metrics, /snapshot, /flight, pprof) on this address, e.g. :8371")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *obsAddr != "" {
+		reg = obs.NewRegistry()
+		addr, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "torture: obs endpoint:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("obs endpoint on http://%s (/metrics, /snapshot, /flight, /debug/pprof)\n", addr)
+	}
 
 	if !*sweep {
 		cfg := torture.Config{
 			Structure: *structure, Variant: *variant, Policy: arena.Policy(*policy),
 			Threads: *threads, Ops: *ops, Keys: *keys, LookupPct: *lookup,
-			Window: *window, Seed: *seed, Guard: *guard,
+			Window: *window, Seed: *seed, Guard: *guard, Registry: reg,
 		}
 		rep, err := torture.Run(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("ok: %s\n  size=%d inserts=%d removes=%d live=%d deferred=%d poisonReads=%d violations=%d\n",
-			cfg, rep.Size, rep.Inserts, rep.Removes, rep.Live, rep.Deferred, rep.PoisonReads, rep.Violations)
+		fmt.Printf("ok: %s\n  size=%d inserts=%d removes=%d live=%d deferred=%d leftover=%d avg_delay_ops=%.1f poisonReads=%d violations=%d\n",
+			cfg, rep.Size, rep.Inserts, rep.Removes, rep.Live, rep.Deferred,
+			rep.Leftover, rep.AvgDelayOps, rep.PoisonReads, rep.Violations)
 		return
 	}
 
@@ -62,6 +76,8 @@ func main() {
 		for _, v := range torture.Variants(st) {
 			for _, pol := range []arena.Policy{arena.PolicyLocal, arena.PolicyShared} {
 				combos++
+				comboFailed := 0
+				var last torture.Report
 				for r := 0; r < *rounds; r++ {
 					runs++
 					cfg := torture.Config{
@@ -71,12 +87,22 @@ func main() {
 						Window:    2 + (combos+r)%6,
 						Seed:      *seed + uint64(runs),
 						Guard:     true,
+						Registry:  reg,
 					}
-					if _, err := torture.Run(cfg); err != nil {
+					rep, err := torture.Run(cfg)
+					if err != nil {
 						fmt.Fprintln(os.Stderr, err)
 						failed = append(failed, cfg.String())
+						comboFailed++
 					}
+					last = rep
 				}
+				polName := "local"
+				if pol == arena.PolicyShared {
+					polName = "shared"
+				}
+				fmt.Printf("%-7s %-7s %-6s rounds=%d failed=%d size=%d leftover=%d avg_delay_ops=%.1f\n",
+					st, v, polName, *rounds, comboFailed, last.Size, last.Leftover, last.AvgDelayOps)
 			}
 		}
 	}

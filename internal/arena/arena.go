@@ -268,6 +268,7 @@ type Arena[T any] struct {
 	retire func(*T)
 
 	guard *guardState[T] // nil unless Config.Guard
+	obsv  *obsState      // nil unless SetObserver attached a probe (obs.go)
 }
 
 // New creates an Arena with the given configuration.
@@ -382,6 +383,9 @@ func (a *Arena[T]) Alloc(tid int) Handle {
 		au.lastAllocTid.Store(int32(tid))
 		au.allocs.Add(1)
 	}
+	if o := a.obsv; o != nil {
+		a.noteAlloc(o, tid, idx, g)
+	}
 	return makeHandle(idx, g+1)
 }
 
@@ -418,6 +422,11 @@ func (a *Arena[T]) Free(tid int, h Handle) {
 		if a.guard.poison != nil {
 			a.guard.poison(&s.val)
 		}
+	}
+	if o := a.obsv; o != nil {
+		// Stamp while the slot is still unreachable, for the same reason
+		// the poisoner runs here: the recycling Alloc must observe it.
+		a.noteFree(o, tid, h)
 	}
 	m := &a.mags[tid]
 	m.frees.Add(1)
@@ -533,6 +542,15 @@ func (a *Arena[T]) grow(seen int) {
 		copy(nextAu, curAu)
 		nextAu[len(curAu)] = &auditPage{slots: make([]slotAudit, pageSize)}
 		a.guard.audits.Store(&nextAu)
+	}
+	if o := a.obsv; o != nil {
+		// Grow the stamp shadow before publishing the page: any index
+		// reachable through the new pages vector then has a stamp cell.
+		curSt := *o.stamps.Load()
+		nextSt := make([]*stampPage, len(curSt)+1)
+		copy(nextSt, curSt)
+		nextSt[len(curSt)] = &stampPage{slots: make([]atomic.Uint64, pageSize)}
+		o.stamps.Store(&nextSt)
 	}
 	a.pages.Store(&next)
 	a.grows.Add(1)

@@ -1,0 +1,107 @@
+package arena
+
+import (
+	"sync/atomic"
+
+	"hohtx/internal/obs"
+)
+
+// Free→reuse distance measurement. The paper's precision claim is about
+// *when* memory becomes reusable, so the interesting quantity is how many
+// allocator operations pass between a slot's free and the allocation that
+// recycles it. The arena keeps an op clock (one tick per Alloc/Free while
+// an observer is attached and sampling enabled) and a shadow stamp page
+// per slot page holding each slot's free-time clock value; the recycling
+// Alloc reads the stamp and records the distance.
+
+// stampPage parallels one slot page with free-time op-clock stamps.
+type stampPage struct {
+	slots []atomic.Uint64
+}
+
+// obsState exists only after SetObserver, so the detached-mode cost in
+// Alloc and Free is one nil check (the same discipline as guardState).
+type obsState struct {
+	probe *obs.AllocProbe
+	// clock is the arena op clock. It is a single shared counter — the
+	// distance unit must be global operations, not per-thread ones — so it
+	// only ticks while sampling is enabled; distances therefore count ops
+	// observed since enablement, and the detached/disabled paths never
+	// touch the shared line.
+	clock  atomic.Uint64
+	stamps atomic.Pointer[[]*stampPage]
+}
+
+// enabled reports whether the observer should pay per-op costs.
+func (o *obsState) enabled() bool { return o.probe.D.SampleShift() >= 0 }
+
+// stampAt returns the stamp cell for a slot index, or nil if the stamp
+// shadow has not caught up with a concurrent grow (the caller just skips
+// the measurement).
+func (o *obsState) stampAt(idx uint32) *atomic.Uint64 {
+	stamps := *o.stamps.Load()
+	if int(idx>>pageShift) >= len(stamps) {
+		return nil
+	}
+	return &stamps[idx>>pageShift].slots[idx&pageMask]
+}
+
+// SetObserver attaches an alloc probe (nil detaches). The stamp shadow is
+// backfilled for already-grown pages, so wiring order relative to early
+// allocations (e.g. a structure's head sentinel) does not matter; stamps
+// then grow in lockstep with pages (see grow).
+func (a *Arena[T]) SetObserver(p *obs.AllocProbe) {
+	if p == nil {
+		a.obsv = nil
+		return
+	}
+	o := &obsState{probe: p}
+	a.growMu.Lock()
+	n := len(*a.pages.Load())
+	stamps := make([]*stampPage, n)
+	for i := range stamps {
+		stamps[i] = &stampPage{slots: make([]atomic.Uint64, pageSize)}
+	}
+	o.stamps.Store(&stamps)
+	a.obsv = o
+	a.growMu.Unlock()
+}
+
+// noteAlloc records a recycling allocation's free→reuse distance. Called
+// with the slot's pre-bump (even) generation: g > 0 means the slot has
+// been freed before, so its stamp is meaningful.
+func (a *Arena[T]) noteAlloc(o *obsState, tid int, idx uint32, g uint32) {
+	if !o.enabled() {
+		return
+	}
+	c := o.clock.Add(1)
+	if g == 0 {
+		return // fresh bump allocation: nothing was reused
+	}
+	st := o.stampAt(idx)
+	if st == nil {
+		return
+	}
+	s0 := st.Load()
+	if s0 == 0 || c <= s0 {
+		return // freed before the observer was enabled
+	}
+	if dist := c - s0; o.probe.D.Sampled(uint64(tid)) {
+		o.probe.ReuseDist.RecordAt(uint64(tid), dist)
+		o.probe.Rec.Emit(tid, obs.EvReuse, 0, uint64(makeHandle(idx, g+1)), dist)
+	}
+}
+
+// noteFree stamps the freed slot with the current op clock.
+func (a *Arena[T]) noteFree(o *obsState, tid int, h Handle) {
+	if !o.enabled() {
+		return
+	}
+	c := o.clock.Add(1)
+	if st := o.stampAt(h.Index()); st != nil {
+		st.Store(c)
+	}
+	if o.probe.D.Sampled(uint64(tid)) {
+		o.probe.Rec.Emit(tid, obs.EvFree, 0, uint64(h), 0)
+	}
+}

@@ -71,16 +71,19 @@ func (o Opts) treeBits() int {
 	return 21
 }
 
-// header emits the TSV column header once per figure.
+// header emits the TSV column header once per figure. The trailing four
+// columns carry the reclamation-latency view: mean retire→free distance
+// plus its sampled p50/p99/max (zero unless the cell ran observed).
 func header(w io.Writer) {
-	fmt.Fprintln(w, "figure\tpanel\tvariant\tthreads\twindow\tmops\trelstd\taborts_per_op\tserial_per_op\tpeak_deferred\tab_read\tab_valid\tab_wlock\tab_cap")
+	fmt.Fprintln(w, "figure\tpanel\tvariant\tthreads\twindow\tmops\trelstd\taborts_per_op\tserial_per_op\tpeak_deferred\tab_read\tab_valid\tab_wlock\tab_cap\tavg_delay\trec_p50\trec_p99\trec_max")
 }
 
 func emit(w io.Writer, fig, panel, variant string, window int, r Result) {
-	fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\t%.4f\t%.3f\t%.4f\t%.5f\t%d\t%.4f\t%.4f\t%.4f\t%.4f\n",
+	fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\t%.4f\t%.3f\t%.4f\t%.5f\t%d\t%.4f\t%.4f\t%.4f\t%.4f\t%.1f\t%d\t%d\t%d\n",
 		fig, panel, variant, r.Threads, window, r.MopsPerSec, r.RelStddev,
 		r.AbortsPerOp, r.SerialPerOp, r.DeferredPeak,
-		r.ReadConflictsPerOp, r.ValidationsPerOp, r.WriteLocksPerOp, r.CapacityPerOp)
+		r.ReadConflictsPerOp, r.ValidationsPerOp, r.WriteLocksPerOp, r.CapacityPerOp,
+		r.AvgDelayOps, r.ReclaimP50Ops, r.ReclaimP99Ops, r.ReclaimMaxOps)
 }
 
 // runCell measures one (family, spec, workload, threads) cell and emits it.
@@ -154,28 +157,12 @@ func figureDelay(o Opts) error {
 		wl := Workload{KeyBits: 10, LookupPct: look, OpsPerThread: o.ops(200_000)}
 		for _, name := range []string{"RR-V", "RR-FA", "TMHP", "ER", "LFHP", "LFLeak"} {
 			for _, th := range o.Threads {
-				spec := VariantSpec{Name: name, Window: BestWindow(FamilySingly, th), LazyClock: o.LazyClock}
-				var buildErr error
-				mk := MakeSet(func(t int) sets.Set {
-					s, err := Build(FamilySingly, spec, t)
-					if err != nil {
-						buildErr = err
-						return nil
-					}
-					return s
-				})
-				if probe := mk(th); probe == nil {
-					return buildErr
-				}
-				res, err := Run(mk, wl, RunConfig{Threads: th, Trials: o.Trials, Seed: o.Seed, Verify: true})
-				if err != nil {
+				// Observed cells: the trailing TSV columns get real sampled
+				// reclamation-delay percentiles, not just the mean.
+				spec := VariantSpec{Name: name, Observe: true}
+				if err := runCell(o, "fig8", panel, FamilySingly, spec, wl, th, ""); err != nil {
 					return err
 				}
-				fmt.Fprintf(o.Out, "fig8\t%s\t%s\t%d\t%d\t%.4f\t%.3f\t%.4f\t%.5f\t%d\t%.4f\t%.4f\t%.4f\t%.4f\t%.1f\n",
-					panel, name, th, spec.Window, res.MopsPerSec, res.RelStddev,
-					res.AbortsPerOp, res.SerialPerOp, res.DeferredPeak,
-					res.ReadConflictsPerOp, res.ValidationsPerOp, res.WriteLocksPerOp, res.CapacityPerOp,
-					res.AvgDelayOps)
 			}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hohtx/internal/obs"
 	"hohtx/internal/sets"
 	"hohtx/internal/stm"
 )
@@ -43,6 +44,25 @@ type Result struct {
 	// shared-state traffic under the distributed lock and clock policies.
 	ClockCASPerOp   float64
 	BiasRevocations uint64
+	// Sampled latency/distance percentiles, pulled from the structure's
+	// observability domain when the spec attached one (VariantSpec.Observe);
+	// all zero otherwise. Reclaim* quantify the deferred schemes' retire→free
+	// distance in operation stamps — the per-scheme reclamation-latency view
+	// the delay study tabulates.
+	CommitP50Ns   uint64
+	CommitP99Ns   uint64
+	ReuseP50Ops   uint64
+	ReuseP99Ops   uint64
+	ReclaimP50Ops uint64
+	ReclaimP99Ops uint64
+	ReclaimMaxOps uint64
+	// Obs is the final trial's full domain snapshot (nil when detached).
+	Obs *obs.DomainSnapshot
+}
+
+// ObsReporter lets the runner pull a structure's observability domain.
+type ObsReporter interface {
+	ObsDomain() *obs.Domain
 }
 
 // DelayReporter lets the runner pull reclamation-delay averages.
@@ -170,6 +190,21 @@ func (r *Result) fillStats(s sets.Set, totalOps float64) {
 	}
 	if dr, ok := s.(DelayReporter); ok {
 		r.AvgDelayOps = dr.AvgReclaimDelayOps()
+	}
+	if or, ok := s.(ObsReporter); ok {
+		if d := or.ObsDomain(); d != nil {
+			snap := d.Snapshot()
+			r.Obs = &snap
+			if h, ok := snap.Hist(obs.HistCommitNs); ok {
+				r.CommitP50Ns, r.CommitP99Ns = h.P50, h.P99
+			}
+			if h, ok := snap.Hist(obs.HistReuseOps); ok {
+				r.ReuseP50Ops, r.ReuseP99Ops = h.P50, h.P99
+			}
+			if h, ok := snap.Hist(obs.HistReclaimOps); ok {
+				r.ReclaimP50Ops, r.ReclaimP99Ops, r.ReclaimMaxOps = h.P50, h.P99, h.Max
+			}
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"hohtx/internal/core"
 	"hohtx/internal/list"
 	"hohtx/internal/lockfree"
+	"hohtx/internal/obs"
 	"hohtx/internal/sets"
 	"hohtx/internal/skiplist"
 	"hohtx/internal/stm"
@@ -57,6 +58,28 @@ type VariantSpec struct {
 	// variants (see stm.ClockPolicy). Ignored by the lock-free variants,
 	// which have no version clock.
 	LazyClock bool
+	// Observe attaches a fresh observability domain (package obs) to the
+	// structure; the runner pulls latency and reclamation percentiles out
+	// of it through the ObsReporter interface. The lock-free variants have
+	// no instrumented sites and ignore it.
+	Observe bool
+}
+
+// BenchSampleShift traces 1 in 2^4 transactions when Observe is set:
+// enough samples for stable p99s at bench op counts while keeping the
+// probe cost off the critical path.
+const BenchSampleShift = 4
+
+// obsDomain builds the per-instance domain an observed spec attaches.
+func obsDomain(spec VariantSpec, threads int) *obs.Domain {
+	if !spec.Observe {
+		return nil
+	}
+	return obs.NewDomain(obs.DomainConfig{
+		Name:        spec.Name,
+		Threads:     threads,
+		SampleShift: BenchSampleShift,
+	})
 }
 
 // clockOf maps the spec's clock knob to the stm policy.
@@ -133,6 +156,7 @@ func Build(f Family, spec VariantSpec, threads int) (sets.Set, error) {
 			Assoc:       spec.Assoc,
 			YieldShift:  simShift(spec.NoSimulatedPreemption),
 			ClockPolicy: clockOf(spec),
+			Obs:         obsDomain(spec, threads),
 		}
 		if spec.Capacity > 0 {
 			cfg.Profile = stm.Profile{Capacity: spec.Capacity, MaxAttempts: 2}
@@ -183,6 +207,7 @@ func Build(f Family, spec VariantSpec, threads int) (sets.Set, error) {
 			Assoc:       spec.Assoc,
 			YieldShift:  simShift(spec.NoSimulatedPreemption),
 			ClockPolicy: clockOf(spec),
+			Obs:         obsDomain(spec, threads),
 		}
 		if spec.Capacity > 0 {
 			cfg.Profile = stm.Profile{Capacity: spec.Capacity, MaxAttempts: 8}
@@ -224,6 +249,7 @@ func Build(f Family, spec VariantSpec, threads int) (sets.Set, error) {
 			Assoc:       spec.Assoc,
 			YieldShift:  simShift(spec.NoSimulatedPreemption),
 			ClockPolicy: clockOf(spec),
+			Obs:         obsDomain(spec, threads),
 		}
 		if spec.Capacity > 0 {
 			cfg.Profile = stm.Profile{Capacity: spec.Capacity, MaxAttempts: 8}

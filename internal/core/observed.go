@@ -1,0 +1,88 @@
+package core
+
+import (
+	"time"
+
+	"hohtx/internal/obs"
+	"hohtx/internal/pad"
+	"hohtx/internal/stm"
+)
+
+// Reservation hold-time measurement. A "hold" starts when a thread's
+// Reserve of a nonzero reference commits and ends when the owning thread
+// commits a Release, commits a replacement Reserve, or observes (via a
+// committed Get) that the reservation is gone — the revoked case, timed
+// from the victim's side because the revoker cannot know which threads it
+// hit. The distribution of hold times bounds how long a reservation can
+// fence another thread's reclamation, which is the quantity the paper's
+// immediacy argument (§3) is about.
+//
+// All bookkeeping runs in OnCommit hooks, so aborted attempts leave no
+// trace, and each slot is touched only by its owning thread's hooks
+// (commit hooks run sequentially per thread), so the slots need no
+// atomics.
+
+// holdSlot is one thread's in-progress timed hold.
+type holdSlot struct {
+	t0 time.Time // start of the timed hold; zero = none in progress
+	_  pad.Line
+}
+
+// observed decorates a Reservation with hold-time measurement. Register,
+// Revoke, Strict and Name pass through via embedding.
+type observed struct {
+	Reservation
+	p     *obs.HoldProbe
+	holds []holdSlot
+}
+
+// Observed wraps r so that reservation hold times are recorded into p's
+// histogram (sampled per hold, at Reserve time). A nil probe returns r
+// unchanged. threads must cover every tid that will use the reservation.
+func Observed(r Reservation, p *obs.HoldProbe, threads int) Reservation {
+	if p == nil {
+		return r
+	}
+	if threads <= 0 {
+		threads = 64
+	}
+	return &observed{Reservation: r, p: p, holds: make([]holdSlot, threads)}
+}
+
+func (o *observed) Reserve(tx *stm.Tx, tid int, ref uint64) {
+	o.Reservation.Reserve(tx, tid, ref)
+	if o.p.D.SampleShift() < 0 && o.holds[tid].t0.IsZero() {
+		return // disabled and nothing to close out: skip the hook allocation
+	}
+	tx.OnCommit(func() {
+		o.end(tid)
+		if ref != 0 && o.p.D.Sampled(uint64(tid)) {
+			o.holds[tid].t0 = time.Now()
+		}
+	})
+}
+
+func (o *observed) Release(tx *stm.Tx, tid int) {
+	o.Reservation.Release(tx, tid)
+	if !o.holds[tid].t0.IsZero() {
+		tx.OnCommit(func() { o.end(tid) })
+	}
+}
+
+func (o *observed) Get(tx *stm.Tx, tid int) uint64 {
+	ref := o.Reservation.Get(tx, tid)
+	if ref == 0 && !o.holds[tid].t0.IsZero() {
+		// The reservation is gone (revoked, or spuriously lost under a
+		// relaxed scheme — either way the hold is over if this commits).
+		tx.OnCommit(func() { o.end(tid) })
+	}
+	return ref
+}
+
+// end closes tid's timed hold, if one is in progress.
+func (o *observed) end(tid int) {
+	if t0 := o.holds[tid].t0; !t0.IsZero() {
+		o.holds[tid].t0 = time.Time{}
+		o.p.HoldNs.RecordAt(uint64(tid), uint64(time.Since(t0)))
+	}
+}

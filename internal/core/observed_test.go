@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"hohtx/internal/obs"
+	"hohtx/internal/stm"
+)
+
+// TestObservedHoldLifecycle drives one reservation through
+// reserve→get→release and reserve→revoke→get and checks a hold-time
+// sample is recorded for each completed hold.
+func TestObservedHoldLifecycle(t *testing.T) {
+	rt := stm.NewRuntime(stm.Profile{})
+	d := obs.NewDomain(obs.DomainConfig{Name: "core-test", Threads: 4})
+	r := Observed(New(KindFA, Config{Threads: 4}), d.HoldProbe(), 4)
+	r.Register(0)
+	r.Register(1)
+
+	holdCount := func() uint64 {
+		hs, _ := d.Snapshot().Hist(obs.HistHoldNs)
+		return hs.Count
+	}
+
+	// Hold 1: reserve then release.
+	rt.Atomic(func(tx *stm.Tx) { r.Reserve(tx, 0, 42) })
+	rt.Atomic(func(tx *stm.Tx) {
+		if got := r.Get(tx, 0); got != 42 {
+			t.Fatalf("Get = %d", got)
+		}
+	})
+	if holdCount() != 0 {
+		t.Fatal("hold ended before release")
+	}
+	rt.Atomic(func(tx *stm.Tx) { r.Release(tx, 0) })
+	if holdCount() != 1 {
+		t.Fatalf("after release, %d holds recorded", holdCount())
+	}
+
+	// Hold 2: reserve, another thread revokes, owner observes via Get.
+	rt.Atomic(func(tx *stm.Tx) { r.Reserve(tx, 0, 77) })
+	rt.Atomic(func(tx *stm.Tx) { r.Revoke(tx, 77) })
+	if holdCount() != 1 {
+		t.Fatal("revoke alone must not end the victim's timed hold")
+	}
+	rt.Atomic(func(tx *stm.Tx) {
+		if got := r.Get(tx, 0); got != 0 {
+			t.Fatalf("Get after revoke = %d", got)
+		}
+	})
+	if holdCount() != 2 {
+		t.Fatalf("after observed revoke, %d holds recorded", holdCount())
+	}
+
+	// Hold 3: a replacement Reserve ends the previous hold and starts a
+	// new one.
+	rt.Atomic(func(tx *stm.Tx) { r.Reserve(tx, 1, 10) })
+	rt.Atomic(func(tx *stm.Tx) { r.Reserve(tx, 1, 11) })
+	if holdCount() != 3 {
+		t.Fatalf("replacement reserve: %d holds recorded", holdCount())
+	}
+	rt.Atomic(func(tx *stm.Tx) { r.Release(tx, 1) })
+	if holdCount() != 4 {
+		t.Fatalf("final release: %d holds recorded", holdCount())
+	}
+}
+
+// TestObservedNilProbe checks the nil-probe fast path returns the
+// underlying reservation untouched.
+func TestObservedNilProbe(t *testing.T) {
+	r := New(KindV, Config{Threads: 2})
+	if got := Observed(r, nil, 2); got != r {
+		t.Fatal("nil probe must return the reservation unwrapped")
+	}
+}
+
+// TestObservedAbortLeavesNoTrace aborts a reserving transaction and
+// checks no hold was started (hooks only run on commit).
+func TestObservedAbortLeavesNoTrace(t *testing.T) {
+	rt := stm.NewRuntime(stm.Profile{})
+	d := obs.NewDomain(obs.DomainConfig{Name: "core-abort", Threads: 2})
+	r := Observed(New(KindFA, Config{Threads: 2}), d.HoldProbe(), 2)
+	r.Register(0)
+	first := true
+	rt.Atomic(func(tx *stm.Tx) {
+		if first {
+			first = false
+			r.Reserve(tx, 0, 5)
+			tx.Restart() // the reserve above must not start a hold
+		}
+	})
+	rt.Atomic(func(tx *stm.Tx) { r.Release(tx, 0) })
+	hs, ok := d.Snapshot().Hist(obs.HistHoldNs)
+	if ok && hs.Count != 0 {
+		t.Fatalf("aborted reserve leaked %d hold samples", hs.Count)
+	}
+}

@@ -102,7 +102,7 @@ func (d *DList) Remove(tid int, key uint64) bool {
 // transaction.
 func (d *DList) removePhase2RR(tid int, target arena.Handle) int {
 	out := retryOp
-	d.rt.Atomic(func(tx *stm.Tx) {
+	d.rt.AtomicT(tid, func(tx *stm.Tx) {
 		out = retryOp
 		r := d.rr.Get(tx, tid)
 		if r == 0 {
@@ -130,7 +130,7 @@ func (d *DList) removePhase2RR(tid int, target arena.Handle) int {
 func (d *DList) removePhase2TMHP(tid int, target arena.Handle) int {
 	ts := &d.threads[tid]
 	out := retryOp
-	d.rt.Atomic(func(tx *stm.Tx) {
+	d.rt.AtomicT(tid, func(tx *stm.Tx) {
 		out = retryOp
 		curr := d.ar.At(target)
 		if d.loadWord(tx, tid, target, &curr.dead) != 0 {

@@ -52,7 +52,7 @@ func (l *List) applyAt(tid int, key uint64, head arena.Handle, reserveFound bool
 	}
 	for {
 		done := false
-		l.rt.Atomic(func(tx *stm.Tx) {
+		l.rt.AtomicT(tid, func(tx *stm.Tx) {
 			// Reset per attempt: the closure re-runs on abort.
 			done = false
 			res = false

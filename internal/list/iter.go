@@ -36,7 +36,7 @@ func (l *List) Ascend(tid int, from uint64, fn func(key uint64) bool) {
 	for {
 		done := false
 		batch = batch[:0]
-		l.rt.Atomic(func(tx *stm.Tx) {
+		l.rt.AtomicT(tid, func(tx *stm.Tx) {
 			done = false
 			batch = batch[:0]
 			win := l.window()
@@ -102,7 +102,7 @@ func (l *List) dropHoldOutsideWindow(tid int) {
 	if l.mode != ModeRR {
 		return
 	}
-	l.rt.Atomic(func(tx *stm.Tx) {
+	l.rt.AtomicT(tid, func(tx *stm.Tx) {
 		l.rr.Release(tx, tid)
 	})
 }

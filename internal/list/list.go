@@ -16,6 +16,7 @@ import (
 
 	"hohtx/internal/arena"
 	"hohtx/internal/core"
+	"hohtx/internal/obs"
 	"hohtx/internal/pad"
 	"hohtx/internal/reclaim"
 	"hohtx/internal/sets"
@@ -114,6 +115,13 @@ type Config struct {
 	// (torture harnesses collect events; tests assert on them). Only
 	// meaningful with Guard set.
 	GuardSink func(arena.GuardEvent)
+	// Obs, when non-nil, threads the observability domain through every
+	// layer the list owns: commit/backoff latency and abort attribution on
+	// the TM runtime, free→reuse distances on the arena, hold times on the
+	// reservation, retire→free delays and a deferred-depth gauge on the
+	// deferred-reclamation scheme. Nil keeps every instrumented site at a
+	// single nil/branch check.
+	Obs *obs.Domain
 }
 
 func (c Config) withDefaults() Config {
@@ -154,6 +162,7 @@ type List struct {
 	head        arena.Handle
 	threads     []threadState
 	guard       bool
+	obs         *obs.Domain
 }
 
 var _ sets.Set = (*List)(nil)
@@ -197,6 +206,22 @@ func New(cfg Config) *List {
 			l.threads[i].marks = make([]uint64, cfg.Window.W)
 		}
 	}
+	if cfg.Obs != nil {
+		l.obs = cfg.Obs
+		l.rt.SetObserver(cfg.Obs.TxProbe())
+		l.ar.SetObserver(cfg.Obs.AllocProbe())
+		if l.rr != nil {
+			l.rr = core.Observed(l.rr, cfg.Obs.HoldProbe(), cfg.Threads)
+		}
+		if l.hp != nil {
+			l.hp.SetObserver(cfg.Obs.ReclaimProbe())
+			cfg.Obs.Gauge("deferred_depth", func() uint64 { return l.hp.Stats().Deferred })
+		}
+		if l.ep != nil {
+			l.ep.SetObserver(cfg.Obs.ReclaimProbe())
+			cfg.Obs.Gauge("deferred_depth", func() uint64 { return l.ep.Stats().Deferred })
+		}
+	}
 	// The head sentinel is allocated fresh (never shared before init), so
 	// non-transactional Init is safe here and only here.
 	l.head = l.ar.Alloc(0)
@@ -211,6 +236,10 @@ func New(cfg Config) *List {
 
 // Runtime exposes the list's TM runtime (statistics, ablation benches).
 func (l *List) Runtime() *stm.Runtime { return l.rt }
+
+// ObsDomain returns the observability domain wired at construction (nil
+// when Config.Obs was nil).
+func (l *List) ObsDomain() *obs.Domain { return l.obs }
 
 // SetWindow changes the hand-over-hand window size at runtime (0 restores
 // the configured value). The paper proposes contention-driven window

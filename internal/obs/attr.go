@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Who-aborted-whom attribution. Committing (sampled) transactions record
+// themselves as the last writer of each cell they wrote; an aborting
+// transaction looks up the conflicting cell to name the probable owner
+// and bumps the (victim, owner) edge counter. Attribution is inherently
+// best-effort — the table is a fixed-size hash with overwrite-on-collision
+// and the owner lookup races with later writers — but a skewed edge
+// matrix still answers the postmortem question "who keeps killing t3"
+// precisely enough to aim a fix.
+
+// attrSlots sizes the cell→writer hash table (2^13 entries ≈ 128 KiB).
+const attrSlots = 1 << 13
+
+// attrTids is the attribution tid universe: tids 0..attrTids-2 are
+// tracked individually, everything else (including unknown, encoded -1)
+// folds into the final index.
+const attrTids = 33
+
+// attrEntry pairs a cell address with the last sampled writer's tid. The
+// two fields are stored with independent atomics, so a racing pair of
+// writers can mis-pair address and tid; the consumer (abort attribution)
+// tolerates that by construction.
+type attrEntry struct {
+	cell atomic.Uintptr
+	tid  atomic.Int32
+}
+
+// AttrTable is the who-aborted-whom attribution state.
+type AttrTable struct {
+	slots  [attrSlots]attrEntry
+	counts [attrTids][attrTids]atomic.Uint64
+}
+
+// NewAttrTable creates an empty attribution table.
+func NewAttrTable() *AttrTable { return &AttrTable{} }
+
+// CellRef converts a cell's version-word pointer to the opaque reference
+// recorded in events and used as the attribution key.
+func CellRef(cell *atomic.Uint64) uint64 {
+	return uint64(uintptr(unsafe.Pointer(cell)))
+}
+
+func attrIndex(ref uintptr) int {
+	x := uint64(ref)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x & (attrSlots - 1))
+}
+
+func clampTid(tid int) int {
+	if tid < 0 || tid >= attrTids-1 {
+		return attrTids - 1
+	}
+	return tid
+}
+
+// NoteWrite records tid as the last (sampled) writer of cell.
+func (a *AttrTable) NoteWrite(cell *atomic.Uint64, tid int) {
+	ref := uintptr(unsafe.Pointer(cell))
+	e := &a.slots[attrIndex(ref)]
+	e.cell.Store(ref)
+	e.tid.Store(int32(tid))
+}
+
+// Owner returns the tid of the last sampled writer of cell, or -1 if the
+// table holds no (or a colliding) entry for it.
+func (a *AttrTable) Owner(cell *atomic.Uint64) int {
+	ref := uintptr(unsafe.Pointer(cell))
+	e := &a.slots[attrIndex(ref)]
+	if e.cell.Load() != ref {
+		return -1
+	}
+	return int(e.tid.Load())
+}
+
+// NoteAbort bumps the (victim, owner) edge. owner may be -1 (unknown).
+func (a *AttrTable) NoteAbort(victim, owner int) {
+	a.counts[clampTid(victim)][clampTid(owner)].Add(1)
+}
+
+// AttrEdge is one nonzero entry of the who-aborted-whom matrix: Owner's
+// writes aborted Victim Count times. -1 means "unknown or out of range".
+type AttrEdge struct {
+	Victim int    `json:"victim"`
+	Owner  int    `json:"owner"`
+	Count  uint64 `json:"count"`
+}
+
+func edgeTid(i int) int {
+	if i == attrTids-1 {
+		return -1
+	}
+	return i
+}
+
+// Edges returns the nonzero attribution edges, largest count first.
+func (a *AttrTable) Edges() []AttrEdge {
+	var out []AttrEdge
+	for v := 0; v < attrTids; v++ {
+		for o := 0; o < attrTids; o++ {
+			if c := a.counts[v][o].Load(); c != 0 {
+				out = append(out, AttrEdge{Victim: edgeTid(v), Owner: edgeTid(o), Count: c})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// DumpEdges writes the top n attribution edges to w.
+func (a *AttrTable) DumpEdges(w io.Writer, n int) {
+	edges := a.Edges()
+	if len(edges) == 0 {
+		fmt.Fprintln(w, "  (no aborts attributed)")
+		return
+	}
+	if n > 0 && len(edges) > n {
+		edges = edges[:n]
+	}
+	for _, e := range edges {
+		owner := "?"
+		if e.Owner >= 0 {
+			owner = fmt.Sprintf("t%d", e.Owner)
+		}
+		victim := "?"
+		if e.Victim >= 0 {
+			victim = fmt.Sprintf("t%d", e.Victim)
+		}
+		fmt.Fprintf(w, "  %s aborted %s ×%d\n", owner, victim, e.Count)
+	}
+}

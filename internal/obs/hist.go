@@ -1,0 +1,208 @@
+// Package obs is the repository's zero-dependency observability layer:
+// log₂-bucket latency histograms, a sampled per-thread flight recorder of
+// transaction lifecycle events with who-aborted-whom attribution, and an
+// export surface (JSON snapshots, Prometheus text format, pprof).
+//
+// The paper's claims are about distributions, not totals — how long a
+// removed node's memory stays unreachable before reuse, how long
+// reservations are held, where aborts cluster — so the aggregate counters
+// in stm.Stats and reclaim.Stats are not enough. Everything here is
+// compiled in unconditionally but sampling-gated: with no Domain attached
+// the cost at an instrumented site is one nil check, and with a Domain
+// attached but sampling disabled it is one atomic load and one branch per
+// event (see Domain.Sampled and the before/after microbenchmark in
+// internal/stm).
+//
+// The package deliberately depends only on the standard library and
+// internal/pad, so every runtime package (stm, arena, core, reclaim) can
+// import it without cycles.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"hohtx/internal/pad"
+)
+
+// NumBuckets is the number of log₂ buckets: bucket 0 holds exactly the
+// value 0 and bucket i (1 ≤ i ≤ 64) holds values in [2^(i-1), 2^i - 1].
+// Every uint64 lands in exactly one bucket.
+const NumBuckets = 65
+
+// histShards spreads recording across cache lines, mirroring the
+// statShards pattern in internal/stm. Must stay a power of two.
+const histShards = 16
+
+// BucketOf returns the bucket index for a value.
+func BucketOf(v uint64) int { return bits.Len64(v) }
+
+// BucketLower returns the smallest value in bucket i.
+func BucketLower(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << uint(i-1)
+}
+
+// BucketUpper returns the largest value in bucket i (the value quantile
+// estimates report, so the estimate errs upward by at most one bucket).
+func BucketUpper(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// histShard is one padded slice of the histogram. max is maintained with a
+// CAS loop so the true maximum survives concurrent recording.
+type histShard struct {
+	buckets [NumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	_       pad.Line
+}
+
+// Histogram is a lock-free fixed-bucket log₂ histogram. Record sites pass
+// a per-thread hint so concurrent recorders land on different shards; the
+// zero value is NOT ready to use — obtain histograms from Domain.Hist so
+// they carry a name and unit for export.
+type Histogram struct {
+	name   string
+	unit   string
+	shards [histShards]histShard
+}
+
+// NewHistogram creates a standalone histogram (tests; Domain.Hist is the
+// normal constructor and registers the histogram for snapshot/export).
+func NewHistogram(name, unit string) *Histogram {
+	return &Histogram{name: name, unit: unit}
+}
+
+// Name returns the histogram's export name.
+func (h *Histogram) Name() string { return h.name }
+
+// Record adds v on shard 0. Single-threaded callers only; concurrent
+// recorders should use RecordAt with a per-thread hint.
+func (h *Histogram) Record(v uint64) { h.RecordAt(0, v) }
+
+// RecordAt adds v to the histogram, using hint (any per-thread value: a
+// tid, a slot hash) to pick a shard.
+func (h *Histogram) RecordAt(hint uint64, v uint64) {
+	sh := &h.shards[hint&(histShards-1)]
+	sh.buckets[BucketOf(v)].Add(1)
+	sh.count.Add(1)
+	sh.sum.Add(v)
+	for {
+		cur := sh.max.Load()
+		if v <= cur || sh.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// HistSnapshot is a merged point-in-time copy of a histogram. Counts are
+// read without mutual exclusion and may lag in-flight recordings.
+type HistSnapshot struct {
+	Name    string   `json:"name"`
+	Unit    string   `json:"unit"`
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Max     uint64   `json:"max"`
+	P50     uint64   `json:"p50"`
+	P90     uint64   `json:"p90"`
+	P99     uint64   `json:"p99"`
+	Buckets []uint64 `json:"buckets"` // trailing zero buckets trimmed
+}
+
+// Snapshot merges the shards and precomputes the standard quantiles.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Name: h.name, Unit: h.unit, Buckets: make([]uint64, NumBuckets)}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := 0; b < NumBuckets; b++ {
+			s.Buckets[b] += sh.buckets[b].Load()
+		}
+		s.Count += sh.count.Load()
+		s.Sum += sh.sum.Load()
+		if m := sh.max.Load(); m > s.Max {
+			s.Max = m
+		}
+	}
+	last := 0
+	for b := 0; b < NumBuckets; b++ {
+		if s.Buckets[b] != 0 {
+			last = b + 1
+		}
+	}
+	s.Buckets = s.Buckets[:last]
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q ≤ 1): the
+// upper edge of the bucket containing the ceil(q·Count)-th smallest
+// recorded value. The estimate is exact to within one log₂ bucket; the top
+// bucket reports the true recorded maximum instead of its (2^64-1) edge.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	top := -1
+	for b := range s.Buckets {
+		if s.Buckets[b] != 0 {
+			top = b
+		}
+	}
+	var cum uint64
+	for b := 0; b <= top; b++ {
+		cum += s.Buckets[b]
+		if cum >= rank {
+			if b == top && s.Max != 0 {
+				return s.Max
+			}
+			return BucketUpper(b)
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the arithmetic mean of recorded values (exact, not
+// bucketed: Sum and Count are tracked directly).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Merge folds o into s (same bucket layout by construction).
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	if len(o.Buckets) > len(s.Buckets) {
+		s.Buckets = append(s.Buckets, make([]uint64, len(o.Buckets)-len(s.Buckets))...)
+	}
+	for b := range o.Buckets {
+		s.Buckets[b] += o.Buckets[b]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a mutable set of Domains for the HTTP export surface.
+// Drivers that build structures on the fly (cmd/torture's sweep,
+// cmd/rrstress's rounds) register each instance's domain for the duration
+// of its run.
+type Registry struct {
+	mu      sync.Mutex
+	domains map[*Domain]struct{}
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{domains: make(map[*Domain]struct{})}
+}
+
+// Register adds d (nil-safe no-op).
+func (r *Registry) Register(d *Domain) {
+	if d == nil {
+		return
+	}
+	r.mu.Lock()
+	r.domains[d] = struct{}{}
+	r.mu.Unlock()
+}
+
+// Unregister removes d.
+func (r *Registry) Unregister(d *Domain) {
+	if d == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.domains, d)
+	r.mu.Unlock()
+}
+
+// Snapshots returns every registered domain's snapshot, name-ordered.
+func (r *Registry) Snapshots() []DomainSnapshot {
+	r.mu.Lock()
+	ds := make([]*Domain, 0, len(r.domains))
+	for d := range r.domains {
+		ds = append(ds, d)
+	}
+	r.mu.Unlock()
+	out := make([]DomainSnapshot, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, d.Snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// promName sanitizes a label into a Prometheus metric-name segment.
+func promName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r + ('a' - 'A'))
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm renders every registered domain in the Prometheus text
+// exposition format (hand-written over the stdlib: no client library).
+func (r *Registry) WriteProm(w *strings.Builder) {
+	for _, s := range r.Snapshots() {
+		dom := promName(s.Name)
+		for _, h := range s.Histograms {
+			m := fmt.Sprintf("hohtx_%s_%s", dom, promName(h.Name))
+			fmt.Fprintf(w, "# TYPE %s histogram\n", m)
+			var cum uint64
+			for b, c := range h.Buckets {
+				cum += c
+				fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", m, BucketUpper(b), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m, h.Count)
+			fmt.Fprintf(w, "%s_sum %d\n", m, h.Sum)
+			fmt.Fprintf(w, "%s_count %d\n", m, h.Count)
+		}
+		for _, g := range s.Gauges {
+			m := fmt.Sprintf("hohtx_%s_%s", dom, promName(g.Name))
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m, m, g.Value)
+		}
+		for _, e := range s.Aborts {
+			m := fmt.Sprintf("hohtx_%s_aborted_by_total", dom)
+			fmt.Fprintf(w, "%s{victim=\"%d\",owner=\"%d\"} %d\n", m, e.Victim, e.Owner, e.Count)
+		}
+	}
+}
+
+// Handler returns the registry's HTTP mux: /metrics (Prometheus text),
+// /snapshot (the DomainSnapshot list as JSON), /flight (recorder dumps)
+// and the net/http/pprof endpoints under /debug/pprof/.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		var b strings.Builder
+		r.WriteProm(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprint(w, b.String())
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshots())
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
+		r.mu.Lock()
+		ds := make([]*Domain, 0, len(r.domains))
+		for d := range r.domains {
+			ds = append(ds, d)
+		}
+		r.mu.Unlock()
+		sort.Slice(ds, func(i, j int) bool { return ds[i].name < ds[j].name })
+		w.Header().Set("Content-Type", "text/plain")
+		for _, d := range ds {
+			d.DumpFlight(w, 200)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the metrics/pprof endpoint on addr (e.g. "127.0.0.1:6070";
+// port 0 picks a free one) and returns the bound address. The server runs
+// until the process exits; drivers treat it as a debugging tap, not a
+// managed component.
+func Serve(addr string, r *Registry) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), nil
+}

@@ -14,6 +14,7 @@ import (
 // global epoch reaches e+2, which requires every thread active at
 // retirement time to have passed through a quiescent point.
 type Epochs struct {
+	observer
 	global  atomic.Uint64
 	_       pad.Line
 	threads []epochThread
@@ -97,6 +98,7 @@ func (e *Epochs) Retire(tid int, h arena.Handle, stamp uint64) {
 	g := e.global.Load()
 	t.pending = append(t.pending, epochRetiree{h: h, stamp: stamp, epoch: g})
 	e.stats[tid].noteRetire()
+	e.noteRetireEv(tid, h)
 	t.sinceAdvance++
 	if t.sinceAdvance >= e.advanceEvery {
 		t.sinceAdvance = 0
@@ -139,6 +141,7 @@ func (e *Epochs) drain(tid int, stamp uint64) {
 		r := t.pending[t.head]
 		e.free(tid, r.h)
 		st.noteFree(stamp - r.stamp)
+		e.noteFreeEv(tid, stamp-r.stamp)
 		t.head++
 		freedAny = true
 	}
@@ -165,6 +168,7 @@ var _ Scheme = (*Epochs)(nil)
 // all) with the worst-case memory behavior (unbounded growth), exactly the
 // role the LFLeak baselines play in the paper's evaluation.
 type Leak struct {
+	observer
 	stats []threadStats
 }
 
@@ -185,6 +189,7 @@ func (l *Leak) ClearSlots(tid int) {}
 // Retire implements Scheme by leaking h.
 func (l *Leak) Retire(tid int, h arena.Handle, stamp uint64) {
 	l.stats[tid].noteRetire()
+	l.noteRetireEv(tid, h)
 }
 
 // Flush is a no-op: nothing is ever freed.

@@ -28,6 +28,7 @@ type hpThread struct {
 // HazardPointers implements Michael's hazard-pointer scheme over arena
 // handles. Each of Threads threads owns SlotsPerThread hazard slots.
 type HazardPointers struct {
+	observer
 	threads   []hpThread
 	stats     []threadStats
 	free      FreeFunc
@@ -90,6 +91,7 @@ func (hp *HazardPointers) Retire(tid int, h arena.Handle, stamp uint64) {
 	t := &hp.threads[tid]
 	t.retired = append(t.retired, retiree{h: h, stamp: stamp})
 	hp.stats[tid].noteRetire()
+	hp.noteRetireEv(tid, h)
 	if len(t.retired) >= hp.threshold {
 		hp.scan(tid, stamp)
 	}
@@ -138,6 +140,7 @@ func (hp *HazardPointers) scan(tid int, stamp uint64) {
 		}
 		hp.free(tid, r.h)
 		st.noteFree(stamp - r.stamp)
+		hp.noteFreeEv(tid, stamp-r.stamp)
 	}
 	t.retired = kept
 	st.leftover.Store(uint64(len(kept)))

@@ -1,0 +1,33 @@
+package reclaim
+
+import (
+	"hohtx/internal/arena"
+	"hohtx/internal/obs"
+)
+
+// observer is embedded in every scheme so SetObserver promotes uniformly.
+// With no probe attached each instrumented site costs one nil check; the
+// physical-free flight event is the arena's job (it sees every free), so
+// the scheme layer contributes the retire events and the retire→free
+// delay distribution that Stats.DelayOpsSum only aggregates.
+type observer struct {
+	probe *obs.ReclaimProbe
+}
+
+// SetObserver attaches an obs probe to the scheme (nil detaches). Wire it
+// before the scheme is shared, as the data structure constructors do.
+func (o *observer) SetObserver(p *obs.ReclaimProbe) { o.probe = p }
+
+// noteRetireEv logs a sampled retirement.
+func (o *observer) noteRetireEv(tid int, h arena.Handle) {
+	if p := o.probe; p != nil && p.D.Sampled(uint64(tid)) {
+		p.Rec.Emit(tid, obs.EvRetire, 0, uint64(h), 0)
+	}
+}
+
+// noteFreeEv records a sampled retire→free delay (in operation stamps).
+func (o *observer) noteFreeEv(tid int, delay uint64) {
+	if p := o.probe; p != nil && p.D.Sampled(uint64(tid)) {
+		p.DelayOps.RecordAt(uint64(tid), delay)
+	}
+}

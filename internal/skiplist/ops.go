@@ -126,7 +126,7 @@ func (s *SkipList) Lookup(tid int, key uint64) bool {
 	var res bool
 	for {
 		done := false
-		s.rt.Atomic(func(tx *stm.Tx) {
+		s.rt.AtomicT(tid, func(tx *stm.Tx) {
 			done, res = false, false
 			start, level, held := s.windowStart(tx, tid)
 			c := &searchCtx{tx: tx, tid: tid, curr: start, level: level}
@@ -190,7 +190,7 @@ func (s *SkipList) Insert(tid int, key uint64) bool {
 	var res bool
 	for {
 		done := false
-		s.rt.Atomic(func(tx *stm.Tx) {
+		s.rt.AtomicT(tid, func(tx *stm.Tx) {
 			done, res = false, false
 			start, level, held := s.windowStart(tx, tid)
 			c := &searchCtx{tx: tx, tid: tid, curr: start, level: level}
@@ -259,7 +259,7 @@ func (s *SkipList) Remove(tid int, key uint64) bool {
 	full := false
 	for {
 		done := false
-		s.rt.Atomic(func(tx *stm.Tx) {
+		s.rt.AtomicT(tid, func(tx *stm.Tx) {
 			done, res = false, false
 			start, level, held := s.windowStart(tx, tid)
 			if full {

@@ -31,6 +31,7 @@ import (
 
 	"hohtx/internal/arena"
 	"hohtx/internal/core"
+	"hohtx/internal/obs"
 	"hohtx/internal/pad"
 	"hohtx/internal/sets"
 	"hohtx/internal/stm"
@@ -95,6 +96,11 @@ type Config struct {
 	Guard bool
 	// GuardSink receives guard violations instead of the default panic.
 	GuardSink func(arena.GuardEvent)
+	// Obs, when non-nil, threads the observability domain through every
+	// layer the skiplist owns (see the identically named field in package
+	// list). Nil keeps every instrumented site at a single nil/branch
+	// check.
+	Obs *obs.Domain
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +135,7 @@ type SkipList struct {
 	head    arena.Handle // sentinel at full height, key 0
 	threads []threadState
 	guard   bool
+	obs     *obs.Domain
 }
 
 var _ sets.Set = (*SkipList)(nil)
@@ -156,6 +163,14 @@ func New(cfg Config) *SkipList {
 		s.rr = core.New(cfg.RRKind, core.Config{
 			Threads: cfg.Threads, TableBits: cfg.TableBits, Assoc: cfg.Assoc,
 		})
+	}
+	if cfg.Obs != nil {
+		s.obs = cfg.Obs
+		s.rt.SetObserver(cfg.Obs.TxProbe())
+		s.ar.SetObserver(cfg.Obs.AllocProbe())
+		if s.rr != nil {
+			s.rr = core.Observed(s.rr, cfg.Obs.HoldProbe(), cfg.Threads)
+		}
 	}
 	for i := range s.threads {
 		s.threads[i].rng = uint64(i)*0x9e3779b97f4a7c15 + 0xdeadbeef
@@ -194,6 +209,9 @@ func (s *SkipList) Finish(tid int) {}
 
 // Runtime exposes the TM runtime.
 func (s *SkipList) Runtime() *stm.Runtime { return s.rt }
+
+// ObsDomain returns the attached observability domain (nil when detached).
+func (s *SkipList) ObsDomain() *obs.Domain { return s.obs }
 
 // randHeight draws a geometric height in [1, MaxHeight] (p = 1/2).
 func (s *SkipList) randHeight(tid int) int {

@@ -1,5 +1,11 @@
 package stm
 
+import (
+	"time"
+
+	"hohtx/internal/obs"
+)
+
 // Atomic executes fn as a transaction, retrying on conflicts until it
 // commits. Per the runtime's profile, after MaxAttempts speculative
 // failures — or immediately after a capacity overflow — the transaction is
@@ -11,19 +17,44 @@ package stm
 //
 // A panic in fn (other than the internal abort signal) propagates to the
 // caller after locks are released and abort hooks run.
-func (rt *Runtime) Atomic(fn func(*Tx)) {
+func (rt *Runtime) Atomic(fn func(*Tx)) { rt.AtomicT(-1, fn) }
+
+// AtomicT is Atomic with the caller's thread id, which flows into the
+// observability layer (flight-recorder events and abort attribution carry
+// it). tid -1 means unknown; the transaction semantics are identical.
+func (rt *Runtime) AtomicT(tid int, fn func(*Tx)) {
 	tx := rt.txPool.Get().(*Tx)
 	defer rt.txPool.Put(tx)
+	tx.tid = int32(tid)
+
+	// One sampling decision per transaction: a sampled transaction is
+	// traced and timed end to end. With no probe attached this is one nil
+	// check; with sampling disabled, one atomic load and a branch.
+	p := rt.obs
+	sampled := p != nil && p.D.Sampled(tx.slotHash)
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
 
 	serial := false
 	for attempt := 0; ; attempt++ {
 		tx.reset(serial)
+		if sampled {
+			p.Rec.Emit(tid, obs.EvBegin, 0, 0, uint64(attempt))
+		}
 		if tx.runAttempt(fn) {
 			rt.stats.record(tx, serial)
+			if sampled {
+				tx.noteCommit(p, t0)
+			}
 			runHooks(tx.commitHooks)
 			return
 		}
 		rt.stats.recordAbort(tx)
+		if sampled {
+			tx.noteAbort(p)
+		}
 		runHooks(tx.abortHooks)
 		if serial {
 			// Serial commits cannot fail; reaching here means fn itself
@@ -33,9 +64,18 @@ func (rt *Runtime) Atomic(fn func(*Tx)) {
 		}
 		if tx.cause == CauseCapacity || attempt+1 >= rt.prof.MaxAttempts {
 			serial = true
+			if sampled {
+				p.Rec.Emit(tid, obs.EvSerial, uint8(tx.cause), 0, 0)
+			}
 			continue
 		}
-		backoff(tx, attempt)
+		if sampled {
+			b0 := time.Now()
+			backoff(tx, attempt)
+			p.BackoffNs.RecordAt(tx.slotHash, uint64(time.Since(b0)))
+		} else {
+			backoff(tx, attempt)
+		}
 	}
 }
 

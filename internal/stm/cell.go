@@ -69,6 +69,7 @@ func (w *Word) Load(tx *Tx) uint64 {
 		}
 		// Locked by a committing writer: wait briefly, then give up.
 		if spins >= readLockSpins {
+			tx.conflict = &w.m
 			tx.abort(CauseReadConflict)
 		}
 		pause(spins)
@@ -176,6 +177,7 @@ func (p *Ptr[T]) Load(tx *Tx) *T {
 			continue
 		}
 		if spins >= readLockSpins {
+			tx.conflict = &p.m
 			tx.abort(CauseReadConflict)
 		}
 		pause(spins)

@@ -36,6 +36,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hohtx/internal/obs"
 	"hohtx/internal/pad"
 )
 
@@ -150,6 +151,9 @@ type Runtime struct {
 	commitLock bravoLock
 	stats      statCounters
 	txPool     sync.Pool
+	// obs, when non-nil, receives sampled latency/lifecycle observations
+	// (see obs.go). Nil keeps the hot path at one pointer check.
+	obs *obs.TxProbe
 }
 
 // NewRuntime returns a Runtime with the given speculation profile.

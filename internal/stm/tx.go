@@ -65,6 +65,9 @@ type Tx struct {
 	clockCASes uint64 // clock-advance CAS attempts performed (stats)
 	slowPaths  uint64 // commit-lock slow-path acquisitions (stats)
 	slotHash   uint64 // per-Tx BRAVO commit-slot hash (fixed at creation)
+
+	tid      int32          // caller's thread id for observability (-1 unknown)
+	conflict *atomic.Uint64 // version word that caused the last abort, if known
 }
 
 // txSeq hands out distinct slot hashes to pooled transactions; consecutive
@@ -87,6 +90,7 @@ func (tx *Tx) reset(serial bool) {
 	tx.rv = tx.rt.now()
 	tx.serial = serial
 	tx.cause = CauseNone
+	tx.conflict = nil
 	tx.rs = tx.rs[:0]
 	tx.rsHead = 0
 	tx.rsBase = 0
@@ -211,6 +215,7 @@ func (tx *Tx) extend(observed uint64) {
 func (tx *Tx) extendTo(newRv uint64) {
 	for i := tx.rsHead; i < len(tx.rs); i++ {
 		if tx.rs[i].m.Load() != tx.rs[i].ver {
+			tx.conflict = tx.rs[i].m
 			tx.abort(CauseReadConflict)
 		}
 	}
@@ -313,6 +318,7 @@ func (tx *Tx) commit() bool {
 		if cur&lockedBit != 0 || !e.m.CompareAndSwap(cur, cur|lockedBit) {
 			tx.releaseLocks(i)
 			tx.cause = CauseWriteLock
+			tx.conflict = e.m
 			return false
 		}
 		e.prev = cur
@@ -342,6 +348,7 @@ func (tx *Tx) commit() bool {
 			}
 			tx.releaseLocks(len(tx.ws))
 			tx.cause = CauseValidation
+			tx.conflict = r.m
 			return false
 		}
 	}

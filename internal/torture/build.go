@@ -8,6 +8,7 @@ import (
 	"hohtx/internal/core"
 	"hohtx/internal/list"
 	"hohtx/internal/lockfree"
+	"hohtx/internal/obs"
 	"hohtx/internal/reclaim"
 	"hohtx/internal/sets"
 	"hohtx/internal/skiplist"
@@ -82,6 +83,7 @@ func (g *guardCollector) take() []arena.GuardEvent {
 type instance struct {
 	set      sets.Set
 	guard    *guardCollector // nil when the variant cannot run guarded
+	obs      *obs.Domain     // flight recorder; nil for the lock-free baselines
 	perKey   uint64          // arena nodes per resident key
 	baseLive uint64          // sentinel/bootstrap nodes (measured post-build)
 	deferred bool            // uses a deferred scheme (TMHP/ER/Leak/LFHP)
@@ -104,6 +106,15 @@ func build(cfg Config) (*instance, error) {
 	}
 
 	rrKind, isRR := kindByName(cfg.Variant)
+
+	// Every TM-backed instance carries an always-sampled observability
+	// domain so a failed run can dump its flight recorder next to the repro
+	// line. The lock-free baselines return before it is attached.
+	dom := obs.NewDomain(obs.DomainConfig{
+		Name:       cfg.Structure + "/" + cfg.Variant,
+		Threads:    cfg.Threads,
+		RingEvents: 512,
+	})
 
 	switch cfg.Structure {
 	case StructSingly, StructDoubly, StructHash:
@@ -131,6 +142,7 @@ func build(cfg Config) (*instance, error) {
 			ArenaPolicy: cfg.Policy,
 			Guard:       cfg.Guard,
 			GuardSink:   sink,
+			Obs:         dom,
 		}
 		switch cfg.Variant {
 		case "HTM":
@@ -203,6 +215,7 @@ func build(cfg Config) (*instance, error) {
 			ArenaPolicy: cfg.Policy,
 			Guard:       cfg.Guard,
 			GuardSink:   sink,
+			Obs:         dom,
 		}
 		switch cfg.Variant {
 		case "HTM":
@@ -252,6 +265,7 @@ func build(cfg Config) (*instance, error) {
 			ArenaPolicy: cfg.Policy,
 			Guard:       cfg.Guard,
 			GuardSink:   sink,
+			Obs:         dom,
 		}
 		switch cfg.Variant {
 		case "HTM":
@@ -277,6 +291,7 @@ func build(cfg Config) (*instance, error) {
 		return nil, fmt.Errorf("torture: unknown structure %q", cfg.Structure)
 	}
 
+	inst.obs = dom
 	return measureBase(inst), nil
 }
 

@@ -35,6 +35,7 @@ import (
 	"sync"
 
 	"hohtx/internal/arena"
+	"hohtx/internal/obs"
 	"hohtx/internal/sets"
 )
 
@@ -50,6 +51,10 @@ type Config struct {
 	Window    int          // hand-over-hand window size (default 4)
 	Seed      uint64       // schedule seed; 0 means 1
 	Guard     bool         // enable the arena use-after-free sanitizer
+	// Registry, when non-nil, carries the run's observability domain for
+	// the duration of the run so a live /metrics endpoint (cmd/torture's
+	// -obs flag) can watch a long sweep. Not part of the repro string.
+	Registry *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -88,14 +93,15 @@ func (c Config) String() string {
 
 // Report summarizes a completed run.
 type Report struct {
-	Size        int    // final set cardinality
-	Inserts     uint64 // successful inserts (workers, not prefill)
-	Removes     uint64 // successful removes
-	Live        uint64 // arena live nodes after quiesce
-	Deferred    uint64 // retired-but-unfreed nodes after quiesce
-	Leftover    uint64 // scheme leftovers after the final Finish round
-	PoisonReads uint64 // benign doomed-reader poison observations (guard)
-	Violations  uint64 // committed use-after-free reads (guard; must be 0)
+	Size        int     // final set cardinality
+	Inserts     uint64  // successful inserts (workers, not prefill)
+	Removes     uint64  // successful removes
+	Live        uint64  // arena live nodes after quiesce
+	Deferred    uint64  // retired-but-unfreed nodes after quiesce
+	Leftover    uint64  // scheme leftovers after the final Finish round
+	AvgDelayOps float64 // mean retire→free distance in op stamps (deferred schemes)
+	PoisonReads uint64  // benign doomed-reader poison observations (guard)
+	Violations  uint64  // committed use-after-free reads (guard; must be 0)
 }
 
 // splitmix64 is the per-worker deterministic RNG step.
@@ -130,6 +136,10 @@ func Run(cfg Config) (Report, error) {
 func runOn(cfg Config, inst *instance) (Report, error) {
 	var rep Report
 	s := inst.set
+	if cfg.Registry != nil && inst.obs != nil {
+		cfg.Registry.Register(inst.obs)
+		defer cfg.Registry.Unregister(inst.obs)
+	}
 
 	// Prefill about half the key space single-threaded through tid 0 so
 	// removals have something to chew on from the first operation.
@@ -197,7 +207,7 @@ func runOn(cfg Config, inst *instance) (Report, error) {
 	if len(failures) > 0 {
 		// A worker died mid-transaction; the structure may hold locks, so
 		// post-quiesce checks would only add noise.
-		return rep, runError(cfg, failures)
+		return rep, runError(cfg, inst, failures)
 	}
 
 	// Quiesce and drain deferred reclamation. Sequential Finish can leave
@@ -259,7 +269,9 @@ func runOn(cfg Config, inst *instance) (Report, error) {
 	if mr, ok := s.(sets.MemoryReporter); ok {
 		rep.Live = mr.LiveNodes()
 		rep.Deferred = mr.DeferredNodes()
-		rep.Leftover = inst.reclaim().Leftover
+		rs := inst.reclaim()
+		rep.Leftover = rs.Leftover
+		rep.AvgDelayOps = rs.AvgDelayOps()
 		expect := inst.baseLive + inst.perKey*uint64(len(snap))
 		switch {
 		case !inst.deferred:
@@ -306,7 +318,7 @@ func runOn(cfg Config, inst *instance) (Report, error) {
 	}
 
 	if len(failures) > 0 {
-		return rep, runError(cfg, failures)
+		return rep, runError(cfg, inst, failures)
 	}
 	return rep, nil
 }
@@ -324,7 +336,20 @@ func contains(sorted []uint64, k uint64) bool {
 	return i < len(sorted) && sorted[i] == k
 }
 
-func runError(cfg Config, failures []string) error {
-	return fmt.Errorf("torture run failed (repro: %s):\n  - %s",
+// flightDumpTail bounds how much of the flight recorder a failure embeds.
+const flightDumpTail = 200
+
+func runError(cfg Config, inst *instance, failures []string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "torture run failed (repro: %s):\n  - %s",
 		cfg, strings.Join(failures, "\n  - "))
+	if inst != nil && inst.obs != nil {
+		// Dump the flight recorder right next to the repro line: the last
+		// few hundred lifecycle events plus the who-aborted-whom matrix are
+		// usually enough to localize a schedule-dependent bug without
+		// rerunning the seed under a debugger.
+		b.WriteString("\n")
+		inst.obs.DumpFlight(&b, flightDumpTail)
+	}
+	return fmt.Errorf("%s", b.String())
 }

@@ -2,6 +2,8 @@ package torture
 
 import (
 	"flag"
+	"fmt"
+	"strings"
 	"testing"
 
 	"hohtx/internal/arena"
@@ -38,11 +40,11 @@ func TestTortureSweep(t *testing.T) {
 					Structure: structure,
 					Variant:   variant,
 					Policy:    policy,
-					Threads:   threads + int(combo%3),       // 4..6 (short)
+					Threads:   threads + int(combo%3), // 4..6 (short)
 					Ops:       ops,
 					Keys:      keys,
-					LookupPct: 10 + int(combo*7%40),          // 10..49
-					Window:    2 + int(combo%6),              // 2..7
+					LookupPct: 10 + int(combo*7%40), // 10..49
+					Window:    2 + int(combo%6),     // 2..7
 					Seed:      baseSeed + combo,
 					Guard:     true, // ignored by variants without an arena guard
 				}
@@ -82,6 +84,38 @@ func TestTortureRejectsUnknown(t *testing.T) {
 	} {
 		if _, err := Run(cfg); err == nil {
 			t.Errorf("Run(%s/%s) accepted an undefined combination", cfg.Structure, cfg.Variant)
+		}
+	}
+}
+
+// TestTortureFailureDumpsFlightRecorder injects a validator failure into a
+// built instance and checks the error carries both the repro line and the
+// flight-recorder dump (lifecycle events + abort attribution).
+func TestTortureFailureDumpsFlightRecorder(t *testing.T) {
+	cfg := Config{Structure: StructSingly, Variant: "RR-FA", Threads: 2, Ops: 200, Keys: 32}
+	cfg = cfg.withDefaults()
+	inst, err := build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.obs == nil {
+		t.Fatal("TM-backed instance built without an observability domain")
+	}
+	inst.validate = func() error { return fmt.Errorf("injected failure") }
+	_, err = runOn(cfg, inst)
+	if err == nil {
+		t.Fatal("injected validator failure did not fail the run")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"repro: " + cfg.String(),
+		"injected failure",
+		"flight recorder (singly/RR-FA",
+		"who-aborted-whom:",
+		"begin", // at least one lifecycle event made it into the dump
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("failure message missing %q:\n%s", want, msg)
 		}
 	}
 }

@@ -71,7 +71,7 @@ func (t *External) applyExt(tid int, key uint64, needsDepth int,
 	var res bool
 	for {
 		done := false
-		t.rt.Atomic(func(tx *stm.Tx) {
+		t.rt.AtomicT(tid, func(tx *stm.Tx) {
 			done = false
 			res = false
 			win := t.window()

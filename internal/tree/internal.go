@@ -66,7 +66,7 @@ func (t *Internal) apply(tid int, key uint64, needsParent bool,
 	var res bool
 	for {
 		done := false
-		t.rt.Atomic(func(tx *stm.Tx) {
+		t.rt.AtomicT(tid, func(tx *stm.Tx) {
 			done = false
 			res = false
 			win := t.window()

@@ -20,6 +20,7 @@ import (
 
 	"hohtx/internal/arena"
 	"hohtx/internal/core"
+	"hohtx/internal/obs"
 	"hohtx/internal/pad"
 	"hohtx/internal/reclaim"
 	"hohtx/internal/stm"
@@ -97,6 +98,11 @@ type Config struct {
 	Guard bool
 	// GuardSink receives guard violations instead of the default panic.
 	GuardSink func(arena.GuardEvent)
+	// Obs, when non-nil, threads the observability domain through every
+	// layer the tree owns (see the identically named field in package
+	// list). Nil keeps every instrumented site at a single nil/branch
+	// check.
+	Obs *obs.Domain
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +141,7 @@ type base struct {
 	winOverride atomic.Int32
 	threads     []threadState
 	guard       bool
+	obs         *obs.Domain
 }
 
 func newBase(cfg Config) *base {
@@ -166,8 +173,23 @@ func newBase(cfg Config) *base {
 			Free:           func(tid int, h arena.Handle) { b.ar.Free(tid, h) },
 		})
 	}
+	if cfg.Obs != nil {
+		b.obs = cfg.Obs
+		b.rt.SetObserver(cfg.Obs.TxProbe())
+		b.ar.SetObserver(cfg.Obs.AllocProbe())
+		if b.rr != nil {
+			b.rr = core.Observed(b.rr, cfg.Obs.HoldProbe(), cfg.Threads)
+		}
+		if b.hp != nil {
+			b.hp.SetObserver(cfg.Obs.ReclaimProbe())
+			cfg.Obs.Gauge("deferred_depth", func() uint64 { return b.hp.Stats().Deferred })
+		}
+	}
 	return b
 }
+
+// ObsDomain returns the attached observability domain (nil when detached).
+func (b *base) ObsDomain() *obs.Domain { return b.obs }
 
 // initNode allocates a sentinel-phase node with non-transactional Init
 // (construction only: the node has never been shared).
