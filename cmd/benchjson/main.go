@@ -26,60 +26,8 @@ import (
 	"time"
 
 	"hohtx/internal/bench"
-	"hohtx/internal/obs"
 	"hohtx/internal/sets"
 )
-
-// Cell is one measured (variant, clock, threads) point.
-type Cell struct {
-	Family    string  `json:"family"`
-	Variant   string  `json:"variant"`
-	Clock     string  `json:"clock"`
-	Threads   int     `json:"threads"`
-	Window    int     `json:"window"`
-	Mops      float64 `json:"mops"`
-	RelStddev float64 `json:"rel_stddev"`
-
-	AbortsPerOp float64 `json:"aborts_per_op"`
-	SerialPerOp float64 `json:"serial_per_op"`
-	Aborts      struct {
-		ReadConflict float64 `json:"read_conflict"`
-		Validation   float64 `json:"validation"`
-		WriteLock    float64 `json:"write_lock"`
-		Capacity     float64 `json:"capacity"`
-	} `json:"aborts"`
-
-	ClockCASPerOp   float64 `json:"clock_cas_per_op"`
-	BiasRevocations uint64  `json:"bias_revocations"`
-	PeakDeferred    uint64  `json:"peak_deferred"`
-
-	// Sampled observability percentiles (1 in 2^bench.BenchSampleShift
-	// transactions traced): commit latency, allocator free→reuse distance,
-	// and — for the deferred schemes — retire→free reclamation delay.
-	CommitP50Ns   uint64 `json:"commit_p50_ns"`
-	CommitP99Ns   uint64 `json:"commit_p99_ns"`
-	ReuseP50Ops   uint64 `json:"reuse_p50_ops"`
-	ReuseP99Ops   uint64 `json:"reuse_p99_ops"`
-	ReclaimP50Ops uint64 `json:"reclaim_p50_ops,omitempty"`
-	ReclaimP99Ops uint64 `json:"reclaim_p99_ops,omitempty"`
-	ReclaimMaxOps uint64 `json:"reclaim_max_ops,omitempty"`
-	// Obs is the final trial's full domain snapshot (log2-bucket histograms,
-	// gauges, abort-attribution edges); nil for the lock-free variants.
-	Obs *obs.DomainSnapshot `json:"obs,omitempty"`
-}
-
-// Summary is the file's top-level shape.
-type Summary struct {
-	Bench      int    `json:"bench"`
-	Generated  string `json:"generated"`
-	GoVersion  string `json:"go"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	NumCPU     int    `json:"num_cpu"`
-	Workload   string `json:"workload"`
-	Ops        int    `json:"ops_per_thread"`
-	Trials     int    `json:"trials"`
-	Cells      []Cell `json:"cells"`
-}
 
 func main() {
 	out := flag.String("out", "BENCH_1.json", "output path")
@@ -100,8 +48,8 @@ func main() {
 	}
 
 	wl := bench.Workload{KeyBits: 10, LookupPct: 33, OpsPerThread: *ops}
-	sum := Summary{
-		Bench:      benchNumber(*out),
+	sum := bench.Summary{
+		Bench:      bench.BenchNumber(*out),
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -148,28 +96,8 @@ func main() {
 				fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", sr.name, err)
 				os.Exit(1)
 			}
-			c := Cell{
-				Family:          string(bench.FamilySingly),
-				Variant:         sr.name,
-				Clock:           clockName(sr.lazy),
-				Threads:         th,
-				Window:          spec.Window,
-				Mops:            res.MopsPerSec,
-				RelStddev:       res.RelStddev,
-				AbortsPerOp:     res.AbortsPerOp,
-				SerialPerOp:     res.SerialPerOp,
-				ClockCASPerOp:   res.ClockCASPerOp,
-				BiasRevocations: res.BiasRevocations,
-				PeakDeferred:    res.DeferredPeak,
-			}
-			c.Aborts.ReadConflict = res.ReadConflictsPerOp
-			c.Aborts.Validation = res.ValidationsPerOp
-			c.Aborts.WriteLock = res.WriteLocksPerOp
-			c.Aborts.Capacity = res.CapacityPerOp
-			c.CommitP50Ns, c.CommitP99Ns = res.CommitP50Ns, res.CommitP99Ns
-			c.ReuseP50Ops, c.ReuseP99Ops = res.ReuseP50Ops, res.ReuseP99Ops
-			c.ReclaimP50Ops, c.ReclaimP99Ops, c.ReclaimMaxOps = res.ReclaimP50Ops, res.ReclaimP99Ops, res.ReclaimMaxOps
-			c.Obs = res.Obs
+			c := bench.CellFromResult(bench.FamilySingly, clockName(sr.lazy), res)
+			c.Window = spec.Window
 			sum.Cells = append(sum.Cells, c)
 			fmt.Fprintf(os.Stderr, "benchjson: %-5s %s %dT  %.4f Mops/s\n",
 				sr.name, c.Clock, th, res.MopsPerSec)
@@ -194,17 +122,4 @@ func clockName(lazy bool) string {
 		return "gv5"
 	}
 	return "gv1"
-}
-
-// benchNumber extracts the <n> from a BENCH_<n>.json path, defaulting to 1.
-func benchNumber(path string) int {
-	base := path
-	if i := strings.LastIndexByte(base, '/'); i >= 0 {
-		base = base[i+1:]
-	}
-	base = strings.TrimSuffix(strings.TrimPrefix(base, "BENCH_"), ".json")
-	if n, err := strconv.Atoi(base); err == nil && n > 0 {
-		return n
-	}
-	return 1
 }

@@ -1,0 +1,416 @@
+// Command hohload is the closed-loop load generator for cmd/hohserver:
+// a configurable number of connections, each keeping a fixed number of
+// pipelined requests in flight, drawing keys uniformly from a range with
+// a configurable read ratio. It reports throughput and client-observed
+// latency percentiles, samples the server's INFO line throughout the run
+// to verify the live-node count stays flat (precise reclamation observed
+// from outside the process), and can emit the same JSON shape as
+// cmd/benchjson so server-mode numbers land in BENCH_<n>.json next to the
+// in-process ones.
+//
+// Usage:
+//
+//	hohload -addr 127.0.0.1:7070 -conns 4 -depth 8 -reads 50 -ops 20000
+//	hohload -addr 127.0.0.1:7070 -out BENCH_3.json
+//	hohload -addr 127.0.0.1:7070 -cmd 'SET 42;GET 42;LEN;DEL 42;LEN'
+//
+// The -cmd form is a one-shot client: it sends the semicolon-separated
+// requests as one pipeline, prints each reply, and exits — the quickest
+// way to poke at a running server without netcat.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hohtx/internal/bench"
+	"hohtx/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "server address")
+	conns := flag.Int("conns", 4, "concurrent connections")
+	depth := flag.Int("depth", 8, "pipelined requests in flight per connection")
+	keys := flag.Uint64("keys", 1024, "key range (keys drawn uniformly from [1, keys])")
+	reads := flag.Int("reads", 50, "percent of requests that are GET")
+	ops := flag.Int("ops", 50_000, "requests per connection")
+	seed := flag.Uint64("seed", 20170724, "workload seed")
+	warmup := flag.Bool("warmup", true, "prefill half the key range before measuring (so the live-node envelope reflects steady state, not ramp-up)")
+	out := flag.String("out", "", "write a BENCH_<n>.json summary here (empty = report only)")
+	cmd := flag.String("cmd", "", "one-shot mode: send these ';'-separated requests and print the replies")
+	flag.Parse()
+
+	if *cmd != "" {
+		oneShot(*addr, *cmd)
+		return
+	}
+	if *depth < 1 || *conns < 1 || *keys < 1 {
+		fmt.Fprintln(os.Stderr, "hohload: -conns, -depth and -keys must be positive")
+		os.Exit(2)
+	}
+
+	// A balanced SET/DEL mix holds the set near half the key range, so
+	// prefilling every other key puts the structure at steady state
+	// before the first measured request.
+	if *warmup {
+		if err := prefill(*addr, *keys); err != nil {
+			fmt.Fprintln(os.Stderr, "hohload: warmup:", err)
+			os.Exit(1)
+		}
+	}
+
+	// Sample the server's INFO line for the whole run: variant and slot
+	// count for the report, and the live-node envelope for the flatness
+	// check.
+	mon, err := startMonitor(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hohload:", err)
+		os.Exit(1)
+	}
+
+	hist := obs.NewHistogram("op_latency", "ns")
+	var gets, sets, dels, hits atomic.Uint64
+	var wg sync.WaitGroup
+	errs := make(chan error, *conns)
+	start := time.Now()
+	for c := 0; c < *conns; c++ {
+		wg.Add(1)
+		go func(cid int) {
+			defer wg.Done()
+			if err := runConn(cid, *addr, *ops, *depth, *keys, *reads, *seed, hist,
+				&gets, &sets, &dels, &hits); err != nil {
+				errs <- fmt.Errorf("conn %d: %w", cid, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		fmt.Fprintln(os.Stderr, "hohload:", err)
+		os.Exit(1)
+	}
+	info := mon.stop()
+
+	total := uint64(*conns) * uint64(*ops)
+	mops := float64(total) / elapsed.Seconds() / 1e6
+	snap := hist.Snapshot()
+	fmt.Printf("hohload: %s, %d conns × depth %d, %d%% reads, %d keys\n",
+		info.variant, *conns, *depth, *reads, *keys)
+	fmt.Printf("  %d ops in %s = %.4f Mops/s\n", total, elapsed.Round(time.Millisecond), mops)
+	fmt.Printf("  latency p50=%s p90=%s p99=%s max=%s\n",
+		time.Duration(snap.P50), time.Duration(snap.P90), time.Duration(snap.P99), time.Duration(snap.Max))
+	fmt.Printf("  mix: GET=%d (hit %.1f%%) SET=%d DEL=%d\n",
+		gets.Load(), 100*float64(hits.Load())/float64(max64(gets.Load(), 1)), sets.Load(), dels.Load())
+	fmt.Printf("  live nodes over run: [%d, %d] (spread %d, key range %d); deferred at end: %d\n",
+		info.liveMin, info.liveMax, info.liveMax-info.liveMin, *keys, info.deferred)
+
+	if *out == "" {
+		return
+	}
+	cell := bench.Cell{
+		Family:   "server",
+		Variant:  info.variant,
+		Threads:  info.slots,
+		Mops:     mops,
+		Conns:    *conns,
+		Depth:    *depth,
+		ReadPct:  *reads,
+		OpP50Ns:  snap.P50,
+		OpP99Ns:  snap.P99,
+		LiveMin:  info.liveMin,
+		LiveMax:  info.liveMax,
+		Deferred: info.deferred,
+	}
+	sum := bench.Summary{
+		Bench:      bench.BenchNumber(*out),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workload: fmt.Sprintf("hohserver loopback: %d keys, %d%% reads, %d conns × depth %d",
+			*keys, *reads, *conns, *depth),
+		Ops:    *ops,
+		Trials: 1,
+		Cells:  []bench.Cell{cell},
+	}
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hohload:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "hohload:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  wrote %s\n", *out)
+}
+
+// runConn drives one connection closed-loop: fill the pipeline to depth,
+// then send one request per reply.
+func runConn(cid int, addr string, ops, depth int, keys uint64, reads int, seed uint64,
+	hist *obs.Histogram, gets, sets, dels, hits *atomic.Uint64) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	br := bufio.NewReaderSize(c, 16<<10)
+	bw := bufio.NewWriterSize(c, 16<<10)
+
+	rng := seed + uint64(cid+1)*0x9e3779b97f4a7c15
+	sendTimes := make([]time.Time, depth)
+	verbs := make([]byte, depth)
+	var sent, recv int
+
+	send := func() error {
+		r := splitmix64(&rng)
+		key := 1 + (r>>8)%keys
+		var verb string
+		var vb byte
+		switch {
+		case int(r%100) < reads:
+			verb, vb = "GET", 'G'
+		case r&(1<<40) == 0:
+			verb, vb = "SET", 'S'
+		default:
+			verb, vb = "DEL", 'D'
+		}
+		sendTimes[sent%depth] = time.Now()
+		verbs[sent%depth] = vb
+		if _, err := fmt.Fprintf(bw, "%s %d\n", verb, key); err != nil {
+			return err
+		}
+		sent++
+		return bw.Flush()
+	}
+	for sent < depth && sent < ops {
+		if err := send(); err != nil {
+			return err
+		}
+	}
+	for recv < ops {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return fmt.Errorf("after %d replies: %w", recv, err)
+		}
+		reply := strings.TrimRight(line, "\n")
+		if strings.HasPrefix(reply, "ERR") {
+			return fmt.Errorf("server: %s", reply)
+		}
+		hist.RecordAt(uint64(cid), uint64(time.Since(sendTimes[recv%depth])))
+		switch verbs[recv%depth] {
+		case 'G':
+			gets.Add(1)
+			if reply == "1" {
+				hits.Add(1)
+			}
+		case 'S':
+			sets.Add(1)
+		default:
+			dels.Add(1)
+		}
+		recv++
+		if sent < ops {
+			if err := send(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// prefill inserts every other key in [1, keys] through one pipelined
+// connection, chunked so neither side's socket buffer can fill while the
+// other waits.
+func prefill(addr string, keys uint64) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	br := bufio.NewReaderSize(c, 16<<10)
+	bw := bufio.NewWriterSize(c, 16<<10)
+	const chunk = 256
+	pending := 0
+	drain := func() error {
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		for ; pending > 0; pending-- {
+			if _, err := br.ReadString('\n'); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for k := uint64(1); k <= keys; k += 2 {
+		if _, err := fmt.Fprintf(bw, "SET %d\n", k); err != nil {
+			return err
+		}
+		if pending++; pending == chunk {
+			if err := drain(); err != nil {
+				return err
+			}
+		}
+	}
+	return drain()
+}
+
+// monitor samples INFO on its own connection every 50ms.
+type monitor struct {
+	br    *bufio.Reader // one reader for the connection's lifetime
+	stopc chan struct{}
+	done  chan struct{}
+	info  serverInfo
+}
+
+type serverInfo struct {
+	variant  string
+	slots    int
+	liveMin  uint64
+	liveMax  uint64
+	deferred uint64
+}
+
+func startMonitor(addr string) (*monitor, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	m := &monitor{br: bufio.NewReader(c), stopc: make(chan struct{}), done: make(chan struct{})}
+	first, err := queryInfo(c, m.br)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	m.info = first
+	go func() {
+		defer close(m.done)
+		defer c.Close()
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-m.stopc:
+				if in, err := queryInfo(c, m.br); err == nil {
+					m.merge(in)
+				}
+				return
+			case <-tick.C:
+				if in, err := queryInfo(c, m.br); err == nil {
+					m.merge(in)
+				}
+			}
+		}
+	}()
+	return m, nil
+}
+
+func (m *monitor) merge(in serverInfo) {
+	if in.liveMin < m.info.liveMin {
+		m.info.liveMin = in.liveMin
+	}
+	if in.liveMax > m.info.liveMax {
+		m.info.liveMax = in.liveMax
+	}
+	m.info.deferred = in.deferred
+}
+
+func (m *monitor) stop() serverInfo {
+	close(m.stopc)
+	<-m.done
+	return m.info
+}
+
+// queryInfo sends one INFO request and parses the reply.
+func queryInfo(c net.Conn, br *bufio.Reader) (serverInfo, error) {
+	if _, err := fmt.Fprintf(c, "INFO\n"); err != nil {
+		return serverInfo{}, err
+	}
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return serverInfo{}, err
+	}
+	var in serverInfo
+	for _, f := range strings.Fields(strings.TrimSpace(line)) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "variant":
+			in.variant = v
+		case "slots":
+			in.slots, _ = strconv.Atoi(v)
+		case "live":
+			n, _ := strconv.ParseUint(v, 10, 64)
+			in.liveMin, in.liveMax = n, n
+		case "deferred":
+			in.deferred, _ = strconv.ParseUint(v, 10, 64)
+		}
+	}
+	if in.variant == "" {
+		return serverInfo{}, fmt.Errorf("malformed INFO reply %q", strings.TrimSpace(line))
+	}
+	return in, nil
+}
+
+// oneShot sends a ';'-separated request pipeline and prints the replies.
+func oneShot(addr, script string) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hohload:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	var reqs []string
+	for _, r := range strings.Split(script, ";") {
+		if r = strings.TrimSpace(r); r != "" {
+			reqs = append(reqs, r)
+		}
+	}
+	bw := bufio.NewWriter(c)
+	for _, r := range reqs {
+		fmt.Fprintf(bw, "%s\n", r)
+	}
+	if err := bw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "hohload:", err)
+		os.Exit(1)
+	}
+	br := bufio.NewReader(c)
+	for _, r := range reqs {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hohload:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-12s -> %s", r, line)
+	}
+}
+
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -7,8 +7,11 @@
 // (so the index can run at a fixed footprint under churn).
 //
 // The program models a session index: writers admit and expire sessions,
-// readers authenticate them. It runs the same service twice — once on the
-// external hand-over-hand tree with RR-V reservations, once on the
+// readers authenticate them. Service goroutines outnumber the set's
+// worker slots — as they would in a server — so each one leases a slot
+// from a hohtx.LeasePool for a batch of operations at a time rather than
+// owning a worker id outright. It runs the same service twice — once on
+// the external hand-over-hand tree with RR-V reservations, once on the
 // single-transaction (HTM-baseline) tree — and reports throughput,
 // conflict behavior, and the memory high-water mark of each.
 //
@@ -16,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -25,9 +29,10 @@ import (
 )
 
 const (
-	readers    = 3
+	readers    = 4
 	writers    = 2
-	threads    = readers + writers
+	slots      = 4 // fewer worker slots than the 6 service goroutines
+	leaseBatch = 128
 	sessionCap = 1 << 14
 	runFor     = 1500 * time.Millisecond
 )
@@ -39,6 +44,7 @@ type counters struct {
 }
 
 func runService(name string, set hohtx.Set) {
+	pool := hohtx.NewLeasePool(set, hohtx.LeaseConfig{Slots: slots})
 	var c counters
 	var stop atomic.Bool
 	var wg sync.WaitGroup
@@ -48,44 +54,50 @@ func runService(name string, set hohtx.Set) {
 	// near half capacity (a steady-state churn).
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
-		go func(tid int) {
+		go func(w int) {
 			defer wg.Done()
-			set.Register(tid)
-			state := uint64(tid)*13 + 5
+			h := pool.Handle()
+			state := uint64(w)*13 + 5
 			for !stop.Load() {
-				state += 0x9e3779b97f4a7c15
-				z := state
-				z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-				id := (z^(z>>27))%sessionCap + 1
-				if z&(1<<41) == 0 {
-					if set.Insert(tid, id) {
-						c.admits.Add(1)
+				_ = h.Do(context.Background(), func(tid int) {
+					for i := 0; i < leaseBatch && !stop.Load(); i++ {
+						state += 0x9e3779b97f4a7c15
+						z := state
+						z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+						id := (z^(z>>27))%sessionCap + 1
+						if z&(1<<41) == 0 {
+							if set.Insert(tid, id) {
+								c.admits.Add(1)
+							}
+						} else {
+							if set.Remove(tid, id) {
+								c.expires.Add(1)
+							}
+						}
 					}
-				} else {
-					if set.Remove(tid, id) {
-						c.expires.Add(1)
-					}
-				}
+				})
 			}
-			set.Finish(tid)
 		}(w)
 	}
 	// Readers: authenticate random session ids.
 	for r := 0; r < readers; r++ {
 		wg.Add(1)
-		go func(tid int) {
+		go func(r int) {
 			defer wg.Done()
-			set.Register(tid)
-			state := uint64(tid)*31 + 3
+			h := pool.Handle()
+			state := uint64(writers+r)*31 + 3
 			for !stop.Load() {
-				state += 0x9e3779b97f4a7c15
-				z := state
-				z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-				set.Lookup(tid, (z^(z>>27))%sessionCap+1)
-				c.auths.Add(1)
+				_ = h.Do(context.Background(), func(tid int) {
+					for i := 0; i < leaseBatch && !stop.Load(); i++ {
+						state += 0x9e3779b97f4a7c15
+						z := state
+						z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+						set.Lookup(tid, (z^(z>>27))%sessionCap+1)
+						c.auths.Add(1)
+					}
+				})
 			}
-			set.Finish(tid)
-		}(writers + r)
+		}(r)
 	}
 	// Monitor: track the memory high-water mark while the service runs.
 	mem := set.(hohtx.MemoryReporter)
@@ -104,25 +116,29 @@ func runService(name string, set hohtx.Set) {
 	time.Sleep(runFor)
 	stop.Store(true)
 	wg.Wait()
+	pool.Close()
 	elapsed := time.Since(start).Seconds()
 
 	st := hohtx.StatsOf(set)
+	ps := pool.Stats()
 	total := c.auths.Load() + c.admits.Load() + c.expires.Load()
 	fmt.Printf("%-22s %8.2f Kops/s  (auth %d, admit %d, expire %d)\n",
 		name, float64(total)/elapsed/1e3, c.auths.Load(), c.admits.Load(), c.expires.Load())
-	fmt.Printf("%-22s aborts/commit=%.3f serial/commit=%.5f peak-live-nodes=%d deferred-now=%d\n\n",
+	fmt.Printf("%-22s aborts/commit=%.3f serial/commit=%.5f peak-live-nodes=%d deferred-now=%d\n",
 		"", float64(st.Aborts)/float64(st.Commits), float64(st.Serial)/float64(st.Commits),
 		peakLive.Load(), mem.DeferredNodes())
+	fmt.Printf("%-22s leases=%d waited=%d affinity=%d (6 goroutines on %d slots)\n\n",
+		"", ps.Leases, ps.Waits, ps.AffinityHits, slots)
 }
 
 func main() {
 	fmt.Println("session index service: hand-over-hand RR-V vs single-transaction baseline")
 	fmt.Println()
 	runService("hand-over-hand RR-V",
-		hohtx.NewExternalTreeSet(hohtx.Config{Threads: threads}))
+		hohtx.NewExternalTreeSet(hohtx.Config{Threads: slots}))
 	// The baseline: window 0 is not expressible through the facade (it
 	// always uses hand-over-hand); a giant window approximates the
 	// single-transaction behavior for comparison.
 	runService("near-single-tx (W=4096)",
-		hohtx.NewExternalTreeSet(hohtx.Config{Threads: threads, Window: 4096}))
+		hohtx.NewExternalTreeSet(hohtx.Config{Threads: slots, Window: 4096}))
 }

@@ -5,7 +5,9 @@
 // hand-over-hand transactions with revocable reservations), the deferred
 // baseline (TMHP: hand-over-hand with hazard pointers, reclaiming in
 // batches of 64), and the leaky lock-free list (LFLeak). Every 100ms it
-// prints each structure's memory books.
+// prints each structure's memory books. The churn goroutines outnumber
+// each structure's worker slots and lease them in batches through a
+// hohtx.LeasePool, the way a server front end would.
 //
 // Expected output shape: the RR column's "deferred" is always 0 and its
 // "live" hugs the true set size; TMHP's deferred sawtooths up to the scan
@@ -17,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -28,30 +31,37 @@ import (
 )
 
 const (
-	threads  = 4
-	keyRange = 256
-	duration = 2 * time.Second
+	threads    = 4 // worker slots per structure
+	churners   = 6 // goroutines per structure — more than slots
+	leaseBatch = 256
+	keyRange   = 256
+	duration   = 2 * time.Second
 )
 
-func churn(s sets.Set, stop *atomic.Bool, wg *sync.WaitGroup) {
-	for w := 0; w < threads; w++ {
+// churn drives one structure from churners goroutines that lease the
+// structure's threads worker slots in batches.
+func churn(s sets.Set, pool *hohtx.LeasePool, stop *atomic.Bool, wg *sync.WaitGroup) {
+	for w := 0; w < churners; w++ {
 		wg.Add(1)
-		go func(tid int) {
+		go func(w int) {
 			defer wg.Done()
-			s.Register(tid)
-			state := uint64(tid)*77 + 1
+			h := pool.Handle()
+			state := uint64(w)*77 + 1
 			for !stop.Load() {
-				state += 0x9e3779b97f4a7c15
-				z := state
-				z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-				key := (z^(z>>27))%keyRange + 1
-				if z&(1<<40) == 0 {
-					s.Insert(tid, key)
-				} else {
-					s.Remove(tid, key)
-				}
+				_ = h.Do(context.Background(), func(tid int) {
+					for i := 0; i < leaseBatch && !stop.Load(); i++ {
+						state += 0x9e3779b97f4a7c15
+						z := state
+						z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+						key := (z^(z>>27))%keyRange + 1
+						if z&(1<<40) == 0 {
+							s.Insert(tid, key)
+						} else {
+							s.Remove(tid, key)
+						}
+					}
+				})
 			}
-			s.Finish(tid)
 		}(w)
 	}
 }
@@ -69,8 +79,11 @@ func main() {
 
 	var stop atomic.Bool
 	var wg sync.WaitGroup
+	var pools []*hohtx.LeasePool
 	for _, s := range []sets.Set{rr, tmhp, leak} {
-		churn(s, &stop, &wg)
+		pool := hohtx.NewLeasePool(s, hohtx.LeaseConfig{Slots: threads})
+		pools = append(pools, pool)
+		churn(s, pool, &stop, &wg)
 	}
 
 	fmt.Printf("%-8s %14s %14s %14s\n", "t(ms)", "RR-V live/def", "TMHP live/def", "LFLeak live/def")
@@ -88,6 +101,9 @@ func main() {
 	}
 	stop.Store(true)
 	wg.Wait()
+	for _, pool := range pools {
+		pool.Close() // flush every worker slot before the final accounting
+	}
 
 	fmt.Println()
 	fmt.Printf("final: RR-V deferred=%d (precise), TMHP deferred=%d (batched), LFLeak deferred=%d (unbounded)\n",

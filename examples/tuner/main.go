@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -36,34 +37,37 @@ const (
 )
 
 // workload hammers the set with the paper's 33%-lookup mix until stop.
-func workload(set hohtx.Set, stop *atomic.Bool) uint64 {
+// Each goroutine leases a worker slot from the pool for the whole run —
+// the degenerate (but common) case of slot leasing where goroutines and
+// slots are in 1:1 balance and a lease is just a checked-out worker id.
+func workload(set hohtx.Set, pool *hohtx.LeasePool, stop *atomic.Bool) uint64 {
 	var ops atomic.Uint64
 	var wg sync.WaitGroup
 	for w := 0; w < threads; w++ {
 		wg.Add(1)
-		go func(tid int) {
+		go func(w int) {
 			defer wg.Done()
-			set.Register(tid)
-			state := uint64(tid)*101 + 7
-			var n uint64
-			for !stop.Load() {
-				state += 0x9e3779b97f4a7c15
-				z := state
-				z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-				z ^= z >> 27
-				key := z%keyRange + 1
-				switch {
-				case (z>>32)%100 < 33:
-					set.Lookup(tid, key)
-				case (z>>31)&1 == 0:
-					set.Insert(tid, key)
-				default:
-					set.Remove(tid, key)
+			state := uint64(w)*101 + 7
+			_ = pool.Do(context.Background(), func(tid int) {
+				var n uint64
+				for !stop.Load() {
+					state += 0x9e3779b97f4a7c15
+					z := state
+					z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+					z ^= z >> 27
+					key := z%keyRange + 1
+					switch {
+					case (z>>32)%100 < 33:
+						set.Lookup(tid, key)
+					case (z>>31)&1 == 0:
+						set.Insert(tid, key)
+					default:
+						set.Remove(tid, key)
+					}
+					n++
 				}
-				n++
-			}
-			set.Finish(tid)
-			ops.Add(n)
+				ops.Add(n)
+			})
 		}(w)
 	}
 	wg.Wait()
@@ -111,6 +115,7 @@ func run(name string, adaptive bool, clock hohtx.ClockPolicy) {
 		// for free.
 		SimulatePreemption: runtime.GOMAXPROCS(0) == 1,
 	})
+	pool := hohtx.NewLeasePool(set, hohtx.LeaseConfig{Slots: threads})
 	var stop atomic.Bool
 	var trajectory []int
 	var tunerWG sync.WaitGroup
@@ -123,11 +128,12 @@ func run(name string, adaptive bool, clock hohtx.ClockPolicy) {
 	}
 	start := time.Now()
 	done := make(chan uint64, 1)
-	go func() { done <- workload(set, &stop) }()
+	go func() { done <- workload(set, pool, &stop) }()
 	time.Sleep(phase)
 	stop.Store(true)
 	ops := <-done
 	tunerWG.Wait()
+	pool.Close() // flushes every worker slot (replaces per-goroutine Finish)
 	elapsed := time.Since(start).Seconds()
 
 	st := hohtx.StatsOf(set)

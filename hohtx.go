@@ -24,6 +24,21 @@
 // Each concurrent worker must use a distinct id in [0, Threads). Keys must
 // be ≥ 1 and at most MaxKey.
 //
+// # More goroutines than worker ids
+//
+// Programs that cannot pin one goroutine per worker id — servers, worker
+// fleets, anything with dynamic concurrency — lease ids from a pool
+// instead of owning them:
+//
+//	pool := hohtx.NewLeasePool(set, hohtx.LeaseConfig{Slots: 8})
+//	// from any number of goroutines:
+//	pool.Do(ctx, func(tid int) { set.Insert(tid, 42) })
+//	pool.Close() // waits for leases, flushes every worker id
+//
+// The pool handles Register/Finish, queues fairly under contention, and
+// exposes backpressure statistics; cmd/hohserver builds a TCP front end
+// on it. See the internal/serve package and DESIGN.md §9.
+//
 // # Choosing a reservation scheme
 //
 // The six schemes trade Revoke cost against Get precision (§3 of the
@@ -39,6 +54,7 @@ import (
 	"hohtx/internal/arena"
 	"hohtx/internal/core"
 	"hohtx/internal/list"
+	"hohtx/internal/serve"
 	"hohtx/internal/sets"
 	"hohtx/internal/skiplist"
 	"hohtx/internal/stm"
@@ -124,8 +140,11 @@ type Config struct {
 	// of per-thread magazines. Only useful for experiments.
 	SharedPool bool
 	// SerialAfter is the number of failed speculative attempts before an
-	// operation's transaction falls back to a global serial lock. Zero
-	// uses the paper's settings (2 for lists, 8 for trees).
+	// operation's transaction falls back to the serial path — a
+	// distributed reader-bias lock, not a single global lock, so
+	// speculative commits on other threads keep their fast path while a
+	// serialized writer drains (see DESIGN.md "Scalable commit path").
+	// Zero uses the paper's settings (2 for lists, 8 for trees).
 	SerialAfter int
 	// SimulatePreemption injects scheduler yields inside transactions so
 	// that they interleave even on a single-core host. Leave it off on
@@ -300,6 +319,34 @@ type TxStats struct {
 	BiasRevocations uint64
 	WriterWaits     uint64
 }
+
+// LeasePool multiplexes any number of goroutines onto a set's fixed
+// worker ids: Acquire/Release (or the Do one-liner) lease ids with FIFO
+// queueing, bounded waiting and per-Handle slot affinity, and the pool
+// owns the Register/Finish lifecycle. See the internal/serve package
+// documentation for the full semantics.
+type LeasePool = serve.Pool
+
+// LeaseHandle is a pool client with slot affinity; one per goroutine.
+type LeaseHandle = serve.Handle
+
+// LeaseConfig parameterizes NewLeasePool. Slots must equal the set's
+// Config.Threads.
+type LeaseConfig = serve.PoolConfig
+
+// LeaseStats is the pool's backpressure counters.
+type LeaseStats = serve.PoolStats
+
+// Lease-pool failure modes, re-exported for errors.Is checks.
+var (
+	ErrLeaseSaturated = serve.ErrSaturated
+	ErrLeaseClosed    = serve.ErrClosed
+)
+
+// NewLeasePool builds a worker-slot lease pool over a set constructed
+// with cfg.Slots threads. The pool registers every worker id, so callers
+// never call Register or Finish themselves; Close flushes all slots.
+func NewLeasePool(s Set, cfg LeaseConfig) *LeasePool { return serve.NewPool(s, cfg) }
 
 // StatsOf extracts transaction statistics from any Set built by this
 // package (zero value for foreign implementations).

@@ -1,0 +1,22 @@
+// Package bench is the measurement harness that regenerates the paper's
+// evaluation (Figures 2–7) and the repository's own performance trend.
+//
+// It owns four things:
+//
+//   - workload generation: key ranges, operation mixes and the 50% prefill
+//     of §5.1 (Workload);
+//   - the timed runner: trials, warmup, post-run invariant checks and the
+//     memory-book reconciliation every run ends with (Run, Result);
+//   - the variant registry: Build maps the paper's series names (RR-V,
+//     RR-XO, …, HTM, TMHP, REF, ER, LFLeak, LFHP) times a structure Family
+//     to a ready-to-run sets.Set — the single spelling of that mapping,
+//     shared by cmd/benchfig, cmd/benchjson, cmd/hohserver and the tests.
+//     Variants built with Observe expose their obs.Domain via ObsReporter;
+//   - the trend schema: Cell and Summary define the BENCH_<n>.json shape
+//     that cmd/benchjson (in-process suite) and cmd/hohload (server mode)
+//     both emit, so successive snapshots diff mechanically across PRs.
+//
+// The per-figure drivers (figures.go) print the TSV series each paper
+// figure plots; cmd/figtable renders them as the markdown tables recorded
+// in EXPERIMENTS.md.
+package bench

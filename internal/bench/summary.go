@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+
+	"hohtx/internal/obs"
+)
+
+// Cell is one measured point in a BENCH_<n>.json snapshot. Two producers
+// share the shape so trend tooling can diff any pair of snapshots: the
+// in-process suite (cmd/benchjson) fills the transactional fields, and
+// the network load generator (cmd/hohload against cmd/hohserver) fills
+// the server-mode fields — a server cell's Threads is the worker-slot
+// count and its concurrency lives in Conns/Depth.
+type Cell struct {
+	Family    string  `json:"family"`
+	Variant   string  `json:"variant"`
+	Clock     string  `json:"clock,omitempty"`
+	Threads   int     `json:"threads"`
+	Window    int     `json:"window,omitempty"`
+	Mops      float64 `json:"mops"`
+	RelStddev float64 `json:"rel_stddev,omitempty"`
+
+	AbortsPerOp float64 `json:"aborts_per_op,omitempty"`
+	SerialPerOp float64 `json:"serial_per_op,omitempty"`
+	Aborts      struct {
+		ReadConflict float64 `json:"read_conflict"`
+		Validation   float64 `json:"validation"`
+		WriteLock    float64 `json:"write_lock"`
+		Capacity     float64 `json:"capacity"`
+	} `json:"aborts,omitempty"`
+
+	ClockCASPerOp   float64 `json:"clock_cas_per_op,omitempty"`
+	BiasRevocations uint64  `json:"bias_revocations,omitempty"`
+	PeakDeferred    uint64  `json:"peak_deferred,omitempty"`
+
+	// Sampled observability percentiles (1 in 2^BenchSampleShift
+	// transactions traced): commit latency, allocator free→reuse distance,
+	// and — for the deferred schemes — retire→free reclamation delay.
+	CommitP50Ns   uint64 `json:"commit_p50_ns,omitempty"`
+	CommitP99Ns   uint64 `json:"commit_p99_ns,omitempty"`
+	ReuseP50Ops   uint64 `json:"reuse_p50_ops,omitempty"`
+	ReuseP99Ops   uint64 `json:"reuse_p99_ops,omitempty"`
+	ReclaimP50Ops uint64 `json:"reclaim_p50_ops,omitempty"`
+	ReclaimP99Ops uint64 `json:"reclaim_p99_ops,omitempty"`
+	ReclaimMaxOps uint64 `json:"reclaim_max_ops,omitempty"`
+
+	// Server-mode fields (cmd/hohload): client-observed request latency
+	// under Conns pipelined connections of the given Depth and read
+	// ratio, plus the live-node envelope sampled over the run — flat
+	// (LiveMax−LiveMin bounded by the working set, no growth) is the
+	// precise-reclamation property surviving a network front end.
+	Conns    int    `json:"conns,omitempty"`
+	Depth    int    `json:"depth,omitempty"`
+	ReadPct  int    `json:"read_pct,omitempty"`
+	OpP50Ns  uint64 `json:"op_p50_ns,omitempty"`
+	OpP99Ns  uint64 `json:"op_p99_ns,omitempty"`
+	LiveMin  uint64 `json:"live_min,omitempty"`
+	LiveMax  uint64 `json:"live_max,omitempty"`
+	Deferred uint64 `json:"deferred_end,omitempty"`
+
+	// Obs is the final trial's full domain snapshot (log₂-bucket
+	// histograms, gauges, abort-attribution edges); nil when detached.
+	Obs *obs.DomainSnapshot `json:"obs,omitempty"`
+}
+
+// Summary is a BENCH_<n>.json file's top-level shape.
+type Summary struct {
+	Bench      int    `json:"bench"`
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Workload   string `json:"workload"`
+	Ops        int    `json:"ops_per_thread"`
+	Trials     int    `json:"trials"`
+	Cells      []Cell `json:"cells"`
+}
+
+// BenchNumber extracts the <n> from a BENCH_<n>.json path, defaulting
+// to 1.
+func BenchNumber(path string) int {
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	base = strings.TrimSuffix(strings.TrimPrefix(base, "BENCH_"), ".json")
+	if n, err := strconv.Atoi(base); err == nil && n > 0 {
+		return n
+	}
+	return 1
+}
+
+// CellFromResult lifts a runner Result into the snapshot schema.
+func CellFromResult(family Family, clock string, res Result) Cell {
+	c := Cell{
+		Family:          string(family),
+		Variant:         res.Variant,
+		Clock:           clock,
+		Threads:         res.Threads,
+		Window:          res.Window,
+		Mops:            res.MopsPerSec,
+		RelStddev:       res.RelStddev,
+		AbortsPerOp:     res.AbortsPerOp,
+		SerialPerOp:     res.SerialPerOp,
+		ClockCASPerOp:   res.ClockCASPerOp,
+		BiasRevocations: res.BiasRevocations,
+		PeakDeferred:    res.DeferredPeak,
+		CommitP50Ns:     res.CommitP50Ns,
+		CommitP99Ns:     res.CommitP99Ns,
+		ReuseP50Ops:     res.ReuseP50Ops,
+		ReuseP99Ops:     res.ReuseP99Ops,
+		ReclaimP50Ops:   res.ReclaimP50Ops,
+		ReclaimP99Ops:   res.ReclaimP99Ops,
+		ReclaimMaxOps:   res.ReclaimMaxOps,
+		Obs:             res.Obs,
+	}
+	c.Aborts.ReadConflict = res.ReadConflictsPerOp
+	c.Aborts.Validation = res.ValidationsPerOp
+	c.Aborts.WriteLock = res.WriteLocksPerOp
+	c.Aborts.Capacity = res.CapacityPerOp
+	return c
+}

@@ -1,9 +1,3 @@
-// Package bench is the measurement harness that regenerates the paper's
-// evaluation (Figures 2–7). It owns workload generation (key ranges,
-// operation mixes, 50% prefill), the timed runner with trials and
-// post-run invariant checks, the variant registry mapping the paper's
-// series names to constructors, and the per-figure drivers that print the
-// series each figure plots.
 package bench
 
 import (

@@ -1,0 +1,27 @@
+// Package obs is the repository's zero-dependency observability layer:
+// log₂-bucket latency histograms, a sampled per-thread flight recorder of
+// transaction lifecycle events with who-aborted-whom attribution, gauge
+// registration, and an export surface (JSON snapshots, Prometheus text
+// format, pprof) served by Registry + Serve.
+//
+// The paper's claims are about distributions, not totals — how long a
+// removed node's memory stays unreachable before reuse, how long
+// reservations are held, where aborts cluster — so the aggregate counters
+// in stm.Stats and reclaim.Stats are not enough. Everything here is
+// compiled in unconditionally but sampling-gated: with no Domain attached
+// the cost at an instrumented site is one nil check, and with a Domain
+// attached but sampling disabled it is one atomic load and one branch per
+// event (see Domain.Sampled and the before/after microbenchmark in
+// internal/stm).
+//
+// Histogram names are package-level constants (HistCommitNs, HistRetireNs,
+// …) so dashboards and tests can refer to them symbolically. Two probe
+// layers exist: the transaction-level probes used by internal/stm and
+// internal/reclaim, and the serving-level probes (ServeProbe, plus
+// HistLeaseWaitNs) used by internal/serve for per-verb service times and
+// lease-queue wait times.
+//
+// The package deliberately depends only on the standard library and
+// internal/pad, so every runtime package (stm, arena, core, reclaim,
+// serve) can import it without cycles.
+package obs

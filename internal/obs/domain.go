@@ -199,6 +199,14 @@ const (
 	HistHoldNs     = "reservation_hold_ns"
 	HistReuseOps   = "free_reuse_dist_ops"
 	HistReclaimOps = "reclaim_delay_ops"
+
+	// Serving-layer names (internal/serve): how long an Acquire waited
+	// for a worker slot, and whole-request service time per protocol
+	// verb (parse → set operation → reply written).
+	HistLeaseWaitNs = "lease_wait_ns"
+	HistServeGetNs  = "serve_get_ns"
+	HistServeSetNs  = "serve_set_ns"
+	HistServeDelNs  = "serve_del_ns"
 )
 
 // TxProbe bundles what the stm runtime records into. Obtained from a
@@ -256,4 +264,23 @@ type ReclaimProbe struct {
 // ReclaimProbe builds the reclaim-facing probe.
 func (d *Domain) ReclaimProbe() *ReclaimProbe {
 	return &ReclaimProbe{D: d, DelayOps: d.Hist(HistReclaimOps, "ops"), Rec: d.rec}
+}
+
+// ServeProbe bundles what the network serving layer records into: one
+// service-time histogram per mutating/reading protocol verb.
+type ServeProbe struct {
+	D     *Domain
+	GetNs *Histogram // GET service time
+	SetNs *Histogram // SET service time
+	DelNs *Histogram // DEL service time
+}
+
+// ServeProbe builds the server-facing probe.
+func (d *Domain) ServeProbe() *ServeProbe {
+	return &ServeProbe{
+		D:     d,
+		GetNs: d.Hist(HistServeGetNs, "ns"),
+		SetNs: d.Hist(HistServeSetNs, "ns"),
+		DelNs: d.Hist(HistServeDelNs, "ns"),
+	}
 }

@@ -1,0 +1,28 @@
+// Package serve is the serving layer: it turns the in-process,
+// fixed-thread-id sets of this repository into something a network server
+// (or any program with more goroutines than worker slots) can use safely.
+//
+// The rigid contract everywhere else in the repo — "each concurrent worker
+// must use a distinct id in [0, Threads)" — is exactly right for the
+// paper's benchmarks, where the harness owns its goroutines, and exactly
+// wrong for a server, where goroutines come and go with connections. The
+// Pool in this package closes that gap: it treats the Threads worker ids
+// as a fixed set of leasable slots and multiplexes any number of
+// goroutines onto them with
+//
+//   - per-handle slot affinity (a connection that re-leases tends to get
+//     its previous slot back, so per-slot allocator magazines and
+//     reservation state stay warm),
+//   - a bounded FIFO wait queue with context cancellation (backpressure
+//     is explicit: beyond the bound, Acquire fails fast with
+//     ErrSaturated), and
+//   - lease/wait/backpressure statistics, exported through an optional
+//     obs.Domain (lease_wait_ns histogram plus gauges).
+//
+// Server speaks a minimal pipelined text protocol (GET/SET/DEL/LEN/INFO,
+// one line per request, one line per reply) over any sets.Set, leasing a
+// slot per burst of buffered requests so an idle connection holds no
+// slot. cmd/hohserver wraps it in a binary; cmd/hohload is the matching
+// load generator. See DESIGN.md §9 for the protocol grammar and the
+// backpressure semantics.
+package serve

@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hohtx/internal/obs"
+	"hohtx/internal/sets"
+)
+
+// drainGrace is how long a draining server lets connections finish the
+// pipeline already in flight before their reads time out.
+const drainGrace = 250 * time.Millisecond
+
+// ServerConfig parameterizes NewServer.
+type ServerConfig struct {
+	// Set is the structure being served.
+	Set sets.Set
+	// Pool multiplexes connections onto the set's worker slots. Required.
+	Pool *Pool
+	// MaxKey bounds accepted keys to [1, MaxKey]. Zero defaults to the
+	// tree sentinel bound (the tightest across the repo's structures).
+	MaxKey uint64
+	// Obs, when non-nil, receives per-verb service-time histograms and
+	// the live/deferred/connection gauges.
+	Obs *obs.Domain
+}
+
+// Server speaks the repository's line protocol over a sets.Set:
+//
+//	GET <key>\n  -> 1\n | 0\n          (membership)
+//	SET <key>\n  -> 1\n | 0\n          (1 = inserted, 0 = already present)
+//	DEL <key>\n  -> 1\n | 0\n          (1 = removed; memory is already free)
+//	LEN\n        -> <n>\n              (keys currently present)
+//	INFO\n       -> variant=… slots=… keys=… live=… deferred=… conns=…\n
+//	anything else -> ERR <reason>\n    (connection stays open)
+//
+// Requests pipeline: a client may write any number of lines before
+// reading; replies come back in order. Each connection runs one
+// goroutine, which leases a worker slot only while buffered requests
+// remain — an idle connection holds no slot, so connections can outnumber
+// slots by orders of magnitude.
+type Server struct {
+	set    sets.Set
+	pool   *Pool
+	maxKey uint64
+	dom    *obs.Domain
+	probe  *obs.ServeProbe
+	mem    sets.MemoryReporter // nil if the set has no memory books
+
+	keys  atomic.Int64 // net successful SET − DEL through this server
+	conns atomic.Int64
+
+	mu       sync.Mutex
+	open     map[net.Conn]struct{}
+	ln       net.Listener
+	draining atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wires a server over cfg.Set/cfg.Pool.
+func NewServer(cfg ServerConfig) *Server {
+	s := &Server{
+		set:    cfg.Set,
+		pool:   cfg.Pool,
+		maxKey: cfg.MaxKey,
+		dom:    cfg.Obs,
+		open:   make(map[net.Conn]struct{}),
+	}
+	if s.maxKey == 0 {
+		s.maxKey = ^uint64(0) - 3 // tree.MaxKey, the tightest structure bound
+	}
+	s.mem, _ = cfg.Set.(sets.MemoryReporter)
+	if cfg.Obs != nil {
+		s.probe = cfg.Obs.ServeProbe()
+		cfg.Obs.Gauge("server_keys", func() uint64 { return uint64(s.keys.Load()) })
+		cfg.Obs.Gauge("server_conns", func() uint64 { return uint64(s.conns.Load()) })
+		if s.mem != nil {
+			cfg.Obs.Gauge("live_nodes", s.mem.LiveNodes)
+			cfg.Obs.Gauge("deferred_nodes", s.mem.DeferredNodes)
+		}
+	}
+	return s
+}
+
+// Len returns the number of keys present (as counted by this server's
+// successful SET/DEL balance).
+func (s *Server) Len() int64 { return s.keys.Load() }
+
+// Serve accepts connections on ln until Shutdown closes it. It returns
+// nil on a drain-initiated stop and the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			_ = c.Close()
+			continue
+		}
+		s.open[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(c)
+	}
+}
+
+// Shutdown drains the server: stop accepting, give in-flight pipelines a
+// grace period to finish, then wait for every connection goroutine (or
+// force-close them when ctx ends first). The pool is closed last, which
+// flushes every worker slot.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	deadline := time.Now().Add(drainGrace)
+	for c := range s.open {
+		_ = c.SetReadDeadline(deadline)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.open {
+			_ = c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		err = ctx.Err()
+	}
+	s.pool.Close()
+	return err
+}
+
+// handle runs one connection: read a line, lease a slot (kept across a
+// burst of buffered requests), execute, reply.
+func (s *Server) handle(c net.Conn) {
+	s.conns.Add(1)
+	defer func() {
+		s.conns.Add(-1)
+		s.mu.Lock()
+		delete(s.open, c)
+		s.mu.Unlock()
+		_ = c.Close()
+		s.wg.Done()
+	}()
+
+	br := bufio.NewReaderSize(c, 4<<10)
+	bw := bufio.NewWriterSize(c, 4<<10)
+	h := s.pool.Handle()
+	slot := -1
+	release := func() {
+		if slot >= 0 {
+			h.Release(slot)
+			slot = -1
+		}
+	}
+	defer release()
+
+	for {
+		if s.draining.Load() && br.Buffered() == 0 {
+			_ = bw.Flush()
+			return
+		}
+		line, err := br.ReadString('\n')
+		if err != nil {
+			if line == "" {
+				return
+			}
+			// final unterminated request: serve it, then drop the conn
+		}
+		if slot < 0 {
+			var aerr error
+			slot, aerr = h.Acquire(context.Background())
+			if aerr != nil {
+				bw.WriteString("ERR ")
+				bw.WriteString(aerr.Error())
+				bw.WriteByte('\n')
+				_ = bw.Flush()
+				return
+			}
+		}
+		s.serveLine(slot, strings.TrimRight(line, "\r\n"), bw)
+		if br.Buffered() == 0 {
+			// Burst over: give the slot back before blocking on the
+			// network, and push the replies out.
+			release()
+			if ferr := bw.Flush(); ferr != nil || err != nil {
+				return
+			}
+		}
+	}
+}
+
+// serveLine executes one request line on a leased slot and appends the
+// reply to bw.
+func (s *Server) serveLine(slot int, line string, bw *bufio.Writer) {
+	verb, rest, _ := strings.Cut(line, " ")
+	switch verb {
+	case "GET", "SET", "DEL":
+		key, err := s.parseKey(rest)
+		if err != nil {
+			bw.WriteString("ERR ")
+			bw.WriteString(err.Error())
+			bw.WriteByte('\n')
+			return
+		}
+		sampled := s.dom != nil && s.dom.Sampled(uint64(slot))
+		var t0 time.Time
+		if sampled {
+			t0 = time.Now()
+		}
+		var ok bool
+		switch verb {
+		case "GET":
+			ok = s.set.Lookup(slot, key)
+		case "SET":
+			if ok = s.set.Insert(slot, key); ok {
+				s.keys.Add(1)
+			}
+		default:
+			if ok = s.set.Remove(slot, key); ok {
+				s.keys.Add(-1)
+			}
+		}
+		if sampled {
+			d := uint64(time.Since(t0))
+			switch verb {
+			case "GET":
+				s.probe.GetNs.RecordAt(uint64(slot), d)
+			case "SET":
+				s.probe.SetNs.RecordAt(uint64(slot), d)
+			default:
+				s.probe.DelNs.RecordAt(uint64(slot), d)
+			}
+		}
+		if ok {
+			bw.WriteString("1\n")
+		} else {
+			bw.WriteString("0\n")
+		}
+	case "LEN":
+		bw.WriteString(strconv.FormatInt(s.keys.Load(), 10))
+		bw.WriteByte('\n')
+	case "INFO":
+		var live, deferred uint64
+		if s.mem != nil {
+			live, deferred = s.mem.LiveNodes(), s.mem.DeferredNodes()
+		}
+		fmt.Fprintf(bw, "variant=%s slots=%d keys=%d live=%d deferred=%d conns=%d\n",
+			s.set.Name(), s.pool.Slots(), s.keys.Load(), live, deferred, s.conns.Load())
+	case "":
+		bw.WriteString("ERR empty command\n")
+	default:
+		bw.WriteString("ERR unknown command\n")
+	}
+}
+
+// parseKey validates a decimal key in [1, maxKey].
+func (s *Server) parseKey(arg string) (uint64, error) {
+	if arg == "" {
+		return 0, fmt.Errorf("missing key")
+	}
+	key, err := strconv.ParseUint(arg, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad key %q", arg)
+	}
+	if key < 1 || key > s.maxKey {
+		return 0, fmt.Errorf("key %d out of range [1, %d]", key, s.maxKey)
+	}
+	return key, nil
+}

@@ -1,33 +1,7 @@
-// Package torture is the adversarial stress harness that turns the
-// repository's headline claim — precise memory reclamation with no grace
-// period — from design prose into a checked property. A run hammers one
-// (structure × variant × allocator-policy) instance with randomized
-// concurrent operation mixes, then quiesces and checks every invariant the
-// claim implies:
-//
-//   - the final snapshot is strictly sorted and in the key range;
-//   - per-key presence matches an exact oracle (a successful insert or
-//     remove toggles presence, so presence after quiesce equals prefill
-//     presence + successful inserts − successful removes, independent of
-//     interleaving);
-//   - arena accounting balances: Live == sentinels + perKey·|set| for the
-//     precise modes, with the deferred remainder explicitly accounted for
-//     (and bounded) in the HP/epoch/leak modes;
-//   - hazard-pointer leftovers drain to zero after a second Finish round
-//     (the first round can strand retirees pinned by hazards of threads
-//     that finished later);
-//   - guard mode (arena use-after-free sanitizer) observed zero committed
-//     reads of freed slots;
-//   - structure-specific shape validators (link symmetry, BST ordering,
-//     routing, skiplist levels) pass;
-//   - no operation panicked (double frees, bump-pointer exhaustion and
-//     guard violations without a sink all panic deterministically).
-//
-// Every failure message embeds the Config repro string, so a schedule-
-// dependent bug becomes a reproducible failing seed.
 package torture
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -36,6 +10,7 @@ import (
 
 	"hohtx/internal/arena"
 	"hohtx/internal/obs"
+	"hohtx/internal/serve"
 	"hohtx/internal/sets"
 )
 
@@ -104,6 +79,11 @@ type Report struct {
 	Violations  uint64  // committed use-after-free reads (guard; must be 0)
 }
 
+// leaseBatch is how many operations a worker runs under one slot lease
+// before releasing it — short enough that streams migrate across slots
+// many times per run, long enough that the pool is not the bottleneck.
+const leaseBatch = 64
+
 // splitmix64 is the per-worker deterministic RNG step.
 func splitmix64(x *uint64) uint64 {
 	*x += 0x9e3779b97f4a7c15
@@ -141,57 +121,70 @@ func runOn(cfg Config, inst *instance) (Report, error) {
 		defer cfg.Registry.Unregister(inst.obs)
 	}
 
-	// Prefill about half the key space single-threaded through tid 0 so
-	// removals have something to chew on from the first operation.
+	// All worker-id traffic goes through a lease pool: it registers every
+	// slot up front, and each logical worker leases slots in short batches,
+	// so one op stream migrates across worker ids mid-run. That is a
+	// torture dimension the fixed-tid harness could not reach — per-slot
+	// state (reservations, hazard slots, allocator magazines) must not
+	// leak between the streams that share a slot over time.
+	pool := serve.NewPool(s, serve.PoolConfig{Slots: cfg.Threads, Obs: inst.obs})
+
+	// Prefill about half the key space single-threaded so removals have
+	// something to chew on from the first operation.
 	presence := make([]int64, cfg.Keys+1)
-	s.Register(0)
 	seed := cfg.Seed
-	for i := uint64(0); i < cfg.Keys/2; i++ {
-		k := 1 + splitmix64(&seed)%cfg.Keys
-		if s.Insert(0, k) {
-			presence[k] = 1
+	_ = pool.Do(context.Background(), func(tid int) {
+		for i := uint64(0); i < cfg.Keys/2; i++ {
+			k := 1 + splitmix64(&seed)%cfg.Keys
+			if s.Insert(tid, k) {
+				presence[k] = 1
+			}
 		}
-	}
+	})
 
 	// Concurrent phase: every worker runs a deterministic op stream drawn
-	// from its own seed and tallies its successful mutations per key.
+	// from its own seed and tallies its successful mutations per key. The
+	// op stream is keyed to the worker index; which slot executes each
+	// batch is schedule-dependent and irrelevant to the oracle.
 	tallies := make([]workerTally, cfg.Threads)
 	var wg sync.WaitGroup
-	for tid := 0; tid < cfg.Threads; tid++ {
+	for w := 0; w < cfg.Threads; w++ {
 		wg.Add(1)
-		go func(tid int) {
+		go func(w int) {
 			defer wg.Done()
-			t := &tallies[tid]
+			t := &tallies[w]
 			t.ins = make([]int64, cfg.Keys+1)
 			t.rem = make([]int64, cfg.Keys+1)
 			defer func() {
 				if r := recover(); r != nil {
 					buf := make([]byte, 8<<10)
 					buf = buf[:runtime.Stack(buf, false)]
-					t.err = fmt.Errorf("worker %d panicked: %v\n%s", tid, r, buf)
+					t.err = fmt.Errorf("worker %d panicked: %v\n%s", w, r, buf)
 				}
 			}()
-			if tid != 0 {
-				s.Register(tid)
-			}
-			rng := cfg.Seed*0x2545f4914f6cdd1d + uint64(tid+1)
-			for i := 0; i < cfg.Ops; i++ {
-				r := splitmix64(&rng)
-				k := 1 + (r>>16)%cfg.Keys
-				switch {
-				case int(r%100) < cfg.LookupPct:
-					s.Lookup(tid, k)
-				case r&(1<<40) == 0:
-					if s.Insert(tid, k) {
-						t.ins[k]++
+			h := pool.Handle()
+			rng := cfg.Seed*0x2545f4914f6cdd1d + uint64(w+1)
+			for i := 0; i < cfg.Ops; {
+				_ = h.Do(context.Background(), func(tid int) {
+					for b := 0; b < leaseBatch && i < cfg.Ops; b, i = b+1, i+1 {
+						r := splitmix64(&rng)
+						k := 1 + (r>>16)%cfg.Keys
+						switch {
+						case int(r%100) < cfg.LookupPct:
+							s.Lookup(tid, k)
+						case r&(1<<40) == 0:
+							if s.Insert(tid, k) {
+								t.ins[k]++
+							}
+						default:
+							if s.Remove(tid, k) {
+								t.rem[k]++
+							}
+						}
 					}
-				default:
-					if s.Remove(tid, k) {
-						t.rem[k]++
-					}
-				}
+				})
 			}
-		}(tid)
+		}(w)
 	}
 	wg.Wait()
 
@@ -210,21 +203,17 @@ func runOn(cfg Config, inst *instance) (Report, error) {
 		return rep, runError(cfg, inst, failures)
 	}
 
-	// Quiesce and drain deferred reclamation. Sequential Finish can leave
-	// a thread's retirees pinned by hazards that threads with higher tids
-	// only clear in their own (later) Finish; after round one the leftovers
-	// must be bounded by the published-slot count, and a second round —
-	// with every slot cleared — must free them all.
-	for tid := 0; tid < cfg.Threads; tid++ {
-		s.Finish(tid)
-	}
+	// Quiesce and drain deferred reclamation. A sequential Finish sweep
+	// (pool.FinishAll) can leave a slot's retirees pinned by hazards that
+	// slots with higher ids only clear in their own (later) Finish; after
+	// round one the leftovers must be bounded by the published-slot count,
+	// and a second round — with every slot cleared — must free them all.
+	pool.FinishAll()
 	if inst.rounds > 1 {
 		if left := inst.reclaim().Leftover; left > uint64(cfg.Threads)*3 {
 			fail("after Finish round 1: %d leftover retirees exceeds the hazard-slot bound %d", left, cfg.Threads*3)
 		}
-		for tid := 0; tid < cfg.Threads; tid++ {
-			s.Finish(tid)
-		}
+		pool.FinishAll()
 	}
 
 	// Exact oracle: presence after quiesce is prefill presence plus the
