@@ -1,0 +1,116 @@
+// Command benchdiff is the bench trend gate: it joins two BENCH_<n>.json
+// snapshots on cell identity (family/variant/clock/threads/window plus
+// the server-mode dimensions conns/depth/read%/shards/rate) and fails
+// when a cell's throughput dropped through its tolerance band. The band
+// is the -tolerance floor widened by both snapshots' recorded relative
+// standard deviations, so noisy cells don't gate on noise; cells present
+// in only one snapshot are reported but never gate, because PRs add and
+// retire workloads freely.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json          # explicit pair
+//	benchdiff -auto .                    # the two highest-numbered BENCH_<n>.json
+//	benchdiff -tolerance 0.35 -p99-tolerance 1.0 OLD.json NEW.json
+//
+// CI runs the -auto form in the docs-and-hygiene job: committing a new
+// BENCH_<n>.json that records a hot-path regression against the previous
+// snapshot fails the build. With fewer than two snapshots, or none with
+// overlapping cells, the gate passes with a note — there is nothing to
+// compare yet.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"hohtx/internal/bench"
+)
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional throughput drop before stddev widening")
+	p99tol := flag.Float64("p99-tolerance", 0, "allowed fractional p99 latency growth (0 = latency not gated)")
+	auto := flag.String("auto", "", "directory: compare the two highest-numbered BENCH_<n>.json in it")
+	flag.Parse()
+
+	var oldPath, newPath string
+	switch {
+	case *auto != "":
+		if flag.NArg() != 0 {
+			fatal("benchdiff: -auto takes no positional snapshots")
+		}
+		var ok bool
+		oldPath, newPath, ok = latestPair(*auto)
+		if !ok {
+			fmt.Printf("benchdiff: fewer than two BENCH_<n>.json under %s; nothing to gate\n", *auto)
+			return
+		}
+	case flag.NArg() == 2:
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	default:
+		fatal("benchdiff: usage: benchdiff [-tolerance f] [-p99-tolerance f] OLD.json NEW.json | -auto DIR")
+	}
+
+	oldSum, newSum := load(oldPath), load(newPath)
+	deltas := bench.Diff(oldSum, newSum, bench.DiffOptions{
+		Tolerance:    *tolerance,
+		P99Tolerance: *p99tol,
+	})
+	fmt.Printf("benchdiff: %s (bench %d) -> %s (bench %d): %d comparable cells, %d new-only\n",
+		oldPath, oldSum.Bench, newPath, newSum.Bench, len(deltas), len(newSum.Cells)-len(deltas))
+	if len(deltas) == 0 {
+		fmt.Println("benchdiff: no overlapping cells; nothing to gate")
+		return
+	}
+	regressions := 0
+	for _, d := range deltas {
+		mark := "ok  "
+		if d.Regressed() {
+			mark = "FAIL"
+			regressions++
+		}
+		fmt.Printf("  %s %-70s %8.4f -> %8.4f Mops (%+6.1f%%, band -%.1f%%)\n",
+			mark, d.Key, d.OldMops, d.NewMops, 100*d.Change, 100*d.Allowed)
+		if d.Regressed() {
+			fmt.Printf("       ^ %s\n", d.Why)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("benchdiff: %d regression(s) beyond tolerance\n", regressions)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: within tolerance")
+}
+
+// latestPair finds the two highest-numbered BENCH_<n>.json files in dir.
+func latestPair(dir string) (older, newer string, ok bool) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(paths) < 2 {
+		return "", "", false
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		return bench.BenchNumber(paths[i]) < bench.BenchNumber(paths[j])
+	})
+	return paths[len(paths)-2], paths[len(paths)-1], true
+}
+
+func load(path string) bench.Summary {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal("benchdiff: " + err.Error())
+	}
+	var s bench.Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		fatal("benchdiff: " + path + ": " + err.Error())
+	}
+	return s
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(2)
+}

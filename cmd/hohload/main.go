@@ -1,9 +1,17 @@
-// Command hohload is the closed-loop load generator for cmd/hohserver:
-// a configurable number of connections, each keeping a fixed number of
-// pipelined requests in flight, drawing keys uniformly from a range with
-// a configurable read ratio. It reports throughput and client-observed
-// latency percentiles, samples the server's INFO line throughout the run
-// to verify the live-node count stays flat (precise reclamation observed
+// Command hohload is the load generator for cmd/hohserver. By default it
+// runs closed-loop: a configurable number of connections, each keeping a
+// fixed number of pipelined requests in flight, drawing keys uniformly
+// from a range with a configurable read ratio. With -rate it runs
+// open-loop instead: requests are scheduled on a fixed cadence summing to
+// the target rate across connections, each connection's writer sends on
+// schedule whether or not earlier replies have arrived, and latency is
+// measured from each request's *intended* send time — so a server stall
+// shows up as the queueing delay a real client would suffer, not as a
+// conveniently paused load generator (the coordinated-omission trap).
+//
+// Either way it reports throughput and client-observed latency
+// percentiles, samples the server's INFO line throughout the run to
+// verify the live-node count stays flat (precise reclamation observed
 // from outside the process), and can emit the same JSON shape as
 // cmd/benchjson so server-mode numbers land in BENCH_<n>.json next to the
 // in-process ones.
@@ -11,7 +19,9 @@
 // Usage:
 //
 //	hohload -addr 127.0.0.1:7070 -conns 4 -depth 8 -reads 50 -ops 20000
+//	hohload -addr 127.0.0.1:7070 -rate 20000 -ops 20000   # open loop, 20k req/s
 //	hohload -addr 127.0.0.1:7070 -out BENCH_3.json
+//	hohload -addr 127.0.0.1:7070 -out BENCH_4.json -append   # accumulate cells
 //	hohload -addr 127.0.0.1:7070 -cmd 'SET 42;GET 42;LEN;DEL 42;LEN'
 //
 // The -cmd form is a one-shot client: it sends the semicolon-separated
@@ -44,9 +54,11 @@ func main() {
 	keys := flag.Uint64("keys", 1024, "key range (keys drawn uniformly from [1, keys])")
 	reads := flag.Int("reads", 50, "percent of requests that are GET")
 	ops := flag.Int("ops", 50_000, "requests per connection")
+	rate := flag.Float64("rate", 0, "open-loop mode: target requests/sec across all connections (0 = closed loop)")
 	seed := flag.Uint64("seed", 20170724, "workload seed")
 	warmup := flag.Bool("warmup", true, "prefill half the key range before measuring (so the live-node envelope reflects steady state, not ramp-up)")
 	out := flag.String("out", "", "write a BENCH_<n>.json summary here (empty = report only)")
+	appendOut := flag.Bool("append", false, "append the cell to an existing -out file instead of overwriting it")
 	cmd := flag.String("cmd", "", "one-shot mode: send these ';'-separated requests and print the replies")
 	flag.Parse()
 
@@ -82,13 +94,30 @@ func main() {
 	var gets, sets, dels, hits atomic.Uint64
 	var wg sync.WaitGroup
 	errs := make(chan error, *conns)
+	// Open loop: the request cadence is fixed before the first send, and
+	// every connection schedules against the same origin — request i of
+	// connection c is *due* at start + (i×conns + c)×interval, and that
+	// intended time (not the moment the writer got around to the socket)
+	// is the latency clock's zero.
+	var interval time.Duration
 	start := time.Now()
+	if *rate > 0 {
+		interval = time.Duration(float64(time.Second) / *rate)
+		start = start.Add(100 * time.Millisecond) // let every conn dial before the cadence begins
+	}
 	for c := 0; c < *conns; c++ {
 		wg.Add(1)
 		go func(cid int) {
 			defer wg.Done()
-			if err := runConn(cid, *addr, *ops, *depth, *keys, *reads, *seed, hist,
-				&gets, &sets, &dels, &hits); err != nil {
+			var err error
+			if *rate > 0 {
+				err = runConnOpen(cid, *addr, *ops, *conns, interval, start, *keys, *reads, *seed,
+					hist, &gets, &sets, &dels, &hits)
+			} else {
+				err = runConn(cid, *addr, *ops, *depth, *keys, *reads, *seed, hist,
+					&gets, &sets, &dels, &hits)
+			}
+			if err != nil {
 				errs <- fmt.Errorf("conn %d: %w", cid, err)
 			}
 		}(c)
@@ -104,12 +133,22 @@ func main() {
 
 	total := uint64(*conns) * uint64(*ops)
 	mops := float64(total) / elapsed.Seconds() / 1e6
+	achieved := float64(total) / elapsed.Seconds()
 	snap := hist.Snapshot()
-	fmt.Printf("hohload: %s, %d conns × depth %d, %d%% reads, %d keys\n",
-		info.variant, *conns, *depth, *reads, *keys)
-	fmt.Printf("  %d ops in %s = %.4f Mops/s\n", total, elapsed.Round(time.Millisecond), mops)
-	fmt.Printf("  latency p50=%s p90=%s p99=%s max=%s\n",
-		time.Duration(snap.P50), time.Duration(snap.P90), time.Duration(snap.P99), time.Duration(snap.Max))
+	if *rate > 0 {
+		fmt.Printf("hohload: %s (%d shard(s)), open loop at %.0f req/s, %d conns, %d%% reads, %d keys\n",
+			info.variant, info.shards, *rate, *conns, *reads, *keys)
+		fmt.Printf("  %d ops in %s: offered %.0f req/s, achieved %.0f req/s\n",
+			total, elapsed.Round(time.Millisecond), *rate, achieved)
+		fmt.Printf("  latency (from intended send) p50=%s p90=%s p99=%s max=%s\n",
+			time.Duration(snap.P50), time.Duration(snap.P90), time.Duration(snap.P99), time.Duration(snap.Max))
+	} else {
+		fmt.Printf("hohload: %s (%d shard(s)), %d conns × depth %d, %d%% reads, %d keys\n",
+			info.variant, info.shards, *conns, *depth, *reads, *keys)
+		fmt.Printf("  %d ops in %s = %.4f Mops/s\n", total, elapsed.Round(time.Millisecond), mops)
+		fmt.Printf("  latency p50=%s p90=%s p99=%s max=%s\n",
+			time.Duration(snap.P50), time.Duration(snap.P90), time.Duration(snap.P99), time.Duration(snap.Max))
+	}
 	fmt.Printf("  mix: GET=%d (hit %.1f%%) SET=%d DEL=%d\n",
 		gets.Load(), 100*float64(hits.Load())/float64(max64(gets.Load(), 1)), sets.Load(), dels.Load())
 	fmt.Printf("  live nodes over run: [%d, %d] (spread %d, key range %d); deferred at end: %d\n",
@@ -119,18 +158,24 @@ func main() {
 		return
 	}
 	cell := bench.Cell{
-		Family:   "server",
-		Variant:  info.variant,
-		Threads:  info.slots,
-		Mops:     mops,
-		Conns:    *conns,
-		Depth:    *depth,
-		ReadPct:  *reads,
-		OpP50Ns:  snap.P50,
-		OpP99Ns:  snap.P99,
-		LiveMin:  info.liveMin,
-		LiveMax:  info.liveMax,
-		Deferred: info.deferred,
+		Family:      "server",
+		Variant:     info.variant,
+		Threads:     info.slots,
+		Mops:        mops,
+		Conns:       *conns,
+		ReadPct:     *reads,
+		Shards:      info.shards,
+		OpP50Ns:     snap.P50,
+		OpP99Ns:     snap.P99,
+		LiveMin:     info.liveMin,
+		LiveMax:     info.liveMax,
+		Deferred:    info.deferred,
+		OfferedRps:  *rate,
+		AchievedRps: achieved,
+	}
+	if *rate == 0 {
+		cell.Depth = *depth
+		cell.AchievedRps = 0
 	}
 	sum := bench.Summary{
 		Bench:      bench.BenchNumber(*out),
@@ -138,12 +183,26 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
-		Workload: fmt.Sprintf("hohserver loopback: %d keys, %d%% reads, %d conns × depth %d",
-			*keys, *reads, *conns, *depth),
-		Ops:    *ops,
-		Trials: 1,
-		Cells:  []bench.Cell{cell},
+		Workload:   workloadDesc(*keys, *reads, *conns, *depth, *rate),
+		Ops:        *ops,
+		Trials:     1,
 	}
+	if *appendOut {
+		if prev, err := os.ReadFile(*out); err == nil {
+			var old bench.Summary
+			if err := json.Unmarshal(prev, &old); err != nil {
+				fmt.Fprintf(os.Stderr, "hohload: -append: %s is not a summary: %v\n", *out, err)
+				os.Exit(1)
+			}
+			sum.Cells = old.Cells
+			if old.Workload != "" {
+				// Keep the first recording's description; per-cell fields
+				// carry each run's own parameters.
+				sum.Workload = old.Workload
+			}
+		}
+	}
+	sum.Cells = append(sum.Cells, cell)
 	data, err := json.MarshalIndent(sum, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hohload:", err)
@@ -154,11 +213,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hohload:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("  wrote %s\n", *out)
+	fmt.Printf("  wrote %s (%d cells)\n", *out, len(sum.Cells))
 }
 
 // runConn drives one connection closed-loop: fill the pipeline to depth,
 // then send one request per reply.
+// workloadDesc names the recorded workload; open- and closed-loop runs
+// read differently (rate vs. pipeline depth).
+func workloadDesc(keys uint64, reads, conns, depth int, rate float64) string {
+	if rate > 0 {
+		return fmt.Sprintf("hohserver loopback: %d keys, %d%% reads, %d conns, open loop",
+			keys, reads, conns)
+	}
+	return fmt.Sprintf("hohserver loopback: %d keys, %d%% reads, %d conns × depth %d",
+		keys, reads, conns, depth)
+}
+
 func runConn(cid int, addr string, ops, depth int, keys uint64, reads int, seed uint64,
 	hist *obs.Histogram, gets, sets, dels, hits *atomic.Uint64) error {
 	c, err := net.Dial("tcp", addr)
@@ -231,6 +301,100 @@ func runConn(cid int, addr string, ops, depth int, keys uint64, reads int, seed 
 	return nil
 }
 
+// runConnOpen drives one connection open-loop: a writer goroutine sends
+// request i at its scheduled time start + (i×conns + cid)×interval — it
+// never waits for replies, so a slow server accumulates in-flight
+// requests instead of slowing the offered load — while the reader (this
+// goroutine) measures each reply against that same intended send time.
+// Reader and writer re-derive the identical deterministic request stream
+// from the shared seed, so no per-request metadata crosses between them.
+func runConnOpen(cid int, addr string, ops, conns int, interval time.Duration, start time.Time,
+	keys uint64, reads int, seed uint64,
+	hist *obs.Histogram, gets, sets, dels, hits *atomic.Uint64) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	br := bufio.NewReaderSize(c, 64<<10)
+	bw := bufio.NewWriterSize(c, 64<<10)
+
+	// verbOf classifies request i's random draw the same way runConn does,
+	// so closed- and open-loop runs at the same seed issue the same ops.
+	verbOf := func(r uint64) (string, byte) {
+		switch {
+		case int(r%100) < reads:
+			return "GET", 'G'
+		case r&(1<<40) == 0:
+			return "SET", 'S'
+		default:
+			return "DEL", 'D'
+		}
+	}
+	due := func(i int) time.Time {
+		return start.Add(time.Duration(i*conns+cid) * interval)
+	}
+
+	writeErr := make(chan error, 1)
+	go func() {
+		rng := seed + uint64(cid+1)*0x9e3779b97f4a7c15
+		for i := 0; i < ops; i++ {
+			if d := time.Until(due(i)); d > 0 {
+				// Push buffered requests out before going idle: nothing may
+				// sit in the client buffer past its scheduled send time.
+				if err := bw.Flush(); err != nil {
+					writeErr <- err
+					return
+				}
+				time.Sleep(d)
+			}
+			r := splitmix64(&rng)
+			verb, _ := verbOf(r)
+			if _, err := fmt.Fprintf(bw, "%s %d\n", verb, 1+(r>>8)%keys); err != nil {
+				writeErr <- err
+				return
+			}
+		}
+		writeErr <- bw.Flush()
+	}()
+
+	// The reader re-derives the same stream to classify replies, and
+	// clocks each one against the request's intended send time — if the
+	// server (or the writer's socket) stalls, every queued request's
+	// latency grows by the stall, exactly as a real open-loop client
+	// population would experience it.
+	rng := seed + uint64(cid+1)*0x9e3779b97f4a7c15
+	for recv := 0; recv < ops; recv++ {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return fmt.Errorf("after %d replies: %w", recv, err)
+		}
+		reply := strings.TrimRight(line, "\n")
+		if strings.HasPrefix(reply, "ERR") {
+			return fmt.Errorf("server: %s", reply)
+		}
+		r := splitmix64(&rng)
+		_, vb := verbOf(r)
+		lat := time.Since(due(recv))
+		if lat < 0 {
+			lat = 0 // clock skew guard: a reply cannot precede its request
+		}
+		hist.RecordAt(uint64(cid), uint64(lat))
+		switch vb {
+		case 'G':
+			gets.Add(1)
+			if reply == "1" {
+				hits.Add(1)
+			}
+		case 'S':
+			sets.Add(1)
+		default:
+			dels.Add(1)
+		}
+	}
+	return <-writeErr
+}
+
 // prefill inserts every other key in [1, keys] through one pipelined
 // connection, chunked so neither side's socket buffer can fill while the
 // other waits.
@@ -278,6 +442,7 @@ type monitor struct {
 
 type serverInfo struct {
 	variant  string
+	shards   int
 	slots    int
 	liveMin  uint64
 	liveMax  uint64
@@ -352,6 +517,8 @@ func queryInfo(c net.Conn, br *bufio.Reader) (serverInfo, error) {
 		switch k {
 		case "variant":
 			in.variant = v
+		case "shards":
+			in.shards, _ = strconv.Atoi(v)
 		case "slots":
 			in.slots, _ = strconv.Atoi(v)
 		case "live":

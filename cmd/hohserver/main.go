@@ -11,12 +11,24 @@
 //
 //	hohserver                                  # RR-V singly list on 127.0.0.1:7070
 //	hohserver -family etree -variant TMHP      # any bench variant works
+//	hohserver -shards 4 -threads 2             # 4 independent STM instances
 //	hohserver -addr :7070 -threads 8 -obs 127.0.0.1:6070
+//
+// With -shards N the key space hash-partitions across N fully independent
+// instances — each with its own global version clock, serial-fallback
+// lock, arena, and lease pool — behind the unchanged wire protocol:
+// GET/SET/DEL route by key, LEN and INFO aggregate exactly. -threads is
+// then the per-shard worker-slot count, so total concurrency is
+// threads × shards; when that product exceeds GOMAXPROCS the slots can
+// only time-slice, so hohserver warns, and clamps the default -threads
+// down to fit (an explicit -threads is respected, with the warning).
 //
 // With -obs the process also serves the observability endpoint
 // (/metrics, /snapshot, /flight, /debug/pprof/) with the server's
-// per-verb service-time histograms, the pool's lease-wait histogram and
-// backpressure gauges, and the structure's own transaction-level domain.
+// per-verb service-time histograms, each shard's pool domain
+// ("server-pool-s<i>": lease-wait histogram, backpressure gauges), each
+// shard's transaction-level domain, and per-shard commit/serial/lease
+// roll-up gauges on the server domain next to shard_count.
 // SIGINT/SIGTERM drain gracefully: accepting stops, in-flight pipelines
 // finish, worker slots are flushed, and the final stats line prints.
 package main
@@ -28,6 +40,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -41,12 +54,39 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "TCP listen address")
 	family := flag.String("family", "singly", "structure family: singly, doubly, itree, etree, skip")
 	variant := flag.String("variant", "RR-V", "variant: RR-V, RR-XO, RR-SO, RR-FA, RR-DM, RR-SA, HTM, TMHP, REF, ER, LFLeak, LFHP")
-	threads := flag.Int("threads", 8, "worker slots (the set's Threads)")
+	threads := flag.Int("threads", 8, "worker slots per shard (the set's Threads)")
+	shards := flag.Int("shards", 1, "independent STM instances; keys hash-partition across them")
 	window := flag.Int("window", 0, "hand-over-hand window W (0 = tuned default)")
-	waiters := flag.Int("waiters", 0, "lease wait-queue bound (0 = 16×slots, <0 = unbounded)")
+	waiters := flag.Int("waiters", 0, "lease wait-queue bound per shard (0 = 16×slots, <0 = unbounded)")
 	lazy := flag.Bool("lazy", false, "use the GV5 lazy global-clock policy")
 	obsAddr := flag.String("obs", "", "observability endpoint address (empty = off)")
 	flag.Parse()
+
+	if *shards < 1 {
+		*shards = 1
+	}
+	threadsExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "threads" {
+			threadsExplicit = true
+		}
+	})
+	if procs := runtime.GOMAXPROCS(0); *threads**shards > procs {
+		if threadsExplicit {
+			fmt.Fprintf(os.Stderr,
+				"hohserver: warning: %d slots (%d threads × %d shards) exceed GOMAXPROCS=%d; slots will time-slice\n",
+				*threads**shards, *threads, *shards, procs)
+		} else {
+			clamped := procs / *shards
+			if clamped < 1 {
+				clamped = 1
+			}
+			fmt.Fprintf(os.Stderr,
+				"hohserver: default %d threads × %d shards exceed GOMAXPROCS=%d; clamping to -threads %d (pass -threads to override)\n",
+				*threads, *shards, procs, clamped)
+			*threads = clamped
+		}
+	}
 
 	spec := bench.VariantSpec{
 		Name:      *variant,
@@ -56,21 +96,56 @@ func main() {
 		// someone can look at it.
 		Observe: *obsAddr != "",
 	}
-	set, err := bench.Build(bench.Family(*family), spec, *threads)
+	sharded, err := bench.BuildSharded(bench.Family(*family), spec, *threads, *shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hohserver:", err)
 		os.Exit(2)
 	}
 
+	// One observability domain for the server itself, one per shard for
+	// that shard's lease pool — pools publish gauges by name, so they
+	// cannot share a domain without clobbering each other.
 	dom := obs.NewDomain(obs.DomainConfig{Name: "server", Threads: *threads})
-	pool := serve.NewPool(set, serve.PoolConfig{Slots: *threads, MaxWaiters: *waiters, Obs: dom})
-	srv := serve.NewServer(serve.ServerConfig{Set: set, Pool: pool, MaxKey: hohtx.MaxKey, Obs: dom})
+	backends := make([]serve.Backend, *shards)
+	pools := make([]*serve.Pool, *shards)
+	var poolDoms []*obs.Domain
+	for i := range backends {
+		poolDom := dom
+		if *shards > 1 {
+			poolDom = obs.NewDomain(obs.DomainConfig{
+				Name:    fmt.Sprintf("server-pool-s%d", i),
+				Threads: *threads,
+			})
+			poolDoms = append(poolDoms, poolDom)
+		}
+		pools[i] = serve.NewPool(sharded.Shard(i), serve.PoolConfig{
+			Slots: *threads, MaxWaiters: *waiters, Obs: poolDom,
+		})
+		backends[i] = serve.Backend{Set: sharded.Shard(i), Pool: pools[i]}
+	}
+	srv := serve.NewServer(serve.ServerConfig{Shards: backends, MaxKey: hohtx.MaxKey, Obs: dom})
+
+	// Per-shard roll-ups on the server domain: one glance at /metrics
+	// shows whether commits (and serial fallbacks, and lease traffic)
+	// spread across shards or pile onto one.
+	for i := range backends {
+		i := i
+		set, pool := backends[i].Set, pools[i]
+		dom.Gauge(fmt.Sprintf("shard%d_commits", i), func() uint64 { return hohtx.StatsOf(set).Commits })
+		dom.Gauge(fmt.Sprintf("shard%d_serial", i), func() uint64 { return hohtx.StatsOf(set).Serial })
+		dom.Gauge(fmt.Sprintf("shard%d_leases", i), func() uint64 { return pool.Stats().Leases })
+	}
 
 	if *obsAddr != "" {
 		reg := obs.NewRegistry()
 		reg.Register(dom)
-		if or, ok := set.(bench.ObsReporter); ok {
-			reg.Register(or.ObsDomain())
+		for _, pd := range poolDoms {
+			reg.Register(pd)
+		}
+		for i := 0; i < sharded.ShardCount(); i++ {
+			if or, ok := sharded.Shard(i).(bench.ObsReporter); ok {
+				reg.Register(or.ObsDomain())
+			}
 		}
 		bound, err := obs.Serve(*obsAddr, reg)
 		if err != nil {
@@ -85,8 +160,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hohserver:", err)
 		os.Exit(2)
 	}
-	fmt.Fprintf(os.Stderr, "hohserver: %s/%s, %d worker slots, listening on %s\n",
-		*family, set.Name(), *threads, ln.Addr())
+	fmt.Fprintf(os.Stderr, "hohserver: %s/%s, %d shard(s) × %d worker slots, listening on %s\n",
+		*family, sharded.Name(), *shards, *threads, ln.Addr())
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -109,11 +184,20 @@ func main() {
 		}
 	}
 
-	st := pool.Stats()
+	var st serve.PoolStats
+	for _, p := range pools {
+		ps := p.Stats()
+		st.Leases += ps.Leases
+		st.Waits += ps.Waits
+		st.WaitNs += ps.WaitNs
+		st.AffinityHits += ps.AffinityHits
+		st.Rejections += ps.Rejections
+		st.PeakWaiters += ps.PeakWaiters // sum across shards: an upper bound
+	}
 	fmt.Fprintf(os.Stderr,
 		"hohserver: drained; keys=%d leases=%d waits=%d avg_wait=%s affinity=%d rejections=%d peak_waiters=%d\n",
 		srv.Len(), st.Leases, st.Waits, avgWait(st), st.AffinityHits, st.Rejections, st.PeakWaiters)
-	if tx := hohtx.StatsOf(set); tx.Commits > 0 {
+	if tx := hohtx.StatsOf(sharded); tx.Commits > 0 {
 		fmt.Fprintf(os.Stderr, "hohserver: tx commits=%d aborts=%d serial=%d\n",
 			tx.Commits, tx.Aborts, tx.Serial)
 	}

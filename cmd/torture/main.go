@@ -34,6 +34,7 @@ func main() {
 		lookup    = flag.Int("lookup", 20, "lookup percentage of the op mix")
 		window    = flag.Int("window", 4, "hand-over-hand window size")
 		seed      = flag.Uint64("seed", 1, "schedule seed")
+		shards    = flag.Int("shards", 1, "partition keys across this many independent instances")
 		guard     = flag.Bool("guard", false, "enable the arena use-after-free sanitizer")
 		sweep     = flag.Bool("sweep", false, "run the full structure × variant × policy matrix")
 		rounds    = flag.Int("rounds", 1, "seeds per combination in sweep mode")
@@ -57,7 +58,7 @@ func main() {
 		cfg := torture.Config{
 			Structure: *structure, Variant: *variant, Policy: arena.Policy(*policy),
 			Threads: *threads, Ops: *ops, Keys: *keys, LookupPct: *lookup,
-			Window: *window, Seed: *seed, Guard: *guard, Registry: reg,
+			Window: *window, Seed: *seed, Shards: *shards, Guard: *guard, Registry: reg,
 		}
 		rep, err := torture.Run(cfg)
 		if err != nil {
@@ -85,6 +86,7 @@ func main() {
 						Threads: *threads + r%4, Ops: *ops, Keys: *keys,
 						LookupPct: 10 + (combos*7+r*13)%40,
 						Window:    2 + (combos+r)%6,
+						Shards:    1 + ((combos+r)%2)*2, // alternate 1 and 3 shards
 						Seed:      *seed + uint64(runs),
 						Guard:     true,
 						Registry:  reg,

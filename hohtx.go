@@ -348,6 +348,42 @@ var (
 // never call Register or Finish themselves; Close flushes all slots.
 func NewLeasePool(s Set, cfg LeaseConfig) *LeasePool { return serve.NewPool(s, cfg) }
 
+// ShardedSet hash-partitions keys across N fully independent Set
+// instances — each with its own transactional runtime (global version
+// clock, serial-fallback lock), allocator, and reclamation — behind the
+// ordinary Set interface. Writes to different shards never contend on a
+// shared cache line, so sharding scales the write path past the
+// single-clock serialization a lone instance tops out at, while every
+// per-instance property (opacity, precise reclamation, exact LiveNodes)
+// holds per shard and the reported aggregates are exact sums. Snapshot
+// merges the shards in ascending key order; Register and Finish fan out
+// to every shard, so a worker id (or a LeasePool over the facade) works
+// exactly as on a single instance. cmd/hohserver's -shards flag serves
+// one of these.
+type ShardedSet = serve.Sharded
+
+// NewShardedSet builds a ShardedSet from shards instances produced by the
+// build callback — typically closing over this package's constructors:
+//
+//	set := hohtx.NewShardedSet(4, func(int) hohtx.Set {
+//	    return hohtx.NewListSet(hohtx.Config{Threads: 8})
+//	})
+//
+// Every shard must be configured with the same thread count. The shard
+// index is passed to build for instrumentation (e.g. naming per-shard
+// observability domains); the returned sets must be freshly constructed
+// and unshared.
+func NewShardedSet(shards int, build func(shard int) Set) *ShardedSet {
+	if shards < 1 {
+		shards = 1
+	}
+	parts := make([]Set, shards)
+	for i := range parts {
+		parts[i] = build(i)
+	}
+	return serve.NewSharded(parts)
+}
+
 // StatsOf extracts transaction statistics from any Set built by this
 // package (zero value for foreign implementations).
 func StatsOf(s Set) TxStats {

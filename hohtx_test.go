@@ -102,3 +102,65 @@ func TestReservationNames(t *testing.T) {
 		}
 	}
 }
+
+func TestFacadeShardedSet(t *testing.T) {
+	const threads, shards, keys = 2, 3, 200
+	set := NewShardedSet(shards, func(int) Set {
+		return NewListSet(Config{Threads: threads})
+	})
+	if got := set.ShardCount(); got != shards {
+		t.Fatalf("ShardCount = %d, want %d", got, shards)
+	}
+	mem, ok := Set(set).(MemoryReporter)
+	if !ok {
+		t.Fatal("sharded set does not report memory")
+	}
+	base := mem.LiveNodes()
+
+	// Churn through a lease pool over the facade from more goroutines
+	// than slots, exactly as on a single instance.
+	pool := NewLeasePool(set, LeaseConfig{Slots: threads})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := uint64(1); k <= keys; k++ {
+				_ = pool.Do(nil, func(tid int) {
+					set.Insert(tid, k)
+					if (k+uint64(g))%3 == 0 {
+						set.Remove(tid, k)
+					}
+					set.Insert(tid, k)
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	pool.Close()
+
+	snap := set.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1] >= snap[i] {
+			t.Fatalf("merged snapshot not strictly ascending at %d: %d then %d", i, snap[i-1], snap[i])
+		}
+	}
+	for _, k := range snap {
+		// Every key must be resident on exactly the shard the router picks.
+		sh := set.Shard(set.ShardFor(k))
+		sh.Register(0)
+		if !sh.Lookup(0, k) {
+			t.Fatalf("key %d not found on its routed shard", k)
+		}
+	}
+	if live := mem.LiveNodes(); live != base+uint64(len(snap)) {
+		t.Fatalf("live nodes %d != base %d + %d resident keys (precise reclamation per shard)",
+			live, base, len(snap))
+	}
+	if d := mem.DeferredNodes(); d != 0 {
+		t.Fatalf("%d deferred nodes on a precise sharded set", d)
+	}
+	if st := StatsOf(set); st.Commits == 0 {
+		t.Fatal("aggregated stats show no commits")
+	}
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DiffOptions tunes the trend comparison cmd/benchdiff runs in CI.
+type DiffOptions struct {
+	// Tolerance is the fractional throughput drop always allowed before a
+	// cell counts as regressed (0.25 = new may be up to 25% below old).
+	// The per-cell band additionally widens by both snapshots' recorded
+	// relative standard deviations, so noisy cells don't gate on noise.
+	Tolerance float64
+	// P99Tolerance, when positive, also gates client-observed p99 latency
+	// growth on server-mode cells: new p99 may exceed old by this
+	// fraction before the cell regresses.
+	P99Tolerance float64
+}
+
+// CellDelta is the comparison of one cell identity across two snapshots.
+type CellDelta struct {
+	Key      string  // the shared cell identity
+	OldMops  float64 // old snapshot's throughput
+	NewMops  float64 // new snapshot's throughput
+	Change   float64 // fractional change, (new-old)/old
+	Allowed  float64 // the drop band this cell was allowed
+	OldP99Ns uint64  // old p99 (server cells; 0 when absent)
+	NewP99Ns uint64
+	Why      string // non-empty iff Regressed
+}
+
+// Regressed reports whether this delta breaches its tolerance band.
+func (d CellDelta) Regressed() bool { return d.Why != "" }
+
+// cellIdentity is the join key for trend comparison: everything that
+// determines what was measured, nothing that describes how it came out.
+func cellIdentity(c Cell) string {
+	shards := c.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	return fmt.Sprintf("%s/%s clock=%s threads=%d window=%d conns=%d depth=%d reads=%d shards=%d rate=%g",
+		c.Family, c.Variant, c.Clock, c.Threads, c.Window, c.Conns, c.Depth, c.ReadPct, shards, c.OfferedRps)
+}
+
+// Diff joins two snapshots on cell identity and applies the tolerance
+// bands. Cells present in only one snapshot are skipped — a new PR adds
+// workloads and retires old ones freely; the gate only compares what both
+// snapshots measured. The returned deltas are identity-sorted so output
+// is stable.
+func Diff(old, cur Summary, opt DiffOptions) []CellDelta {
+	byKey := make(map[string]Cell, len(old.Cells))
+	for _, c := range old.Cells {
+		byKey[cellIdentity(c)] = c
+	}
+	var out []CellDelta
+	for _, nc := range cur.Cells {
+		key := cellIdentity(nc)
+		oc, ok := byKey[key]
+		if !ok {
+			continue
+		}
+		d := CellDelta{
+			Key:      key,
+			OldMops:  oc.Mops,
+			NewMops:  nc.Mops,
+			Allowed:  opt.Tolerance + oc.RelStddev + nc.RelStddev,
+			OldP99Ns: oc.OpP99Ns,
+			NewP99Ns: nc.OpP99Ns,
+		}
+		if oc.Mops > 0 {
+			d.Change = (nc.Mops - oc.Mops) / oc.Mops
+			if d.Change < -d.Allowed {
+				d.Why = fmt.Sprintf("throughput %.4f -> %.4f Mops (%+.1f%%, allowed -%.1f%%)",
+					oc.Mops, nc.Mops, 100*d.Change, 100*d.Allowed)
+			}
+		}
+		if d.Why == "" && opt.P99Tolerance > 0 && oc.OpP99Ns > 0 && nc.OpP99Ns > 0 {
+			growth := float64(nc.OpP99Ns)/float64(oc.OpP99Ns) - 1
+			if growth > opt.P99Tolerance {
+				d.Why = fmt.Sprintf("p99 %dns -> %dns (%+.1f%%, allowed +%.1f%%)",
+					oc.OpP99Ns, nc.OpP99Ns, 100*growth, 100*opt.P99Tolerance)
+			}
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func cell(variant string, threads, shards int, mops, relStddev float64, p99 uint64) Cell {
+	return Cell{
+		Family: "server", Variant: variant, Threads: threads, Shards: shards,
+		Conns: 4, Depth: 8, ReadPct: 50,
+		Mops: mops, RelStddev: relStddev, OpP99Ns: p99,
+	}
+}
+
+// TestDiffRegressionGate pins the tolerance-band semantics the CI trend
+// gate relies on: drops inside tolerance+stddev pass, drops beyond it
+// fail with an explanatory Why, and improvements never trip the gate.
+func TestDiffRegressionGate(t *testing.T) {
+	old := Summary{Cells: []Cell{
+		cell("RR-V", 4, 1, 1.00, 0.05, 10_000),
+		cell("RR-V", 4, 4, 1.00, 0.05, 10_000),
+		cell("TMHP", 4, 1, 2.00, 0, 0),
+	}}
+	cur := Summary{Cells: []Cell{
+		cell("RR-V", 4, 1, 0.85, 0.05, 10_000), // -15%, inside 0.10+0.05+0.05
+		cell("RR-V", 4, 4, 0.50, 0.05, 10_000), // -50%: regression
+		cell("TMHP", 4, 1, 2.60, 0, 0),         // +30%: improvement
+	}}
+	deltas := Diff(old, cur, DiffOptions{Tolerance: 0.10})
+	if len(deltas) != 3 {
+		t.Fatalf("compared %d cells, want 3", len(deltas))
+	}
+	var regressed []CellDelta
+	for _, d := range deltas {
+		if d.Regressed() {
+			regressed = append(regressed, d)
+		}
+	}
+	if len(regressed) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the shards=4 drop", regressed)
+	}
+	if !strings.Contains(regressed[0].Key, "shards=4") {
+		t.Fatalf("wrong cell regressed: %s", regressed[0].Key)
+	}
+	if !strings.Contains(regressed[0].Why, "throughput") {
+		t.Fatalf("Why missing throughput detail: %q", regressed[0].Why)
+	}
+}
+
+// TestDiffSkipsUnmatched checks cells without a counterpart in the other
+// snapshot are ignored — adding or retiring workloads must not gate.
+func TestDiffSkipsUnmatched(t *testing.T) {
+	old := Summary{Cells: []Cell{cell("RR-V", 4, 1, 1.0, 0, 0)}}
+	cur := Summary{Cells: []Cell{
+		cell("RR-V", 4, 2, 0.1, 0, 0), // new shard count: no counterpart
+		cell("RR-V", 8, 1, 0.1, 0, 0), // new thread count: no counterpart
+	}}
+	if deltas := Diff(old, cur, DiffOptions{Tolerance: 0.10}); len(deltas) != 0 {
+		t.Fatalf("unmatched cells compared: %+v", deltas)
+	}
+}
+
+// TestDiffShardZeroOneEquivalent checks shards=0 (legacy snapshots) and
+// shards=1 describe the same measurement.
+func TestDiffShardZeroOneEquivalent(t *testing.T) {
+	old := Summary{Cells: []Cell{cell("RR-V", 4, 0, 1.0, 0, 0)}}
+	cur := Summary{Cells: []Cell{cell("RR-V", 4, 1, 1.0, 0, 0)}}
+	if deltas := Diff(old, cur, DiffOptions{Tolerance: 0.10}); len(deltas) != 1 {
+		t.Fatalf("shards 0 vs 1 did not join: %+v", deltas)
+	}
+}
+
+// TestDiffP99Gate checks the optional latency gate: growth beyond the
+// band regresses, and cells without p99 data never do.
+func TestDiffP99Gate(t *testing.T) {
+	old := Summary{Cells: []Cell{
+		cell("RR-V", 4, 1, 1.0, 0, 10_000),
+		cell("TMHP", 4, 1, 1.0, 0, 0),
+	}}
+	cur := Summary{Cells: []Cell{
+		cell("RR-V", 4, 1, 1.0, 0, 40_000), // 4× p99
+		cell("TMHP", 4, 1, 1.0, 0, 0),
+	}}
+	deltas := Diff(old, cur, DiffOptions{Tolerance: 0.10, P99Tolerance: 1.0})
+	var regressed int
+	for _, d := range deltas {
+		if d.Regressed() {
+			regressed++
+			if !strings.Contains(d.Why, "p99") {
+				t.Fatalf("Why missing p99 detail: %q", d.Why)
+			}
+		}
+	}
+	if regressed != 1 {
+		t.Fatalf("p99 gate flagged %d cells, want 1", regressed)
+	}
+	// Without the opt-in, the same data passes.
+	for _, d := range Diff(old, cur, DiffOptions{Tolerance: 0.10}) {
+		if d.Regressed() {
+			t.Fatalf("p99 gate fired without P99Tolerance: %+v", d)
+		}
+	}
+}

@@ -51,14 +51,23 @@ type Cell struct {
 	// ratio, plus the live-node envelope sampled over the run — flat
 	// (LiveMax−LiveMin bounded by the working set, no growth) is the
 	// precise-reclamation property surviving a network front end.
-	Conns    int    `json:"conns,omitempty"`
-	Depth    int    `json:"depth,omitempty"`
-	ReadPct  int    `json:"read_pct,omitempty"`
-	OpP50Ns  uint64 `json:"op_p50_ns,omitempty"`
-	OpP99Ns  uint64 `json:"op_p99_ns,omitempty"`
-	LiveMin  uint64 `json:"live_min,omitempty"`
-	LiveMax  uint64 `json:"live_max,omitempty"`
-	Deferred uint64 `json:"deferred_end,omitempty"`
+	// Shards is the server's shard count (0/1 = unsharded); a cell's
+	// Threads is then the per-shard worker-slot count. In open-loop runs
+	// OfferedRps is the -rate target and AchievedRps what the generator
+	// actually sustained; latency percentiles are then measured from each
+	// request's intended send time (coordinated-omission-safe), not from
+	// the moment it reached the socket.
+	Conns       int     `json:"conns,omitempty"`
+	Depth       int     `json:"depth,omitempty"`
+	ReadPct     int     `json:"read_pct,omitempty"`
+	Shards      int     `json:"shards,omitempty"`
+	OfferedRps  float64 `json:"offered_rps,omitempty"`
+	AchievedRps float64 `json:"achieved_rps,omitempty"`
+	OpP50Ns     uint64  `json:"op_p50_ns,omitempty"`
+	OpP99Ns     uint64  `json:"op_p99_ns,omitempty"`
+	LiveMin     uint64  `json:"live_min,omitempty"`
+	LiveMax     uint64  `json:"live_max,omitempty"`
+	Deferred    uint64  `json:"deferred_end,omitempty"`
 
 	// Obs is the final trial's full domain snapshot (log₂-bucket
 	// histograms, gauges, abort-attribution edges); nil when detached.

@@ -9,6 +9,7 @@ import (
 	"hohtx/internal/list"
 	"hohtx/internal/lockfree"
 	"hohtx/internal/obs"
+	"hohtx/internal/serve"
 	"hohtx/internal/sets"
 	"hohtx/internal/skiplist"
 	"hohtx/internal/stm"
@@ -63,6 +64,10 @@ type VariantSpec struct {
 	// of it through the ObsReporter interface. The lock-free variants have
 	// no instrumented sites and ignore it.
 	Observe bool
+	// ObsName overrides the observability domain's label (default: Name).
+	// BuildSharded uses it to register each shard's domain under a
+	// distinct name on the same endpoint.
+	ObsName string
 }
 
 // BenchSampleShift traces 1 in 2^4 transactions when Observe is set:
@@ -75,8 +80,12 @@ func obsDomain(spec VariantSpec, threads int) *obs.Domain {
 	if !spec.Observe {
 		return nil
 	}
+	name := spec.ObsName
+	if name == "" {
+		name = spec.Name
+	}
 	return obs.NewDomain(obs.DomainConfig{
-		Name:        spec.Name,
+		Name:        name,
 		Threads:     threads,
 		SampleShift: BenchSampleShift,
 	})
@@ -268,6 +277,39 @@ func Build(f Family, spec VariantSpec, threads int) (sets.Set, error) {
 		return skiplist.New(cfg), nil
 	}
 	return nil, fmt.Errorf("bench: unknown family %q", f)
+}
+
+// BuildSharded constructs shards independent instances of a variant —
+// each with its own STM runtime (global clock, serial-fallback lock),
+// arena, and reclamation scheme — behind the serve.Sharded routing
+// facade, all configured for the same per-shard thread count. The result
+// still implements sets.Set, so benchmarks, the torture harness, and the
+// lease pool drive it unchanged; front ends that want one lease pool per
+// shard reach the underlying sets through Shard(i).
+//
+// Observed specs get one obs domain per shard, named "<ObsName|Name>-s<i>"
+// so all of them can register on a single endpoint without colliding.
+func BuildSharded(f Family, spec VariantSpec, threads, shards int) (*serve.Sharded, error) {
+	if shards <= 0 {
+		shards = 1
+	}
+	parts := make([]sets.Set, shards)
+	for i := range parts {
+		s := spec
+		if s.Observe {
+			base := s.ObsName
+			if base == "" {
+				base = s.Name
+			}
+			s.ObsName = fmt.Sprintf("%s-s%d", base, i)
+		}
+		set, err := Build(f, s, threads)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = set
+	}
+	return serve.NewSharded(parts), nil
 }
 
 // RRNames returns the six reservation series labels in the paper's order.

@@ -25,4 +25,12 @@
 // slot. cmd/hohserver wraps it in a binary; cmd/hohload is the matching
 // load generator. See DESIGN.md §9 for the protocol grammar and the
 // backpressure semantics.
+//
+// Sharded lifts the single-instance bottleneck: every TL2-style set
+// serializes writers through one global version clock, so one instance
+// caps write throughput no matter how shard-friendly the key mix is.
+// ShardOf hash-partitions keys across N fully independent instances (each
+// with its own clock, serial-fallback lock, arena, and — behind Server —
+// its own lease pool), the facade re-implements sets.Set by routing, and
+// LEN/INFO aggregate. See DESIGN.md §10.
 package serve

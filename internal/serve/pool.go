@@ -125,6 +125,13 @@ func (p *Pool) Slots() int { return p.slots }
 // ErrClosed after Close, or ctx.Err() if ctx ends first.
 func (p *Pool) Acquire(ctx context.Context) (int, error) { return p.acquire(ctx, -1) }
 
+// TryAcquire leases a slot only when one is free right now; it never
+// queues. The false return means "would have to wait" (or the pool is
+// closed — a following Acquire reports which). Multi-pool callers use it
+// to keep a fast path that cannot participate in a lease cycle: try every
+// pool you like while holding leases, but drop them all before blocking.
+func (p *Pool) TryAcquire() (int, bool) { return p.tryAcquire(-1) }
+
 // Release returns a leased slot. The slot goes to the oldest waiter if
 // any, otherwise back on the free stack.
 func (p *Pool) Release(slot int) {
@@ -156,9 +163,33 @@ func (p *Pool) Release(slot int) {
 	p.mu.Unlock()
 }
 
+// tryAcquire implements TryAcquire; want ≥ 0 prefers a specific slot.
+func (p *Pool) tryAcquire(want int) (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || len(p.free) == 0 {
+		return -1, false
+	}
+	slot := p.takeLocked(want)
+	p.stats.Leases++
+	p.stats.Outstanding++
+	if slot == want {
+		p.stats.AffinityHits++
+	}
+	if p.waitHist != nil {
+		p.waitHist.RecordAt(uint64(slot), 0)
+	}
+	return slot, true
+}
+
 // acquire implements Acquire; want ≥ 0 asks for a specific free slot
-// (handle affinity) and falls back to any free slot.
+// (handle affinity) and falls back to any free slot. A nil ctx means
+// "wait forever" — it only matters on the queued path, and Do(nil, fn)
+// is too convenient a call shape to let it panic there.
 func (p *Pool) acquire(ctx context.Context, want int) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -312,6 +343,16 @@ func (h *Handle) Acquire(ctx context.Context) (int, error) {
 		h.last = slot
 	}
 	return slot, err
+}
+
+// TryAcquire leases a slot (preferring this handle's previous one) only
+// when one is free right now; it never queues.
+func (h *Handle) TryAcquire() (int, bool) {
+	slot, ok := h.p.tryAcquire(h.last)
+	if ok {
+		h.last = slot
+	}
+	return slot, ok
 }
 
 // Release returns the slot to the pool.

@@ -1,4 +1,4 @@
-package serve
+package serve_test
 
 import (
 	"context"
@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hohtx/internal/bench"
+	"hohtx/internal/serve"
 	"hohtx/internal/sets"
 )
 
@@ -29,7 +30,7 @@ func newSet(t *testing.T, threads int) sets.Set {
 func TestLeaseContention(t *testing.T) {
 	const slots, goroutines, opsEach = 4, 32, 200
 	set := newSet(t, slots)
-	p := NewPool(set, PoolConfig{Slots: slots})
+	p := serve.NewPool(set, serve.PoolConfig{Slots: slots})
 
 	var inUse [slots]atomic.Int32
 	var ops atomic.Int64
@@ -73,8 +74,8 @@ func TestLeaseContention(t *testing.T) {
 		t.Fatalf("32 goroutines on 4 slots never waited; Stats = %+v", st)
 	}
 	p.Close()
-	if _, err := p.Acquire(context.Background()); err != ErrClosed {
-		t.Fatalf("Acquire after Close = %v, want ErrClosed", err)
+	if _, err := p.Acquire(context.Background()); err != serve.ErrClosed {
+		t.Fatalf("Acquire after Close = %v, want serve.ErrClosed", err)
 	}
 }
 
@@ -82,7 +83,7 @@ func TestLeaseContention(t *testing.T) {
 // stays healthy (the slot is not lost, later acquires work).
 func TestAcquireContextCancel(t *testing.T) {
 	set := newSet(t, 1)
-	p := NewPool(set, PoolConfig{Slots: 1})
+	p := serve.NewPool(set, serve.PoolConfig{Slots: 1})
 
 	slot, err := p.Acquire(context.Background())
 	if err != nil {
@@ -110,7 +111,7 @@ func TestAcquireContextCancel(t *testing.T) {
 func TestHandleAffinity(t *testing.T) {
 	const slots = 4
 	set := newSet(t, slots)
-	p := NewPool(set, PoolConfig{Slots: slots})
+	p := serve.NewPool(set, serve.PoolConfig{Slots: slots})
 	h := p.Handle()
 
 	first, err := h.Acquire(context.Background())
@@ -143,7 +144,7 @@ func TestHandleAffinity(t *testing.T) {
 // bound instead of queueing without limit.
 func TestAcquireSaturation(t *testing.T) {
 	set := newSet(t, 1)
-	p := NewPool(set, PoolConfig{Slots: 1, MaxWaiters: 2})
+	p := serve.NewPool(set, serve.PoolConfig{Slots: 1, MaxWaiters: 2})
 
 	slot, err := p.Acquire(context.Background())
 	if err != nil {
@@ -159,8 +160,8 @@ func TestAcquireSaturation(t *testing.T) {
 		}()
 	}
 	waitFor(t, func() bool { return p.Stats().Waiting == 2 })
-	if _, err := p.Acquire(context.Background()); err != ErrSaturated {
-		t.Fatalf("Acquire over full queue = %v, want ErrSaturated", err)
+	if _, err := p.Acquire(context.Background()); err != serve.ErrSaturated {
+		t.Fatalf("Acquire over full queue = %v, want serve.ErrSaturated", err)
 	}
 	if st := p.Stats(); st.Rejections != 1 {
 		t.Fatalf("Rejections = %d, want 1", st.Rejections)
@@ -175,7 +176,7 @@ func TestAcquireSaturation(t *testing.T) {
 // order.
 func TestFIFOOrder(t *testing.T) {
 	set := newSet(t, 1)
-	p := NewPool(set, PoolConfig{Slots: 1})
+	p := serve.NewPool(set, serve.PoolConfig{Slots: 1})
 
 	slot, err := p.Acquire(context.Background())
 	if err != nil {
@@ -212,10 +213,10 @@ func TestFIFOOrder(t *testing.T) {
 }
 
 // TestCloseFailsWaiters checks Close resolves queued waiters with
-// ErrClosed and still waits for outstanding leases before flushing.
+// serve.ErrClosed and still waits for outstanding leases before flushing.
 func TestCloseFailsWaiters(t *testing.T) {
 	set := newSet(t, 1)
-	p := NewPool(set, PoolConfig{Slots: 1})
+	p := serve.NewPool(set, serve.PoolConfig{Slots: 1})
 
 	slot, err := p.Acquire(context.Background())
 	if err != nil {
@@ -233,8 +234,8 @@ func TestCloseFailsWaiters(t *testing.T) {
 		p.Close()
 		close(closed)
 	}()
-	if err := <-waiterErr; err != ErrClosed {
-		t.Fatalf("queued waiter got %v, want ErrClosed", err)
+	if err := <-waiterErr; err != serve.ErrClosed {
+		t.Fatalf("queued waiter got %v, want serve.ErrClosed", err)
 	}
 	select {
 	case <-closed:
@@ -259,5 +260,26 @@ func waitFor(t *testing.T, cond func() bool) {
 			t.Fatal("condition not reached in time")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// A nil context on Acquire/Do must mean "wait forever", not panic when
+// the caller happens to hit the queued path. The two goroutines force a
+// queue hand-off with one slot.
+func TestPoolNilContextQueues(t *testing.T) {
+	p := serve.NewPool(newSet(t, 1), serve.PoolConfig{Slots: 1})
+	defer p.Close()
+	slot, err := p.Acquire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Do(nil, func(tid int) {})
+	}()
+	time.Sleep(20 * time.Millisecond) // let the Do queue behind the lease
+	p.Release(slot)
+	if err := <-done; err != nil {
+		t.Fatalf("queued Do with nil ctx: %v", err)
 	}
 }

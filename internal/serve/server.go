@@ -19,12 +19,26 @@ import (
 // pipeline already in flight before their reads time out.
 const drainGrace = 250 * time.Millisecond
 
+// Backend is one shard behind the server: a set plus the lease pool
+// multiplexing connections onto that set's worker slots. A single-shard
+// server has exactly one backend.
+type Backend struct {
+	Set  sets.Set
+	Pool *Pool
+}
+
 // ServerConfig parameterizes NewServer.
 type ServerConfig struct {
-	// Set is the structure being served.
-	Set sets.Set
-	// Pool multiplexes connections onto the set's worker slots. Required.
+	// Set is the structure being served; Pool multiplexes connections
+	// onto its worker slots. This is the single-shard configuration —
+	// exactly one of Set/Pool or Shards must be provided.
+	Set  sets.Set
 	Pool *Pool
+	// Shards, when non-empty, runs the server sharded: keys route to
+	// Shards[ShardOf(key, len(Shards))], each shard leasing from its own
+	// pool, while LEN and INFO aggregate across all of them. The wire
+	// protocol is identical either way.
+	Shards []Backend
 	// MaxKey bounds accepted keys to [1, MaxKey]. Zero defaults to the
 	// tree sentinel bound (the tightest across the repo's structures).
 	MaxKey uint64
@@ -33,27 +47,32 @@ type ServerConfig struct {
 	Obs *obs.Domain
 }
 
-// Server speaks the repository's line protocol over a sets.Set:
+// Server speaks the repository's line protocol over one or more shards:
 //
 //	GET <key>\n  -> 1\n | 0\n          (membership)
 //	SET <key>\n  -> 1\n | 0\n          (1 = inserted, 0 = already present)
 //	DEL <key>\n  -> 1\n | 0\n          (1 = removed; memory is already free)
-//	LEN\n        -> <n>\n              (keys currently present)
-//	INFO\n       -> variant=… slots=… keys=… live=… deferred=… conns=…\n
+//	LEN\n        -> <n>\n              (keys currently present, all shards)
+//	INFO\n       -> variant=… shards=… slots=… keys=… live=… deferred=… conns=…\n
 //	anything else -> ERR <reason>\n    (connection stays open)
 //
 // Requests pipeline: a client may write any number of lines before
 // reading; replies come back in order. Each connection runs one
-// goroutine, which leases a worker slot only while buffered requests
-// remain — an idle connection holds no slot, so connections can outnumber
-// slots by orders of magnitude.
+// goroutine, which leases a worker slot on a shard only while buffered
+// requests route there — an idle connection holds no slot on any shard,
+// so connections can outnumber slots by orders of magnitude.
+//
+// With several shards the key-indexed verbs route by ShardOf, so two
+// writers on different shards commit against different global clocks and
+// different serial-fallback locks; LEN and INFO are the only aggregate
+// views, and both are exact (LEN is one server-level counter, INFO sums
+// each shard's memory books).
 type Server struct {
-	set    sets.Set
-	pool   *Pool
+	shards []Backend
 	maxKey uint64
 	dom    *obs.Domain
 	probe  *obs.ServeProbe
-	mem    sets.MemoryReporter // nil if the set has no memory books
+	mems   []sets.MemoryReporter // per shard; nil entries for bookless sets
 
 	keys  atomic.Int64 // net successful SET − DEL through this server
 	conns atomic.Int64
@@ -65,11 +84,14 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
-// NewServer wires a server over cfg.Set/cfg.Pool.
+// NewServer wires a server over cfg's backends.
 func NewServer(cfg ServerConfig) *Server {
+	shards := cfg.Shards
+	if len(shards) == 0 {
+		shards = []Backend{{Set: cfg.Set, Pool: cfg.Pool}}
+	}
 	s := &Server{
-		set:    cfg.Set,
-		pool:   cfg.Pool,
+		shards: shards,
 		maxKey: cfg.MaxKey,
 		dom:    cfg.Obs,
 		open:   make(map[net.Conn]struct{}),
@@ -77,22 +99,44 @@ func NewServer(cfg ServerConfig) *Server {
 	if s.maxKey == 0 {
 		s.maxKey = ^uint64(0) - 3 // tree.MaxKey, the tightest structure bound
 	}
-	s.mem, _ = cfg.Set.(sets.MemoryReporter)
+	s.mems = make([]sets.MemoryReporter, len(shards))
+	anyMem := false
+	for i, b := range shards {
+		if mr, ok := b.Set.(sets.MemoryReporter); ok {
+			s.mems[i] = mr
+			anyMem = true
+		}
+	}
 	if cfg.Obs != nil {
 		s.probe = cfg.Obs.ServeProbe()
 		cfg.Obs.Gauge("server_keys", func() uint64 { return uint64(s.keys.Load()) })
 		cfg.Obs.Gauge("server_conns", func() uint64 { return uint64(s.conns.Load()) })
-		if s.mem != nil {
-			cfg.Obs.Gauge("live_nodes", s.mem.LiveNodes)
-			cfg.Obs.Gauge("deferred_nodes", s.mem.DeferredNodes)
+		cfg.Obs.Gauge("shard_count", func() uint64 { return uint64(len(s.shards)) })
+		if anyMem {
+			cfg.Obs.Gauge("live_nodes", func() uint64 { l, _ := s.memTotals(); return l })
+			cfg.Obs.Gauge("deferred_nodes", func() uint64 { _, d := s.memTotals(); return d })
 		}
 	}
 	return s
 }
 
-// Len returns the number of keys present (as counted by this server's
-// successful SET/DEL balance).
+// memTotals sums the shards' memory books.
+func (s *Server) memTotals() (live, deferred uint64) {
+	for _, mr := range s.mems {
+		if mr != nil {
+			live += mr.LiveNodes()
+			deferred += mr.DeferredNodes()
+		}
+	}
+	return live, deferred
+}
+
+// Len returns the number of keys present across all shards (as counted by
+// this server's successful SET/DEL balance).
 func (s *Server) Len() int64 { return s.keys.Load() }
+
+// Shards returns how many shards the server routes across.
+func (s *Server) Shards() int { return len(s.shards) }
 
 // Serve accepts connections on ln until Shutdown closes it. It returns
 // nil on a drain-initiated stop and the accept error otherwise.
@@ -123,8 +167,8 @@ func (s *Server) Serve(ln net.Listener) error {
 
 // Shutdown drains the server: stop accepting, give in-flight pipelines a
 // grace period to finish, then wait for every connection goroutine (or
-// force-close them when ctx ends first). The pool is closed last, which
-// flushes every worker slot.
+// force-close them when ctx ends first). The pools are closed last, which
+// flushes every shard's worker slots.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.mu.Lock()
@@ -154,12 +198,68 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 		err = ctx.Err()
 	}
-	s.pool.Close()
+	for _, b := range s.shards {
+		b.Pool.Close()
+	}
 	return err
 }
 
-// handle runs one connection: read a line, lease a slot (kept across a
-// burst of buffered requests), execute, reply.
+// connLeases tracks one connection's slot leases, at most one per shard,
+// acquired lazily as requests route and all released when a burst ends.
+type connLeases struct {
+	handles []*Handle
+	slots   []int
+}
+
+func newConnLeases(shards []Backend) *connLeases {
+	l := &connLeases{
+		handles: make([]*Handle, len(shards)),
+		slots:   make([]int, len(shards)),
+	}
+	for i, b := range shards {
+		l.handles[i] = b.Pool.Handle()
+		l.slots[i] = -1
+	}
+	return l
+}
+
+// slot returns the lease on shard i, acquiring one if needed. The
+// acquisition protocol is try-then-release-and-block: take shard i's
+// slot immediately if one is free (keeping the burst's other leases
+// warm), but when shard i is out of slots, give back every lease this
+// connection holds before queueing. Blocking on one shard while holding
+// another is the hold-and-wait half of a deadlock cycle — with one slot
+// per shard, connection A holding shard 0 and waiting on shard 1 while
+// connection B holds 1 and waits on 0 would stall the server for good.
+func (l *connLeases) slot(i int) (int, error) {
+	if l.slots[i] >= 0 {
+		return l.slots[i], nil
+	}
+	if slot, ok := l.handles[i].TryAcquire(); ok {
+		l.slots[i] = slot
+		return slot, nil
+	}
+	l.releaseAll()
+	slot, err := l.handles[i].Acquire(context.Background())
+	if err != nil {
+		return -1, err
+	}
+	l.slots[i] = slot
+	return slot, nil
+}
+
+// releaseAll returns every held lease.
+func (l *connLeases) releaseAll() {
+	for i, slot := range l.slots {
+		if slot >= 0 {
+			l.handles[i].Release(slot)
+			l.slots[i] = -1
+		}
+	}
+}
+
+// handle runs one connection: read a line, lease a slot on the target
+// shard (kept across a burst of buffered requests), execute, reply.
 func (s *Server) handle(c net.Conn) {
 	s.conns.Add(1)
 	defer func() {
@@ -173,15 +273,8 @@ func (s *Server) handle(c net.Conn) {
 
 	br := bufio.NewReaderSize(c, 4<<10)
 	bw := bufio.NewWriterSize(c, 4<<10)
-	h := s.pool.Handle()
-	slot := -1
-	release := func() {
-		if slot >= 0 {
-			h.Release(slot)
-			slot = -1
-		}
-	}
-	defer release()
+	leases := newConnLeases(s.shards)
+	defer leases.releaseAll()
 
 	for {
 		if s.draining.Load() && br.Buffered() == 0 {
@@ -195,22 +288,14 @@ func (s *Server) handle(c net.Conn) {
 			}
 			// final unterminated request: serve it, then drop the conn
 		}
-		if slot < 0 {
-			var aerr error
-			slot, aerr = h.Acquire(context.Background())
-			if aerr != nil {
-				bw.WriteString("ERR ")
-				bw.WriteString(aerr.Error())
-				bw.WriteByte('\n')
-				_ = bw.Flush()
-				return
-			}
+		if !s.serveLine(leases, strings.TrimRight(line, "\r\n"), bw) {
+			_ = bw.Flush()
+			return
 		}
-		s.serveLine(slot, strings.TrimRight(line, "\r\n"), bw)
 		if br.Buffered() == 0 {
-			// Burst over: give the slot back before blocking on the
+			// Burst over: give the slots back before blocking on the
 			// network, and push the replies out.
-			release()
+			leases.releaseAll()
 			if ferr := bw.Flush(); ferr != nil || err != nil {
 				return
 			}
@@ -218,9 +303,10 @@ func (s *Server) handle(c net.Conn) {
 	}
 }
 
-// serveLine executes one request line on a leased slot and appends the
-// reply to bw.
-func (s *Server) serveLine(slot int, line string, bw *bufio.Writer) {
+// serveLine executes one request line and appends the reply to bw. It
+// returns false when the connection must drop (a lease could not be
+// acquired — saturation or shutdown).
+func (s *Server) serveLine(leases *connLeases, line string, bw *bufio.Writer) bool {
 	verb, rest, _ := strings.Cut(line, " ")
 	switch verb {
 	case "GET", "SET", "DEL":
@@ -229,23 +315,32 @@ func (s *Server) serveLine(slot int, line string, bw *bufio.Writer) {
 			bw.WriteString("ERR ")
 			bw.WriteString(err.Error())
 			bw.WriteByte('\n')
-			return
+			return true
+		}
+		shard := ShardOf(key, len(s.shards))
+		slot, err := leases.slot(shard)
+		if err != nil {
+			bw.WriteString("ERR ")
+			bw.WriteString(err.Error())
+			bw.WriteByte('\n')
+			return false
 		}
 		sampled := s.dom != nil && s.dom.Sampled(uint64(slot))
 		var t0 time.Time
 		if sampled {
 			t0 = time.Now()
 		}
+		set := s.shards[shard].Set
 		var ok bool
 		switch verb {
 		case "GET":
-			ok = s.set.Lookup(slot, key)
+			ok = set.Lookup(slot, key)
 		case "SET":
-			if ok = s.set.Insert(slot, key); ok {
+			if ok = set.Insert(slot, key); ok {
 				s.keys.Add(1)
 			}
 		default:
-			if ok = s.set.Remove(slot, key); ok {
+			if ok = set.Remove(slot, key); ok {
 				s.keys.Add(-1)
 			}
 		}
@@ -269,17 +364,16 @@ func (s *Server) serveLine(slot int, line string, bw *bufio.Writer) {
 		bw.WriteString(strconv.FormatInt(s.keys.Load(), 10))
 		bw.WriteByte('\n')
 	case "INFO":
-		var live, deferred uint64
-		if s.mem != nil {
-			live, deferred = s.mem.LiveNodes(), s.mem.DeferredNodes()
-		}
-		fmt.Fprintf(bw, "variant=%s slots=%d keys=%d live=%d deferred=%d conns=%d\n",
-			s.set.Name(), s.pool.Slots(), s.keys.Load(), live, deferred, s.conns.Load())
+		live, deferred := s.memTotals()
+		fmt.Fprintf(bw, "variant=%s shards=%d slots=%d keys=%d live=%d deferred=%d conns=%d\n",
+			s.shards[0].Set.Name(), len(s.shards), s.shards[0].Pool.Slots(),
+			s.keys.Load(), live, deferred, s.conns.Load())
 	case "":
 		bw.WriteString("ERR empty command\n")
 	default:
 		bw.WriteString("ERR unknown command\n")
 	}
+	return true
 }
 
 // parseKey validates a decimal key in [1, maxKey].

@@ -1,4 +1,4 @@
-package serve
+package serve_test
 
 import (
 	"bufio"
@@ -10,16 +10,17 @@ import (
 	"testing"
 	"time"
 
+	"hohtx/internal/serve"
 	"hohtx/internal/sets"
 )
 
 // startServer builds an RR-V singly list, a pool, and a listening server
 // on a loopback port; the cleanup shuts everything down.
-func startServer(t *testing.T, slots int) (*Server, sets.Set, string) {
+func startServer(t *testing.T, slots int) (*serve.Server, sets.Set, string) {
 	t.Helper()
 	set := newSet(t, slots)
-	pool := NewPool(set, PoolConfig{Slots: slots})
-	srv := NewServer(ServerConfig{Set: set, Pool: pool})
+	pool := serve.NewPool(set, serve.PoolConfig{Slots: slots})
+	srv := serve.NewServer(serve.ServerConfig{Set: set, Pool: pool})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("listen: %v", err)
@@ -221,8 +222,8 @@ func TestServerInfo(t *testing.T) {
 // (the drain deadline unblocks its read) and that Serve returns nil.
 func TestServerDrain(t *testing.T) {
 	set := newSet(t, 2)
-	pool := NewPool(set, PoolConfig{Slots: 2})
-	srv := NewServer(ServerConfig{Set: set, Pool: pool})
+	pool := serve.NewPool(set, serve.PoolConfig{Slots: 2})
+	srv := serve.NewServer(serve.ServerConfig{Set: set, Pool: pool})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("listen: %v", err)
@@ -250,7 +251,7 @@ func TestServerDrain(t *testing.T) {
 	if err := <-serveErr; err != nil {
 		t.Fatalf("Serve returned %v after drain, want nil", err)
 	}
-	if _, err := pool.Acquire(context.Background()); err != ErrClosed {
-		t.Fatalf("pool after Shutdown: %v, want ErrClosed", err)
+	if _, err := pool.Acquire(context.Background()); err != serve.ErrClosed {
+		t.Fatalf("pool after Shutdown: %v, want serve.ErrClosed", err)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"hohtx/internal/lockfree"
 	"hohtx/internal/obs"
 	"hohtx/internal/reclaim"
+	"hohtx/internal/serve"
 	"hohtx/internal/sets"
 	"hohtx/internal/skiplist"
 	"hohtx/internal/tree"
@@ -84,6 +85,7 @@ type instance struct {
 	set      sets.Set
 	guard    *guardCollector // nil when the variant cannot run guarded
 	obs      *obs.Domain     // flight recorder; nil for the lock-free baselines
+	obsAll   []*obs.Domain   // sharded runs: one domain per shard
 	perKey   uint64          // arena nodes per resident key
 	baseLive uint64          // sentinel/bootstrap nodes (measured post-build)
 	deferred bool            // uses a deferred scheme (TMHP/ER/Leak/LFHP)
@@ -93,15 +95,45 @@ type instance struct {
 	validate func() error
 }
 
+// domains returns every observability domain the instance carries: the
+// per-shard list for sharded runs, the single domain otherwise, nothing
+// for the uninstrumented lock-free baselines.
+func (inst *instance) domains() []*obs.Domain {
+	if len(inst.obsAll) > 0 {
+		return inst.obsAll
+	}
+	if inst.obs != nil {
+		return []*obs.Domain{inst.obs}
+	}
+	return nil
+}
+
 func zeroStats() reclaim.Stats { return reclaim.Stats{} }
 
-// build constructs the structure × variant × policy instance for a run.
+// build constructs the instance for a run: one structure × variant ×
+// policy instance, or — when cfg.Shards > 1 — that many of them behind
+// the serve.Sharded routing facade.
 func build(cfg Config) (*instance, error) {
-	inst := &instance{perKey: 1, rounds: 1, reclaim: zeroStats}
 	var guard *guardCollector
-	var sink func(arena.GuardEvent)
 	if cfg.Guard {
+		// One collector for the whole run: in a sharded run every shard's
+		// arena reports into the same sink, so a violation anywhere fails
+		// the run with the one repro line.
 		guard = &guardCollector{}
+	}
+	if cfg.Shards <= 1 {
+		return buildOne(cfg, guard, cfg.Structure+"/"+cfg.Variant)
+	}
+	return buildSharded(cfg, guard)
+}
+
+// buildOne constructs a single structure × variant × policy instance,
+// reporting guard events into the given collector (nil = unguarded) and
+// naming its observability domain obsName.
+func buildOne(cfg Config, guard *guardCollector, obsName string) (*instance, error) {
+	inst := &instance{perKey: 1, rounds: 1, reclaim: zeroStats}
+	var sink func(arena.GuardEvent)
+	if guard != nil {
 		sink = guard.sink
 	}
 
@@ -111,7 +143,7 @@ func build(cfg Config) (*instance, error) {
 	// domain so a failed run can dump its flight recorder next to the repro
 	// line. The lock-free baselines return before it is attached.
 	dom := obs.NewDomain(obs.DomainConfig{
-		Name:       cfg.Structure + "/" + cfg.Variant,
+		Name:       obsName,
 		Threads:    cfg.Threads,
 		RingEvents: 512,
 	})
@@ -293,6 +325,94 @@ func build(cfg Config) (*instance, error) {
 
 	inst.obs = dom
 	return measureBase(inst), nil
+}
+
+// buildSharded constructs cfg.Shards independent instances and combines
+// them behind serve.Sharded. The combined instance's invariant metadata
+// aggregates the shards' (summed base nodes and reclamation counters,
+// max drain rounds), and its validator descends into each shard: the
+// structure-specific checks run per shard, and so does the exact memory
+// book — live nodes in shard i must equal shard i's sentinels plus
+// perKey × its resident keys, not just in aggregate, because two shards
+// leaking in opposite directions would cancel in the sum.
+func buildSharded(cfg Config, guard *guardCollector) (*instance, error) {
+	subs := make([]*instance, cfg.Shards)
+	parts := make([]sets.Set, cfg.Shards)
+	for i := range subs {
+		si, err := buildOne(cfg, guard, fmt.Sprintf("%s/%s#s%d", cfg.Structure, cfg.Variant, i))
+		if err != nil {
+			return nil, err
+		}
+		subs[i] = si
+		parts[i] = si.set
+	}
+	first := subs[0]
+	inst := &instance{
+		set:      serve.NewSharded(parts),
+		guard:    first.guard,
+		obs:      first.obs,
+		perKey:   first.perKey,
+		deferred: first.deferred,
+		leak:     first.leak,
+		rounds:   first.rounds,
+	}
+	for _, si := range subs {
+		inst.baseLive += si.baseLive
+		if si.obs != nil {
+			inst.obsAll = append(inst.obsAll, si.obs)
+		}
+	}
+	inst.reclaim = func() reclaim.Stats {
+		var out reclaim.Stats
+		for _, si := range subs {
+			st := si.reclaim()
+			out.Retired += st.Retired
+			out.Freed += st.Freed
+			out.Deferred += st.Deferred
+			out.PeakDeferred += st.PeakDeferred // upper bound: peaks need not align
+			out.Scans += st.Scans
+			out.DelayOpsSum += st.DelayOpsSum
+			out.Leftover += st.Leftover
+		}
+		return out
+	}
+	inst.validate = func() error {
+		for i, si := range subs {
+			if si.validate != nil {
+				if err := si.validate(); err != nil {
+					return fmt.Errorf("shard %d: %w", i, err)
+				}
+			}
+			mr, ok := si.set.(sets.MemoryReporter)
+			if !ok {
+				continue
+			}
+			live, def := mr.LiveNodes(), mr.DeferredNodes()
+			expect := si.baseLive + si.perKey*uint64(len(si.set.Snapshot()))
+			switch {
+			case !si.deferred:
+				if live != expect {
+					return fmt.Errorf("shard %d: precise mode: live %d != expected %d", i, live, expect)
+				}
+				if def != 0 {
+					return fmt.Errorf("shard %d: precise mode: %d deferred nodes", i, def)
+				}
+			case si.leak:
+				if live != expect+def {
+					return fmt.Errorf("shard %d: leak mode: live %d != %d expected + %d leaked", i, live, expect, def)
+				}
+			default:
+				if def != 0 {
+					return fmt.Errorf("shard %d: deferred mode: %d nodes still deferred after full drain", i, def)
+				}
+				if live != expect {
+					return fmt.Errorf("shard %d: deferred mode after drain: live %d != expected %d", i, live, expect)
+				}
+			}
+		}
+		return nil
+	}
+	return inst, nil
 }
 
 // measureBase records the freshly built structure's sentinel/bootstrap node

@@ -26,6 +26,11 @@ type Config struct {
 	Window    int          // hand-over-hand window size (default 4)
 	Seed      uint64       // schedule seed; 0 means 1
 	Guard     bool         // enable the arena use-after-free sanitizer
+	// Shards partitions the key space across this many fully independent
+	// instances behind serve.Sharded (default 1 = unsharded). Every
+	// invariant is then checked twice: in aggregate on the facade, and per
+	// shard (each shard keeps its own exact memory book).
+	Shards int
 	// Registry, when non-nil, carries the run's observability domain for
 	// the duration of the run so a live /metrics endpoint (cmd/torture's
 	// -obs flag) can watch a long sweep. Not part of the repro string.
@@ -51,6 +56,9 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	return c
 }
 
@@ -61,9 +69,13 @@ func (c Config) String() string {
 	if c.Guard {
 		g = " -guard"
 	}
+	sh := ""
+	if c.Shards > 1 {
+		sh = fmt.Sprintf(" -shards=%d", c.Shards)
+	}
 	return fmt.Sprintf(
-		"torture -structure=%s -variant=%s -policy=%d -threads=%d -ops=%d -keys=%d -lookup=%d -window=%d -seed=%d%s",
-		c.Structure, c.Variant, c.Policy, c.Threads, c.Ops, c.Keys, c.LookupPct, c.Window, c.Seed, g)
+		"torture -structure=%s -variant=%s -policy=%d -threads=%d -ops=%d -keys=%d -lookup=%d -window=%d -seed=%d%s%s",
+		c.Structure, c.Variant, c.Policy, c.Threads, c.Ops, c.Keys, c.LookupPct, c.Window, c.Seed, sh, g)
 }
 
 // Report summarizes a completed run.
@@ -116,9 +128,11 @@ func Run(cfg Config) (Report, error) {
 func runOn(cfg Config, inst *instance) (Report, error) {
 	var rep Report
 	s := inst.set
-	if cfg.Registry != nil && inst.obs != nil {
-		cfg.Registry.Register(inst.obs)
-		defer cfg.Registry.Unregister(inst.obs)
+	if cfg.Registry != nil {
+		for _, d := range inst.domains() {
+			cfg.Registry.Register(d)
+			defer cfg.Registry.Unregister(d)
+		}
 	}
 
 	// All worker-id traffic goes through a lease pool: it registers every
@@ -210,8 +224,12 @@ func runOn(cfg Config, inst *instance) (Report, error) {
 	// and a second round — with every slot cleared — must free them all.
 	pool.FinishAll()
 	if inst.rounds > 1 {
-		if left := inst.reclaim().Leftover; left > uint64(cfg.Threads)*3 {
-			fail("after Finish round 1: %d leftover retirees exceeds the hazard-slot bound %d", left, cfg.Threads*3)
+		// Every shard holds the full slot complement (the facade registers
+		// each tid everywhere), so the hazard bound scales with the shard
+		// count.
+		bound := uint64(cfg.Threads) * 3 * uint64(cfg.Shards)
+		if left := inst.reclaim().Leftover; left > bound {
+			fail("after Finish round 1: %d leftover retirees exceeds the hazard-slot bound %d", left, bound)
 		}
 		pool.FinishAll()
 	}
@@ -332,13 +350,16 @@ func runError(cfg Config, inst *instance, failures []string) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "torture run failed (repro: %s):\n  - %s",
 		cfg, strings.Join(failures, "\n  - "))
-	if inst != nil && inst.obs != nil {
-		// Dump the flight recorder right next to the repro line: the last
+	if inst != nil {
+		// Dump the flight recorder(s) right next to the repro line: the last
 		// few hundred lifecycle events plus the who-aborted-whom matrix are
 		// usually enough to localize a schedule-dependent bug without
-		// rerunning the seed under a debugger.
-		b.WriteString("\n")
-		inst.obs.DumpFlight(&b, flightDumpTail)
+		// rerunning the seed under a debugger. A sharded run dumps every
+		// shard's recorder — the failing transaction lives in exactly one.
+		for _, d := range inst.domains() {
+			b.WriteString("\n")
+			d.DumpFlight(&b, flightDumpTail)
+		}
 	}
 	return fmt.Errorf("%s", b.String())
 }

@@ -45,10 +45,11 @@ func TestTortureSweep(t *testing.T) {
 					Keys:      keys,
 					LookupPct: 10 + int(combo*7%40), // 10..49
 					Window:    2 + int(combo%6),     // 2..7
+					Shards:    1 + int(combo%2),     // alternate unsharded / 2-shard
 					Seed:      baseSeed + combo,
 					Guard:     true, // ignored by variants without an arena guard
 				}
-				name := structure + "/" + variant + "/" + policyName(policy)
+				name := fmt.Sprintf("%s/%s/%s/s%d", structure, variant, policyName(policy), cfg.Shards)
 				t.Run(name, func(t *testing.T) {
 					t.Parallel()
 					rep, err := Run(cfg)
@@ -131,5 +132,74 @@ func TestTortureReproString(t *testing.T) {
 	want := "torture -structure=etree -variant=TMHP -policy=1 -threads=6 -ops=1000 -keys=64 -lookup=30 -window=5 -seed=42 -guard"
 	if got := cfg.String(); got != want {
 		t.Fatalf("repro string drifted:\n got %s\nwant %s", got, want)
+	}
+	cfg.Shards = 4
+	want = "torture -structure=etree -variant=TMHP -policy=1 -threads=6 -ops=1000 -keys=64 -lookup=30 -window=5 -seed=42 -shards=4 -guard"
+	if got := cfg.String(); got != want {
+		t.Fatalf("sharded repro string drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestTortureSharded exercises the sharded build path at a shard count
+// above the sweep's: a 4-shard precise variant and a 4-shard hazard
+// variant, checking the per-shard memory books engage (the validator
+// descends into every shard) and the per-key oracle holds across the
+// routing facade.
+func TestTortureSharded(t *testing.T) {
+	for _, variant := range []string{"RR-V", "TMHP"} {
+		t.Run(variant, func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{
+				Structure: StructSingly, Variant: variant,
+				Threads: 4, Ops: 600, Keys: 96, Window: 4,
+				Shards: 4, Seed: 0xbeef, Guard: true,
+			}
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Inserts == 0 || rep.Removes == 0 {
+				t.Fatalf("degenerate run: %d inserts, %d removes (repro: %s)",
+					rep.Inserts, rep.Removes, cfg)
+			}
+			if rep.Deferred != 0 {
+				t.Fatalf("%d deferred nodes after full drain (repro: %s)", rep.Deferred, cfg)
+			}
+		})
+	}
+}
+
+// TestTortureShardedBuild checks the combined instance's metadata: one
+// obs domain per shard (each under its own name, so a live registry or a
+// failure dump shows all of them), summed sentinel baseline, and a clean
+// run through runOn with the per-shard validator engaged.
+func TestTortureShardedBuild(t *testing.T) {
+	single, err := build(Config{Structure: StructSingly, Variant: "RR-V"}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Structure: StructSingly, Variant: "RR-V",
+		Threads: 2, Ops: 200, Keys: 64, Shards: 3,
+	}
+	cfg = cfg.withDefaults()
+	inst, err := build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(inst.obsAll); got != 3 {
+		t.Fatalf("sharded instance carries %d obs domains, want 3", got)
+	}
+	if want := 3 * single.baseLive; inst.baseLive != want {
+		t.Fatalf("sharded baseLive %d != 3 × single %d", inst.baseLive, single.baseLive)
+	}
+	if got := inst.set.Name(); got != "RR-V×3" {
+		t.Fatalf("sharded set name %q, want RR-V×3", got)
+	}
+	if inst.validate == nil {
+		t.Fatal("sharded instance has no per-shard validator")
+	}
+	if _, err := runOn(cfg, inst); err != nil {
+		t.Fatalf("clean sharded run failed: %v", err)
 	}
 }
