@@ -15,9 +15,11 @@
 //
 // CI runs the -auto form in the docs-and-hygiene job: committing a new
 // BENCH_<n>.json that records a hot-path regression against the previous
-// snapshot fails the build. With fewer than two snapshots, or none with
-// overlapping cells, the gate passes with a note — there is nothing to
-// compare yet.
+// snapshot fails the build. Fewer than two snapshots under the -auto
+// directory is an error (exit 2) — a gate that silently passes because it
+// found nothing to compare is a gate someone disabled by accident. Two
+// snapshots with no overlapping cells still pass with a note, because PRs
+// add and retire workloads freely.
 package main
 
 import (
@@ -25,8 +27,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"sort"
 
 	"hohtx/internal/bench"
 )
@@ -43,11 +43,10 @@ func main() {
 		if flag.NArg() != 0 {
 			fatal("benchdiff: -auto takes no positional snapshots")
 		}
-		var ok bool
-		oldPath, newPath, ok = latestPair(*auto)
-		if !ok {
-			fmt.Printf("benchdiff: fewer than two BENCH_<n>.json under %s; nothing to gate\n", *auto)
-			return
+		var err error
+		oldPath, newPath, err = bench.LatestPair(*auto)
+		if err != nil {
+			fatal("benchdiff: " + err.Error())
 		}
 	case flag.NArg() == 2:
 		oldPath, newPath = flag.Arg(0), flag.Arg(1)
@@ -84,18 +83,6 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: within tolerance")
-}
-
-// latestPair finds the two highest-numbered BENCH_<n>.json files in dir.
-func latestPair(dir string) (older, newer string, ok bool) {
-	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
-	if err != nil || len(paths) < 2 {
-		return "", "", false
-	}
-	sort.Slice(paths, func(i, j int) bool {
-		return bench.BenchNumber(paths[i]) < bench.BenchNumber(paths[j])
-	})
-	return paths[len(paths)-2], paths[len(paths)-1], true
 }
 
 func load(path string) bench.Summary {

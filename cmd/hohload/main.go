@@ -20,9 +20,22 @@
 //
 //	hohload -addr 127.0.0.1:7070 -conns 4 -depth 8 -reads 50 -ops 20000
 //	hohload -addr 127.0.0.1:7070 -rate 20000 -ops 20000   # open loop, 20k req/s
+//	hohload -addr 127.0.0.1:7070 -batch 64                # MULTI frames of 64 ops
 //	hohload -addr 127.0.0.1:7070 -out BENCH_3.json
 //	hohload -addr 127.0.0.1:7070 -out BENCH_4.json -append   # accumulate cells
 //	hohload -addr 127.0.0.1:7070 -cmd 'SET 42;GET 42;LEN;DEL 42;LEN'
+//
+// With -batch N > 1 the same op stream is framed as MULTI batches of N
+// ops each; -ops still counts ops, -depth counts frames in flight, and
+// throughput stays per-op so batch sizes compare directly. Latency is
+// reported both per batch and per op. In open-loop runs the cadence is
+// still per-op (a frame is due when its last op is due) and each op's
+// latency is measured from its own intended send time — an op that sat
+// waiting for its frame to fill is charged that wait, so batching cannot
+// hide queueing delay (the coordinated-omission trap, batch edition).
+// The run also reports the server's serial-fallback and abort rates per
+// op from INFO counter deltas — the measured face of the capacity cliff
+// when sweeping -batch (see EXPERIMENTS.md).
 //
 // The -cmd form is a one-shot client: it sends the semicolon-separated
 // requests as one pipeline, prints each reply, and exits — the quickest
@@ -54,7 +67,8 @@ func main() {
 	keys := flag.Uint64("keys", 1024, "key range (keys drawn uniformly from [1, keys])")
 	reads := flag.Int("reads", 50, "percent of requests that are GET")
 	ops := flag.Int("ops", 50_000, "requests per connection")
-	rate := flag.Float64("rate", 0, "open-loop mode: target requests/sec across all connections (0 = closed loop)")
+	rate := flag.Float64("rate", 0, "open-loop mode: target ops/sec across all connections (0 = closed loop)")
+	batch := flag.Int("batch", 1, "ops per MULTI frame (1 = plain single-key verbs)")
 	seed := flag.Uint64("seed", 20170724, "workload seed")
 	warmup := flag.Bool("warmup", true, "prefill half the key range before measuring (so the live-node envelope reflects steady state, not ramp-up)")
 	out := flag.String("out", "", "write a BENCH_<n>.json summary here (empty = report only)")
@@ -66,10 +80,17 @@ func main() {
 		oneShot(*addr, *cmd)
 		return
 	}
-	if *depth < 1 || *conns < 1 || *keys < 1 {
-		fmt.Fprintln(os.Stderr, "hohload: -conns, -depth and -keys must be positive")
+	if *depth < 1 || *conns < 1 || *keys < 1 || *batch < 1 {
+		fmt.Fprintln(os.Stderr, "hohload: -conns, -depth, -keys and -batch must be positive")
 		os.Exit(2)
 	}
+	if *batch > 1 && *ops / *batch < 1 {
+		fmt.Fprintln(os.Stderr, "hohload: -ops must cover at least one -batch frame")
+		os.Exit(2)
+	}
+	// Whole frames only: trim the per-connection op count to a multiple of
+	// the batch size so every frame carries exactly -batch ops.
+	*ops = (*ops / *batch) * *batch
 
 	// A balanced SET/DEL mix holds the set near half the key range, so
 	// prefilling every other key puts the structure at steady state
@@ -91,6 +112,7 @@ func main() {
 	}
 
 	hist := obs.NewHistogram("op_latency", "ns")
+	batchHist := obs.NewHistogram("batch_latency", "ns")
 	var gets, sets, dels, hits atomic.Uint64
 	var wg sync.WaitGroup
 	errs := make(chan error, *conns)
@@ -110,10 +132,17 @@ func main() {
 		go func(cid int) {
 			defer wg.Done()
 			var err error
-			if *rate > 0 {
+			switch {
+			case *batch > 1 && *rate > 0:
+				err = runConnOpenBatch(cid, *addr, *ops, *conns, *batch, interval, start, *keys, *reads, *seed,
+					hist, batchHist, &gets, &sets, &dels, &hits)
+			case *batch > 1:
+				err = runConnBatch(cid, *addr, *ops, *depth, *batch, *keys, *reads, *seed,
+					hist, batchHist, &gets, &sets, &dels, &hits)
+			case *rate > 0:
 				err = runConnOpen(cid, *addr, *ops, *conns, interval, start, *keys, *reads, *seed,
 					hist, &gets, &sets, &dels, &hits)
-			} else {
+			default:
 				err = runConn(cid, *addr, *ops, *depth, *keys, *reads, *seed, hist,
 					&gets, &sets, &dels, &hits)
 			}
@@ -136,18 +165,31 @@ func main() {
 	achieved := float64(total) / elapsed.Seconds()
 	snap := hist.Snapshot()
 	if *rate > 0 {
-		fmt.Printf("hohload: %s (%d shard(s)), open loop at %.0f req/s, %d conns, %d%% reads, %d keys\n",
-			info.variant, info.shards, *rate, *conns, *reads, *keys)
-		fmt.Printf("  %d ops in %s: offered %.0f req/s, achieved %.0f req/s\n",
+		fmt.Printf("hohload: %s (%d shard(s)), open loop at %.0f op/s, %d conns, batch %d, %d%% reads, %d keys\n",
+			info.variant, info.shards, *rate, *conns, *batch, *reads, *keys)
+		fmt.Printf("  %d ops in %s: offered %.0f op/s, achieved %.0f op/s\n",
 			total, elapsed.Round(time.Millisecond), *rate, achieved)
-		fmt.Printf("  latency (from intended send) p50=%s p90=%s p99=%s max=%s\n",
+		fmt.Printf("  op latency (from intended send) p50=%s p90=%s p99=%s max=%s\n",
 			time.Duration(snap.P50), time.Duration(snap.P90), time.Duration(snap.P99), time.Duration(snap.Max))
 	} else {
-		fmt.Printf("hohload: %s (%d shard(s)), %d conns × depth %d, %d%% reads, %d keys\n",
-			info.variant, info.shards, *conns, *depth, *reads, *keys)
+		fmt.Printf("hohload: %s (%d shard(s)), %d conns × depth %d, batch %d, %d%% reads, %d keys\n",
+			info.variant, info.shards, *conns, *depth, *batch, *reads, *keys)
 		fmt.Printf("  %d ops in %s = %.4f Mops/s\n", total, elapsed.Round(time.Millisecond), mops)
-		fmt.Printf("  latency p50=%s p90=%s p99=%s max=%s\n",
+		fmt.Printf("  op latency p50=%s p90=%s p99=%s max=%s\n",
 			time.Duration(snap.P50), time.Duration(snap.P90), time.Duration(snap.P99), time.Duration(snap.Max))
+	}
+	bsnap := batchHist.Snapshot()
+	if *batch > 1 {
+		fmt.Printf("  batch latency p50=%s p90=%s p99=%s max=%s (%d frames of %d ops)\n",
+			time.Duration(bsnap.P50), time.Duration(bsnap.P90), time.Duration(bsnap.P99),
+			time.Duration(bsnap.Max), bsnap.Count, *batch)
+	}
+	var serialPerOp, abortsPerOp float64
+	if dc, ds, da := info.commits-mon.base.commits, info.serial-mon.base.serial, info.aborts-mon.base.aborts; dc+ds > 0 {
+		serialPerOp = float64(ds) / float64(total)
+		abortsPerOp = float64(da) / float64(total)
+		fmt.Printf("  server tx over run: commits=%d serial=%d aborts=%d (serial/op=%.4f aborts/op=%.4f)\n",
+			dc, ds, da, serialPerOp, abortsPerOp)
 	}
 	fmt.Printf("  mix: GET=%d (hit %.1f%%) SET=%d DEL=%d\n",
 		gets.Load(), 100*float64(hits.Load())/float64(max64(gets.Load(), 1)), sets.Load(), dels.Load())
@@ -172,10 +214,17 @@ func main() {
 		Deferred:    info.deferred,
 		OfferedRps:  *rate,
 		AchievedRps: achieved,
+		SerialPerOp: serialPerOp,
+		AbortsPerOp: abortsPerOp,
 	}
 	if *rate == 0 {
 		cell.Depth = *depth
 		cell.AchievedRps = 0
+	}
+	if *batch > 1 {
+		cell.Batch = *batch
+		cell.BatchP50Ns = bsnap.P50
+		cell.BatchP99Ns = bsnap.P99
 	}
 	sum := bench.Summary{
 		Bench:      bench.BenchNumber(*out),
@@ -183,7 +232,7 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
-		Workload:   workloadDesc(*keys, *reads, *conns, *depth, *rate),
+		Workload:   workloadDesc(*keys, *reads, *conns, *depth, *batch, *rate),
 		Ops:        *ops,
 		Trials:     1,
 	}
@@ -220,13 +269,17 @@ func main() {
 // then send one request per reply.
 // workloadDesc names the recorded workload; open- and closed-loop runs
 // read differently (rate vs. pipeline depth).
-func workloadDesc(keys uint64, reads, conns, depth int, rate float64) string {
-	if rate > 0 {
-		return fmt.Sprintf("hohserver loopback: %d keys, %d%% reads, %d conns, open loop",
-			keys, reads, conns)
+func workloadDesc(keys uint64, reads, conns, depth, batch int, rate float64) string {
+	b := ""
+	if batch > 1 {
+		b = fmt.Sprintf(", MULTI batch %d", batch)
 	}
-	return fmt.Sprintf("hohserver loopback: %d keys, %d%% reads, %d conns × depth %d",
-		keys, reads, conns, depth)
+	if rate > 0 {
+		return fmt.Sprintf("hohserver loopback: %d keys, %d%% reads, %d conns, open loop%s",
+			keys, reads, conns, b)
+	}
+	return fmt.Sprintf("hohserver loopback: %d keys, %d%% reads, %d conns × depth %d%s",
+		keys, reads, conns, depth, b)
 }
 
 func runConn(cid int, addr string, ops, depth int, keys uint64, reads int, seed uint64,
@@ -395,6 +448,191 @@ func runConnOpen(cid int, addr string, ops, conns int, interval time.Duration, s
 	return <-writeErr
 }
 
+// writeFrame appends one MULTI frame of batch ops to bw, drawing the next
+// batch draws from rng, and returns the verb tags in frame order.
+func writeFrame(bw *bufio.Writer, rng *uint64, batch int, keys uint64, reads int, tags []byte) error {
+	if _, err := fmt.Fprintf(bw, "MULTI %d\n", batch); err != nil {
+		return err
+	}
+	for j := 0; j < batch; j++ {
+		r := splitmix64(rng)
+		key := 1 + (r>>8)%keys
+		var verb string
+		switch {
+		case int(r%100) < reads:
+			verb, tags[j] = "GET", 'G'
+		case r&(1<<40) == 0:
+			verb, tags[j] = "SET", 'S'
+		default:
+			verb, tags[j] = "DEL", 'D'
+		}
+		if _, err := fmt.Fprintf(bw, "%s %d\n", verb, key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tallyReply classifies one batch reply line against its verb tag.
+func tallyReply(reply string, tag byte, gets, sets, dels, hits *atomic.Uint64) {
+	switch tag {
+	case 'G':
+		gets.Add(1)
+		if reply == "1" {
+			hits.Add(1)
+		}
+	case 'S':
+		sets.Add(1)
+	default:
+		dels.Add(1)
+	}
+}
+
+// runConnBatch drives one connection closed-loop in batch mode: keep
+// depth MULTI frames of batch ops in flight, send a new frame per frame
+// of replies. Per-op latency is measured from the frame's send time to
+// that op's reply line; whole-frame latency from send to the frame's last
+// line.
+func runConnBatch(cid int, addr string, ops, depth, batch int, keys uint64, reads int, seed uint64,
+	opHist, batchHist *obs.Histogram, gets, sets, dels, hits *atomic.Uint64) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	br := bufio.NewReaderSize(c, 64<<10)
+	bw := bufio.NewWriterSize(c, 64<<10)
+
+	frames := ops / batch
+	rng := seed + uint64(cid+1)*0x9e3779b97f4a7c15
+	sendTimes := make([]time.Time, depth)
+	tags := make([]byte, depth*batch)
+	var sent, recv int
+
+	send := func() error {
+		sendTimes[sent%depth] = time.Now()
+		if err := writeFrame(bw, &rng, batch, keys, reads, tags[(sent%depth)*batch:(sent%depth)*batch+batch]); err != nil {
+			return err
+		}
+		sent++
+		return bw.Flush()
+	}
+	for sent < depth && sent < frames {
+		if err := send(); err != nil {
+			return err
+		}
+	}
+	for recv < frames {
+		slot := recv % depth
+		for j := 0; j < batch; j++ {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				return fmt.Errorf("frame %d op %d: %w", recv, j, err)
+			}
+			reply := strings.TrimRight(line, "\n")
+			if strings.HasPrefix(reply, "ERR") {
+				return fmt.Errorf("server: %s", reply)
+			}
+			opHist.RecordAt(uint64(cid), uint64(time.Since(sendTimes[slot])))
+			tallyReply(reply, tags[slot*batch+j], gets, sets, dels, hits)
+		}
+		batchHist.RecordAt(uint64(cid), uint64(time.Since(sendTimes[slot])))
+		recv++
+		if sent < frames {
+			if err := send(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runConnOpenBatch drives one connection open-loop in batch mode. The
+// cadence stays per-op: globally op k is due at start + k×interval, and a
+// frame is due when its *last* op is due (a frame cannot leave until all
+// its ops exist). Each op's latency is still measured from its own
+// intended send time, so the first op of a frame is charged the
+// (batch−1)×interval it spent waiting for the frame to fill — batching
+// trades exactly that much intake latency for transaction amortization,
+// and the measurement keeps the trade visible instead of hiding it.
+func runConnOpenBatch(cid int, addr string, ops, conns, batch int, interval time.Duration, start time.Time,
+	keys uint64, reads int, seed uint64,
+	opHist, batchHist *obs.Histogram, gets, sets, dels, hits *atomic.Uint64) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	br := bufio.NewReaderSize(c, 64<<10)
+	bw := bufio.NewWriterSize(c, 64<<10)
+
+	frames := ops / batch
+	// Frame f of this connection is global frame f×conns+cid; its op j is
+	// global op (f×conns+cid)×batch + j.
+	opDue := func(f, j int) time.Time {
+		return start.Add(time.Duration((f*conns+cid)*batch+j) * interval)
+	}
+
+	writeErr := make(chan error, 1)
+	go func() {
+		rng := seed + uint64(cid+1)*0x9e3779b97f4a7c15
+		tags := make([]byte, batch)
+		for f := 0; f < frames; f++ {
+			if d := time.Until(opDue(f, batch-1)); d > 0 {
+				if err := bw.Flush(); err != nil {
+					writeErr <- err
+					return
+				}
+				time.Sleep(d)
+			}
+			if err := writeFrame(bw, &rng, batch, keys, reads, tags); err != nil {
+				writeErr <- err
+				return
+			}
+		}
+		writeErr <- bw.Flush()
+	}()
+
+	// The reader re-derives the same op stream to classify replies.
+	rng := seed + uint64(cid+1)*0x9e3779b97f4a7c15
+	tagOf := func(r uint64) byte {
+		switch {
+		case int(r%100) < reads:
+			return 'G'
+		case r&(1<<40) == 0:
+			return 'S'
+		default:
+			return 'D'
+		}
+	}
+	for f := 0; f < frames; f++ {
+		for j := 0; j < batch; j++ {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				return fmt.Errorf("frame %d op %d: %w", f, j, err)
+			}
+			reply := strings.TrimRight(line, "\n")
+			if strings.HasPrefix(reply, "ERR") {
+				return fmt.Errorf("server: %s", reply)
+			}
+			lat := time.Since(opDue(f, j))
+			if lat < 0 {
+				lat = 0
+			}
+			opHist.RecordAt(uint64(cid), uint64(lat))
+			tallyReply(reply, tagOf(splitmix64(&rng)), gets, sets, dels, hits)
+			if j == batch-1 {
+				blat := time.Since(opDue(f, batch-1))
+				if blat < 0 {
+					blat = 0
+				}
+				batchHist.RecordAt(uint64(cid), uint64(blat))
+			}
+		}
+	}
+	return <-writeErr
+}
+
 // prefill inserts every other key in [1, keys] through one pipelined
 // connection, chunked so neither side's socket buffer can fill while the
 // other waits.
@@ -438,6 +676,7 @@ type monitor struct {
 	stopc chan struct{}
 	done  chan struct{}
 	info  serverInfo
+	base  serverInfo // the first sample; tx counters diff against it
 }
 
 type serverInfo struct {
@@ -447,6 +686,9 @@ type serverInfo struct {
 	liveMin  uint64
 	liveMax  uint64
 	deferred uint64
+	commits  uint64
+	serial   uint64
+	aborts   uint64
 }
 
 func startMonitor(addr string) (*monitor, error) {
@@ -461,6 +703,7 @@ func startMonitor(addr string) (*monitor, error) {
 		return nil, err
 	}
 	m.info = first
+	m.base = first
 	go func() {
 		defer close(m.done)
 		defer c.Close()
@@ -491,6 +734,9 @@ func (m *monitor) merge(in serverInfo) {
 		m.info.liveMax = in.liveMax
 	}
 	m.info.deferred = in.deferred
+	m.info.commits = in.commits
+	m.info.serial = in.serial
+	m.info.aborts = in.aborts
 }
 
 func (m *monitor) stop() serverInfo {
@@ -526,6 +772,12 @@ func queryInfo(c net.Conn, br *bufio.Reader) (serverInfo, error) {
 			in.liveMin, in.liveMax = n, n
 		case "deferred":
 			in.deferred, _ = strconv.ParseUint(v, 10, 64)
+		case "commits":
+			in.commits, _ = strconv.ParseUint(v, 10, 64)
+		case "serial":
+			in.serial, _ = strconv.ParseUint(v, 10, 64)
+		case "aborts":
+			in.aborts, _ = strconv.ParseUint(v, 10, 64)
 		}
 	}
 	if in.variant == "" {
@@ -535,6 +787,9 @@ func queryInfo(c net.Conn, br *bufio.Reader) (serverInfo, error) {
 }
 
 // oneShot sends a ';'-separated request pipeline and prints the replies.
+// MULTI framing is understood: "MULTI n" consumes the next n requests as
+// its body and yields n reply lines (the body lines get the replies, the
+// MULTI line itself none).
 func oneShot(addr, script string) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -557,13 +812,30 @@ func oneShot(addr, script string) {
 		os.Exit(1)
 	}
 	br := bufio.NewReader(c)
-	for _, r := range reqs {
+	read := func(r string) {
 		line, err := br.ReadString('\n')
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hohload:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("%-12s -> %s", r, line)
+	}
+	for i := 0; i < len(reqs); i++ {
+		arg, isMulti := strings.CutPrefix(reqs[i], "MULTI ")
+		n := 0
+		if isMulti {
+			n, _ = strconv.Atoi(strings.TrimSpace(arg))
+		}
+		if !isMulti || n < 1 || i+n >= len(reqs) {
+			read(reqs[i])
+			continue
+		}
+		// A well-formed frame: one reply per body line, none for the header.
+		fmt.Printf("%-12s    (batch of %d)\n", reqs[i], n)
+		for j := 0; j < n; j++ {
+			i++
+			read(reqs[i])
+		}
 	}
 }
 

@@ -5,7 +5,8 @@
 // and the live-node gauge stays flat under sustained external churn.
 //
 // The protocol is one line per request, one line per reply, pipelined
-// (see internal/serve): GET/SET/DEL <key>, LEN, INFO.
+// (see internal/serve): GET/SET/DEL <key>, LEN, INFO, and MULTI <n> —
+// n body ops executed as one batch transaction per shard touched.
 //
 // Usage:
 //
@@ -13,6 +14,13 @@
 //	hohserver -family etree -variant TMHP      # any bench variant works
 //	hohserver -shards 4 -threads 2             # 4 independent STM instances
 //	hohserver -addr :7070 -threads 8 -obs 127.0.0.1:6070
+//	hohserver -maxbatch 512 -autobatch 64      # batch knobs (DESIGN.md §11)
+//
+// -maxbatch caps MULTI frame sizes (oversized frames get one ERR line and
+// execute nothing). -autobatch N > 1 transparently coalesces pipelined
+// bursts of plain GET/SET/DEL into batch transactions of at most N ops —
+// the capacity-aware split threshold; replies are unchanged, only the
+// transaction boundaries move.
 //
 // With -shards N the key space hash-partitions across N fully independent
 // instances — each with its own global version clock, serial-fallback
@@ -60,6 +68,8 @@ func main() {
 	waiters := flag.Int("waiters", 0, "lease wait-queue bound per shard (0 = 16×slots, <0 = unbounded)")
 	lazy := flag.Bool("lazy", false, "use the GV5 lazy global-clock policy")
 	obsAddr := flag.String("obs", "", "observability endpoint address (empty = off)")
+	maxBatch := flag.Int("maxbatch", 0, "max ops per MULTI frame (0 = default)")
+	autoBatch := flag.Int("autobatch", 0, "coalesce pipelined single-key bursts into batches of at most N ops (0/1 = off)")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -123,7 +133,10 @@ func main() {
 		})
 		backends[i] = serve.Backend{Set: sharded.Shard(i), Pool: pools[i]}
 	}
-	srv := serve.NewServer(serve.ServerConfig{Shards: backends, MaxKey: hohtx.MaxKey, Obs: dom})
+	srv := serve.NewServer(serve.ServerConfig{
+		Shards: backends, MaxKey: hohtx.MaxKey, Obs: dom,
+		MaxBatch: *maxBatch, AutoBatch: *autoBatch,
+	})
 
 	// Per-shard roll-ups on the server domain: one glance at /metrics
 	// shows whether commits (and serial fallbacks, and lease traffic)

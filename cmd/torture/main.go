@@ -35,6 +35,7 @@ func main() {
 		window    = flag.Int("window", 4, "hand-over-hand window size")
 		seed      = flag.Uint64("seed", 1, "schedule seed")
 		shards    = flag.Int("shards", 1, "partition keys across this many independent instances")
+		batch     = flag.Int("batch", 1, "drive worker ops through Set.Apply in batches of this size (1 = per-op calls)")
 		guard     = flag.Bool("guard", false, "enable the arena use-after-free sanitizer")
 		sweep     = flag.Bool("sweep", false, "run the full structure × variant × policy matrix")
 		rounds    = flag.Int("rounds", 1, "seeds per combination in sweep mode")
@@ -58,7 +59,8 @@ func main() {
 		cfg := torture.Config{
 			Structure: *structure, Variant: *variant, Policy: arena.Policy(*policy),
 			Threads: *threads, Ops: *ops, Keys: *keys, LookupPct: *lookup,
-			Window: *window, Seed: *seed, Shards: *shards, Guard: *guard, Registry: reg,
+			Window: *window, Seed: *seed, Shards: *shards, BatchOps: *batch,
+			Guard: *guard, Registry: reg,
 		}
 		rep, err := torture.Run(cfg)
 		if err != nil {
@@ -86,7 +88,8 @@ func main() {
 						Threads: *threads + r%4, Ops: *ops, Keys: *keys,
 						LookupPct: 10 + (combos*7+r*13)%40,
 						Window:    2 + (combos+r)%6,
-						Shards:    1 + ((combos+r)%2)*2, // alternate 1 and 3 shards
+						Shards:    1 + ((combos+r)%2)*2,   // alternate 1 and 3 shards
+						BatchOps:  1 + ((combos+r+1)%2)*7, // alternate per-op and batches of 8
 						Seed:      *seed + uint64(runs),
 						Guard:     true,
 						Registry:  reg,

@@ -71,6 +71,24 @@ type Set = sets.Set
 // mechanisms — that is the paper's point).
 type MemoryReporter = sets.MemoryReporter
 
+// Op is one operation of a batch passed to Set.Apply; a batch executes as
+// a single transaction (one snapshot, one commit) on every Set this
+// package constructs, making it atomic and roughly amortizing the commit
+// cost across the ops. Batches whose read/write footprint exceeds the
+// transaction capacity still commit atomically, via the serial fallback.
+// On a ShardedSet, atomicity narrows to per-shard (see ShardedSet).
+type Op = sets.Op
+
+// OpKind selects a batch operation.
+type OpKind = sets.OpKind
+
+// Batch op kinds, mirroring the single-op methods.
+const (
+	OpLookup = sets.OpLookup
+	OpInsert = sets.OpInsert
+	OpRemove = sets.OpRemove
+)
+
 // MaxKey is the largest usable key (the trees reserve the top values for
 // sentinels; the lists accept more but a uniform bound keeps code
 // portable across structures).

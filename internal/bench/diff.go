@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 )
 
@@ -40,8 +41,8 @@ func cellIdentity(c Cell) string {
 	if shards == 0 {
 		shards = 1
 	}
-	return fmt.Sprintf("%s/%s clock=%s threads=%d window=%d conns=%d depth=%d reads=%d shards=%d rate=%g",
-		c.Family, c.Variant, c.Clock, c.Threads, c.Window, c.Conns, c.Depth, c.ReadPct, shards, c.OfferedRps)
+	return fmt.Sprintf("%s/%s clock=%s threads=%d window=%d conns=%d depth=%d reads=%d shards=%d rate=%g batch=%d",
+		c.Family, c.Variant, c.Clock, c.Threads, c.Window, c.Conns, c.Depth, c.ReadPct, shards, c.OfferedRps, c.Batch)
 }
 
 // Diff joins two snapshots on cell identity and applies the tolerance
@@ -87,4 +88,23 @@ func Diff(old, cur Summary, opt DiffOptions) []CellDelta {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
+}
+
+// LatestPair finds the two highest-numbered BENCH_<n>.json files under
+// dir — the pair cmd/benchdiff -auto gates on. Fewer than two snapshots
+// is an error, not an empty diff: the trend gate exists to compare, and
+// silently passing on a directory with nothing to compare (a typo'd path,
+// a deleted snapshot) would disable it without anyone noticing.
+func LatestPair(dir string) (older, newer string, err error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", "", fmt.Errorf("scanning %s: %w", dir, err)
+	}
+	if len(paths) < 2 {
+		return "", "", fmt.Errorf("found %d BENCH_<n>.json under %s; need two to diff", len(paths), dir)
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		return BenchNumber(paths[i]) < BenchNumber(paths[j])
+	})
+	return paths[len(paths)-2], paths[len(paths)-1], nil
 }

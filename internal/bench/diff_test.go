@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -68,6 +70,53 @@ func TestDiffShardZeroOneEquivalent(t *testing.T) {
 	cur := Summary{Cells: []Cell{cell("RR-V", 4, 1, 1.0, 0, 0)}}
 	if deltas := Diff(old, cur, DiffOptions{Tolerance: 0.10}); len(deltas) != 1 {
 		t.Fatalf("shards 0 vs 1 did not join: %+v", deltas)
+	}
+}
+
+// TestDiffBatchDimension checks batch joins the cell identity: the same
+// workload at different batch sizes must not compare against each other,
+// while batch=0 (legacy snapshots) and an explicit batch cell with the
+// same size do join.
+func TestDiffBatchDimension(t *testing.T) {
+	withBatch := func(c Cell, b int) Cell { c.Batch = b; return c }
+	old := Summary{Cells: []Cell{withBatch(cell("RR-V", 4, 1, 1.0, 0, 0), 1)}}
+	cur := Summary{Cells: []Cell{withBatch(cell("RR-V", 4, 1, 0.1, 0, 0), 64)}}
+	if deltas := Diff(old, cur, DiffOptions{Tolerance: 0.10}); len(deltas) != 0 {
+		t.Fatalf("batch=1 compared against batch=64: %+v", deltas)
+	}
+	cur = Summary{Cells: []Cell{withBatch(cell("RR-V", 4, 1, 1.0, 0, 0), 1)}}
+	if deltas := Diff(old, cur, DiffOptions{Tolerance: 0.10}); len(deltas) != 1 {
+		t.Fatalf("identical batch=1 cells did not join: %+v", deltas)
+	}
+}
+
+// TestLatestPair pins the -auto pair selection: the two highest-numbered
+// snapshots win (numeric, not lexicographic order), and fewer than two is
+// an error with an actionable message, never a silent empty diff.
+func TestLatestPair(t *testing.T) {
+	dir := t.TempDir()
+	touch := func(name string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if _, _, err := LatestPair(dir); err == nil || !strings.Contains(err.Error(), "found 0 BENCH_<n>.json") {
+		t.Fatalf("empty dir: err = %v, want found-0 message", err)
+	}
+	touch("BENCH_2.json")
+	if _, _, err := LatestPair(dir); err == nil || !strings.Contains(err.Error(), "found 1 BENCH_<n>.json") {
+		t.Fatalf("one file: err = %v, want found-1 message", err)
+	}
+	touch("BENCH_10.json") // numeric order: 10 > 2, lexicographic would say otherwise
+	touch("BENCH_3.json")
+	older, newer, err := LatestPair(dir)
+	if err != nil {
+		t.Fatalf("LatestPair: %v", err)
+	}
+	if filepath.Base(older) != "BENCH_3.json" || filepath.Base(newer) != "BENCH_10.json" {
+		t.Fatalf("pair = (%s, %s), want (BENCH_3.json, BENCH_10.json)", older, newer)
 	}
 }
 

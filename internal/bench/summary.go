@@ -69,6 +69,19 @@ type Cell struct {
 	LiveMax     uint64  `json:"live_max,omitempty"`
 	Deferred    uint64  `json:"deferred_end,omitempty"`
 
+	// Batch-mode fields (cmd/hohload -batch): ops per MULTI frame (0/1 =
+	// plain single-key verbs), whole-batch client-observed latency, and —
+	// from the server's INFO deltas — serial fallbacks and aborts per op
+	// over the run, the measured face of the capacity cliff. Mops and the
+	// per-op latency percentiles above stay per-operation either way, so
+	// batch sizes compare directly; in open-loop runs per-op latency is
+	// measured against each op's own intended send time (the batch's
+	// intended send spacing divided across its ops), keeping the numbers
+	// coordinated-omission-safe at every batch size.
+	Batch      int    `json:"batch,omitempty"`
+	BatchP50Ns uint64 `json:"batch_p50_ns,omitempty"`
+	BatchP99Ns uint64 `json:"batch_p99_ns,omitempty"`
+
 	// Obs is the final trial's full domain snapshot (log₂-bucket
 	// histograms, gauges, abort-attribution edges); nil when detached.
 	Obs *obs.DomainSnapshot `json:"obs,omitempty"`

@@ -1,0 +1,188 @@
+package list
+
+import (
+	"sort"
+
+	"hohtx/internal/arena"
+	"hohtx/internal/sets"
+	"hohtx/internal/stm"
+)
+
+// Batch execution: Apply runs a whole slice of operations inside ONE
+// transaction — one snapshot, one commit — so the batch is atomic and pays
+// the clock/commit cost once instead of per key.
+//
+// The hand-over-hand window machinery is deliberately bypassed: windows
+// exist so a transaction can be split and resumed, and a batch is the
+// opposite trade (merge many operations into one transaction). The batch
+// therefore traverses each chain in ONE unbounded pass: ops are sorted by
+// (chain, key, arrival order) and applied against a single advancing
+// (prev, curr) cursor, so the read footprint is one pass over the chain
+// regardless of batch size. What remains from the single-op paths is the
+// reclamation contract: removals still Revoke (other threads' reservations
+// on the victim must die) and still free/retire per the list's mode, so
+// precise reclamation holds for batches too. A batch whose footprint
+// exceeds the transaction capacity aborts with CauseCapacity and re-runs
+// in serial mode — that fallback is the capacity cliff the batch-size
+// statistics (stm.Stats.Batch) make measurable.
+
+// applyBatch is the shared batch engine. chainOf/chainHead factor out the
+// hash table's bucketing (the plain lists are one chain); insertAt and
+// removeAt supply the structure-specific link maintenance.
+func (l *List) applyBatch(tid int, ops []sets.Op,
+	chainOf func(key uint64) int,
+	chainHead func(chain int) arena.Handle,
+	insertAt func(tx *stm.Tx, tid int, key uint64, prevH, currH arena.Handle) arena.Handle,
+	removeAt func(tx *stm.Tx, tid int, prevH, currH arena.Handle),
+) []sets.Result {
+	out := make([]sets.Result, len(ops))
+	if len(ops) == 0 {
+		return out
+	}
+	ts := &l.threads[tid]
+	ts.ops += uint64(len(ops))
+	if l.ep != nil {
+		// ModeER: the batch is one epoch-protected critical section.
+		l.ep.Enter(tid)
+		defer l.ep.Exit(tid)
+	}
+	// Visit order: chain, then key, then arrival order — one monotone
+	// cursor pass per chain, with same-key ops applied in program order.
+	order := make([]int, len(ops))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		ca, cb := chainOf(ops[ia].Key), chainOf(ops[ib].Key)
+		if ca != cb {
+			return ca < cb
+		}
+		if ops[ia].Key != ops[ib].Key {
+			return ops[ia].Key < ops[ib].Key
+		}
+		return ia < ib
+	})
+	l.rt.AtomicBatchT(tid, len(ops), func(tx *stm.Tx) {
+		pos := 0
+		for pos < len(order) {
+			chain := chainOf(ops[order[pos]].Key)
+			prevH := chainHead(chain)
+			currH := l.loadLink(tx, tid, prevH, &l.ar.At(prevH).next)
+			var ck uint64
+			ckKnown := false
+			for pos < len(order) && chainOf(ops[order[pos]].Key) == chain {
+				key := ops[order[pos]].Key
+				for !currH.IsNil() {
+					if !ckKnown {
+						ck = l.loadWord(tx, tid, currH, &l.ar.At(currH).key)
+						ckKnown = true
+					}
+					if ck >= key {
+						break
+					}
+					prevH = currH
+					currH = l.loadLink(tx, tid, currH, &l.ar.At(currH).next)
+					ckKnown = false
+				}
+				present := !currH.IsNil() && ck == key
+				for pos < len(order) && ops[order[pos]].Key == key {
+					i := order[pos]
+					switch ops[i].Kind {
+					case sets.OpInsert:
+						if present {
+							out[i] = false
+						} else {
+							currH = insertAt(tx, tid, key, prevH, currH)
+							ck, ckKnown = key, true
+							present = true
+							out[i] = true
+						}
+					case sets.OpRemove:
+						if !present {
+							out[i] = false
+						} else {
+							nxt := l.loadLink(tx, tid, currH, &l.ar.At(currH).next)
+							removeAt(tx, tid, prevH, currH)
+							currH = nxt
+							ckKnown = false
+							present = false
+							out[i] = true
+						}
+					default:
+						out[i] = present
+					}
+					pos++
+				}
+			}
+		}
+	})
+	return out
+}
+
+// insertSingly links a new node after prevH (no back link); it is the
+// batch form of the singly linked Insert's not-found callback.
+func (l *List) insertSingly(tx *stm.Tx, tid int, key uint64, prevH, currH arena.Handle) arena.Handle {
+	nh := l.allocNode(tx, tid, key, currH, arena.Nil)
+	l.ar.At(prevH).next.Store(tx, uint64(nh))
+	return nh
+}
+
+// Apply implements sets.Set: one transaction, one sorted pass.
+func (l *List) Apply(tid int, ops []sets.Op) []sets.Result {
+	return l.applyBatch(tid, ops,
+		func(uint64) int { return 0 },
+		func(int) arena.Handle { return l.head },
+		l.insertSingly,
+		l.unlinkAndReclaim,
+	)
+}
+
+// Apply implements sets.Set for the doubly linked list. The two-phase
+// reserve-then-unlink removal of the single-op path collapses back into
+// the enclosing transaction (as in its ModeHTM path): traversal and unlink
+// commit together, so no reservation phase is needed; ModeRR still revokes
+// the victim for other threads' reservations.
+func (d *DList) Apply(tid int, ops []sets.Op) []sets.Result {
+	return d.applyBatch(tid, ops,
+		func(uint64) int { return 0 },
+		func(int) arena.Handle { return d.head },
+		d.insertDoubly,
+		d.removeDoublyInTx,
+	)
+}
+
+func (d *DList) insertDoubly(tx *stm.Tx, tid int, key uint64, prevH, currH arena.Handle) arena.Handle {
+	nh := d.allocNode(tx, tid, key, currH, prevH)
+	d.ar.At(prevH).next.Store(tx, uint64(nh))
+	if !currH.IsNil() {
+		d.ar.At(currH).prev.Store(tx, uint64(nh))
+	}
+	return nh
+}
+
+func (d *DList) removeDoublyInTx(tx *stm.Tx, tid int, prevH, currH arena.Handle) {
+	d.unlinkDoubly(tx, tid, currH)
+	switch d.mode {
+	case ModeRR:
+		d.rr.Revoke(tx, uint64(currH))
+		tx.OnCommit(func() { d.ar.Free(tid, currH) })
+	case ModeHTM:
+		tx.OnCommit(func() { d.ar.Free(tid, currH) })
+	case ModeTMHP:
+		d.ar.At(currH).dead.Store(tx, 1)
+		stamp := d.threads[tid].ops
+		tx.OnCommit(func() { d.hp.Retire(tid, currH, stamp) })
+	}
+}
+
+// Apply implements sets.Set for the hash table: ops are grouped by bucket
+// and each bucket gets one sorted cursor pass, all inside one transaction.
+func (h *HashTable) Apply(tid int, ops []sets.Op) []sets.Result {
+	return h.l.applyBatch(tid, ops,
+		h.bucketIndex,
+		func(c int) arena.Handle { return h.heads[c] },
+		h.l.insertSingly,
+		h.l.unlinkAndReclaim,
+	)
+}

@@ -61,15 +61,20 @@ func NewHashTable(cfg Config, buckets int) *HashTable {
 	return &HashTable{l: l, heads: heads, mask: uint64(b - 1)}
 }
 
-// bucket returns the chain root for a key.
-func (h *HashTable) bucket(key uint64) arena.Handle {
+// bucketIndex returns the bucket number for a key.
+func (h *HashTable) bucketIndex(key uint64) int {
 	x := key
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
-	return h.heads[x&h.mask]
+	return int(x & h.mask)
+}
+
+// bucket returns the chain root for a key.
+func (h *HashTable) bucket(key uint64) arena.Handle {
+	return h.heads[h.bucketIndex(key)]
 }
 
 // Buckets reports the bucket count.

@@ -125,6 +125,13 @@ func (l *HarrisList) Finish(tid int) {
 	l.rec.Flush(tid, l.ops[tid].n)
 }
 
+// Apply implements sets.Set. The lock-free baseline has no transactions to
+// merge into, so ops execute one at a time: results are individually
+// linearizable but the batch is NOT atomic.
+func (l *HarrisList) Apply(tid int, ops []sets.Op) []sets.Result {
+	return sets.ApplyEach(l, tid, ops)
+}
+
 // find locates the first node with key >= key, physically unlinking any
 // marked nodes it passes (Michael's helping). On return, curr (possibly
 // Nil) is protected by hazard slot 1 and prev by slot 2, and

@@ -111,6 +111,13 @@ func (t *NMTree) Register(tid int) {}
 // Finish implements sets.Set.
 func (t *NMTree) Finish(tid int) {}
 
+// Apply implements sets.Set. The lock-free baseline has no transactions to
+// merge into, so ops execute one at a time: results are individually
+// linearizable but the batch is NOT atomic.
+func (t *NMTree) Apply(tid int, ops []sets.Op) []sets.Result {
+	return sets.ApplyEach(t, tid, ops)
+}
+
 // seekRecord captures a root-to-leaf traversal: leaf and its parent, plus
 // the deepest ancestor whose edge toward the leaf's region was untagged
 // (the edge a cleanup will swing).

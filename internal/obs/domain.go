@@ -207,6 +207,14 @@ const (
 	HistServeGetNs  = "serve_get_ns"
 	HistServeSetNs  = "serve_set_ns"
 	HistServeDelNs  = "serve_del_ns"
+
+	// Batch names (internal/serve): whole-batch service time, executed
+	// sub-transaction sizes in ops (after shard routing and capacity
+	// splitting), and the number of sub-transactions each wire batch was
+	// split into (1 = served whole).
+	HistServeBatchNs = "serve_batch_ns"
+	HistBatchOps     = "batch_tx_ops"
+	HistBatchSplits  = "batch_splits"
 )
 
 // TxProbe bundles what the stm runtime records into. Obtained from a
@@ -267,20 +275,27 @@ func (d *Domain) ReclaimProbe() *ReclaimProbe {
 }
 
 // ServeProbe bundles what the network serving layer records into: one
-// service-time histogram per mutating/reading protocol verb.
+// service-time histogram per mutating/reading protocol verb, plus the
+// batch-path histograms (MULTI and auto-batched bursts).
 type ServeProbe struct {
-	D     *Domain
-	GetNs *Histogram // GET service time
-	SetNs *Histogram // SET service time
-	DelNs *Histogram // DEL service time
+	D       *Domain
+	GetNs   *Histogram // GET service time
+	SetNs   *Histogram // SET service time
+	DelNs   *Histogram // DEL service time
+	BatchNs *Histogram // whole-batch service time (all sub-transactions)
+	BatchOp *Histogram // ops per executed sub-transaction
+	Splits  *Histogram // sub-transactions per wire batch (1 = unsplit)
 }
 
 // ServeProbe builds the server-facing probe.
 func (d *Domain) ServeProbe() *ServeProbe {
 	return &ServeProbe{
-		D:     d,
-		GetNs: d.Hist(HistServeGetNs, "ns"),
-		SetNs: d.Hist(HistServeSetNs, "ns"),
-		DelNs: d.Hist(HistServeDelNs, "ns"),
+		D:       d,
+		GetNs:   d.Hist(HistServeGetNs, "ns"),
+		SetNs:   d.Hist(HistServeSetNs, "ns"),
+		DelNs:   d.Hist(HistServeDelNs, "ns"),
+		BatchNs: d.Hist(HistServeBatchNs, "ns"),
+		BatchOp: d.Hist(HistBatchOps, "ops"),
+		Splits:  d.Hist(HistBatchSplits, "txs"),
 	}
 }

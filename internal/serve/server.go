@@ -13,11 +13,23 @@ import (
 
 	"hohtx/internal/obs"
 	"hohtx/internal/sets"
+	"hohtx/internal/stm"
 )
 
 // drainGrace is how long a draining server lets connections finish the
 // pipeline already in flight before their reads time out.
 const drainGrace = 250 * time.Millisecond
+
+// DefaultMaxBatch caps MULTI batch sizes when ServerConfig.MaxBatch is
+// zero. A batch this large always executes through the serial fallback
+// (the capacity cliff sits orders of magnitude lower); the cap exists to
+// bound per-request memory, not to keep batches speculative.
+const DefaultMaxBatch = 4096
+
+// oversizeDrainFactor bounds how much body the server will consume to
+// stay in frame after rejecting an oversized MULTI; counts beyond
+// MaxBatch×oversizeDrainFactor drop the connection instead.
+const oversizeDrainFactor = 16
 
 // Backend is one shard behind the server: a set plus the lease pool
 // multiplexing connections onto that set's worker slots. A single-shard
@@ -42,8 +54,22 @@ type ServerConfig struct {
 	// MaxKey bounds accepted keys to [1, MaxKey]. Zero defaults to the
 	// tree sentinel bound (the tightest across the repo's structures).
 	MaxKey uint64
-	// Obs, when non-nil, receives per-verb service-time histograms and
-	// the live/deferred/connection gauges.
+	// MaxBatch caps the op count of a MULTI batch; zero means
+	// DefaultMaxBatch. Oversized batches are rejected with an ERR line
+	// (the connection survives).
+	MaxBatch int
+	// AutoBatch, when > 1, transparently coalesces a connection's
+	// pipelined burst of consecutive single-key requests into batch
+	// transactions of at most AutoBatch ops each — the capacity-aware
+	// split threshold. Unlike MULTI, auto-batches carry no atomicity
+	// contract (the client asked for single ops), which is exactly why
+	// splitting them at the serial-fallback cliff is legal. Zero or one
+	// disables coalescing. See DESIGN.md §11 for how to size it.
+	AutoBatch int
+	// Obs, when non-nil, receives per-verb service-time histograms, the
+	// batch-path histograms (batch service time, sub-transaction sizes,
+	// splits per batch), per-batch-size transaction gauges, and the
+	// live/deferred/connection gauges.
 	Obs *obs.Domain
 }
 
@@ -52,15 +78,30 @@ type ServerConfig struct {
 //	GET <key>\n  -> 1\n | 0\n          (membership)
 //	SET <key>\n  -> 1\n | 0\n          (1 = inserted, 0 = already present)
 //	DEL <key>\n  -> 1\n | 0\n          (1 = removed; memory is already free)
+//	MULTI <n>\n  followed by n GET/SET/DEL lines -> n reply lines (one batch)
 //	LEN\n        -> <n>\n              (keys currently present, all shards)
-//	INFO\n       -> variant=… shards=… slots=… keys=… live=… deferred=… conns=…\n
+//	INFO\n       -> variant=… shards=… slots=… keys=… live=… deferred=… conns=…
+//	                maxbatch=… autobatch=… multi=… commits=… serial=… aborts=…\n
 //	anything else -> ERR <reason>\n    (connection stays open)
+//
+// MULTI executes its n body ops as one transaction per shard touched
+// (Set.Apply): on a single-shard server the whole batch is atomic — one
+// snapshot, one commit, all-or-nothing — and on a sharded server each
+// shard's sub-batch is atomic but the batch as a whole is not, which the
+// INFO reply surfaces as multi=per-shard (vs multi=atomic). A MULTI whose
+// body fails to parse, or whose count is malformed or exceeds the
+// configured cap, is rejected with a single ERR line and executes nothing;
+// the connection survives (the body of an oversized-but-bounded batch is
+// drained to stay in frame).
 //
 // Requests pipeline: a client may write any number of lines before
 // reading; replies come back in order. Each connection runs one
 // goroutine, which leases a worker slot on a shard only while buffered
 // requests route there — an idle connection holds no slot on any shard,
-// so connections can outnumber slots by orders of magnitude.
+// so connections can outnumber slots by orders of magnitude. With
+// AutoBatch configured, consecutive single-key requests of a pipelined
+// burst additionally coalesce into batch transactions of at most AutoBatch
+// ops (replies are unchanged; only the transaction boundaries move).
 //
 // With several shards the key-indexed verbs route by ShardOf, so two
 // writers on different shards commit against different global clocks and
@@ -68,11 +109,13 @@ type ServerConfig struct {
 // views, and both are exact (LEN is one server-level counter, INFO sums
 // each shard's memory books).
 type Server struct {
-	shards []Backend
-	maxKey uint64
-	dom    *obs.Domain
-	probe  *obs.ServeProbe
-	mems   []sets.MemoryReporter // per shard; nil entries for bookless sets
+	shards    []Backend
+	maxKey    uint64
+	maxBatch  int
+	autoBatch int
+	dom       *obs.Domain
+	probe     *obs.ServeProbe
+	mems      []sets.MemoryReporter // per shard; nil entries for bookless sets
 
 	keys  atomic.Int64 // net successful SET − DEL through this server
 	conns atomic.Int64
@@ -91,13 +134,18 @@ func NewServer(cfg ServerConfig) *Server {
 		shards = []Backend{{Set: cfg.Set, Pool: cfg.Pool}}
 	}
 	s := &Server{
-		shards: shards,
-		maxKey: cfg.MaxKey,
-		dom:    cfg.Obs,
-		open:   make(map[net.Conn]struct{}),
+		shards:    shards,
+		maxKey:    cfg.MaxKey,
+		maxBatch:  cfg.MaxBatch,
+		autoBatch: cfg.AutoBatch,
+		dom:       cfg.Obs,
+		open:      make(map[net.Conn]struct{}),
 	}
 	if s.maxKey == 0 {
 		s.maxKey = ^uint64(0) - 3 // tree.MaxKey, the tightest structure bound
+	}
+	if s.maxBatch <= 0 {
+		s.maxBatch = DefaultMaxBatch
 	}
 	s.mems = make([]sets.MemoryReporter, len(shards))
 	anyMem := false
@@ -116,8 +164,50 @@ func NewServer(cfg ServerConfig) *Server {
 			cfg.Obs.Gauge("live_nodes", func() uint64 { l, _ := s.memTotals(); return l })
 			cfg.Obs.Gauge("deferred_nodes", func() uint64 { _, d := s.memTotals(); return d })
 		}
+		// Per-batch-size transaction gauges: the measured face of the
+		// capacity cliff (aborts and serial fallbacks vs batch size).
+		for b := 0; b < stm.BatchBuckets; b++ {
+			b := b
+			label := stm.BatchBucketLabel(b)
+			cfg.Obs.Gauge("batch_txs_"+label, func() uint64 { return s.batchStat(b).Txs })
+			cfg.Obs.Gauge("batch_aborts_"+label, func() uint64 { return s.batchStat(b).Aborts })
+			cfg.Obs.Gauge("batch_serial_"+label, func() uint64 { return s.batchStat(b).Serial })
+		}
 	}
 	return s
+}
+
+// batchStat sums one batch-size bucket's transaction counters across the
+// shards' STM runtimes.
+func (s *Server) batchStat(b int) stm.BatchStat {
+	var out stm.BatchStat
+	for _, bk := range s.shards {
+		if r, ok := bk.Set.(interface{ TMStats() stm.Stats }); ok {
+			st := r.TMStats().Batch[b]
+			out.Txs += st.Txs
+			out.Ops += st.Ops
+			out.Aborts += st.Aborts
+			out.Serial += st.Serial
+		}
+	}
+	return out
+}
+
+// txTotals sums commit/serial/abort counters across the shards (the INFO
+// fields the load generator derives serial-fallback rates from).
+func (s *Server) txTotals() (commits, serial, aborts uint64) {
+	for _, bk := range s.shards {
+		if r, ok := bk.Set.(interface {
+			TxCommits() uint64
+			TxAborts() uint64
+			TxSerial() uint64
+		}); ok {
+			commits += r.TxCommits()
+			serial += r.TxSerial()
+			aborts += r.TxAborts()
+		}
+	}
+	return commits, serial, aborts
 }
 
 // memTotals sums the shards' memory books.
@@ -259,7 +349,10 @@ func (l *connLeases) releaseAll() {
 }
 
 // handle runs one connection: read a line, lease a slot on the target
-// shard (kept across a burst of buffered requests), execute, reply.
+// shard (kept across a burst of buffered requests), execute, reply. With
+// AutoBatch configured, consecutive single-key lines accumulate into a
+// pending batch that executes (as capacity-split batch transactions) when
+// the burst ends, a non-key verb arrives, or the split threshold fills.
 func (s *Server) handle(c net.Conn) {
 	s.conns.Add(1)
 	defer func() {
@@ -276,6 +369,15 @@ func (s *Server) handle(c net.Conn) {
 	leases := newConnLeases(s.shards)
 	defer leases.releaseAll()
 
+	var pend []sets.Op
+	flush := func() bool {
+		if len(pend) == 0 {
+			return true
+		}
+		ok := s.execOps(leases, pend, s.autoBatch, bw)
+		pend = pend[:0]
+		return ok
+	}
 	for {
 		if s.draining.Load() && br.Buffered() == 0 {
 			_ = bw.Flush()
@@ -284,17 +386,40 @@ func (s *Server) handle(c net.Conn) {
 		line, err := br.ReadString('\n')
 		if err != nil {
 			if line == "" {
+				_ = flush()
+				_ = bw.Flush()
 				return
 			}
 			// final unterminated request: serve it, then drop the conn
 		}
-		if !s.serveLine(leases, strings.TrimRight(line, "\r\n"), bw) {
-			_ = bw.Flush()
-			return
+		trimmed := strings.TrimRight(line, "\r\n")
+		coalesced := false
+		if s.autoBatch > 1 {
+			if op, perr := s.parseOp(trimmed); perr == nil {
+				pend = append(pend, op)
+				coalesced = true
+				if len(pend) >= s.autoBatch && !flush() {
+					_ = bw.Flush()
+					return
+				}
+			}
+		}
+		if !coalesced {
+			// Anything that is not a clean single-key request (including
+			// MULTI, LEN, INFO, and malformed keys) first drains the
+			// pending batch so replies stay in order.
+			if !flush() || !s.serveLine(leases, trimmed, br, bw) {
+				_ = bw.Flush()
+				return
+			}
 		}
 		if br.Buffered() == 0 {
-			// Burst over: give the slots back before blocking on the
-			// network, and push the replies out.
+			// Burst over: run what accumulated, give the slots back before
+			// blocking on the network, and push the replies out.
+			if !flush() {
+				_ = bw.Flush()
+				return
+			}
 			leases.releaseAll()
 			if ferr := bw.Flush(); ferr != nil || err != nil {
 				return
@@ -303,10 +428,11 @@ func (s *Server) handle(c net.Conn) {
 	}
 }
 
-// serveLine executes one request line and appends the reply to bw. It
+// serveLine executes one request line and appends the reply to bw. br is
+// the connection's reader, consulted only by MULTI to read its body. It
 // returns false when the connection must drop (a lease could not be
-// acquired — saturation or shutdown).
-func (s *Server) serveLine(leases *connLeases, line string, bw *bufio.Writer) bool {
+// acquired — saturation or shutdown — or a MULTI frame was unrecoverable).
+func (s *Server) serveLine(leases *connLeases, line string, br *bufio.Reader, bw *bufio.Writer) bool {
 	verb, rest, _ := strings.Cut(line, " ")
 	switch verb {
 	case "GET", "SET", "DEL":
@@ -360,14 +486,22 @@ func (s *Server) serveLine(leases *connLeases, line string, bw *bufio.Writer) bo
 		} else {
 			bw.WriteString("0\n")
 		}
+	case "MULTI":
+		return s.serveMulti(leases, rest, br, bw)
 	case "LEN":
 		bw.WriteString(strconv.FormatInt(s.keys.Load(), 10))
 		bw.WriteByte('\n')
 	case "INFO":
 		live, deferred := s.memTotals()
-		fmt.Fprintf(bw, "variant=%s shards=%d slots=%d keys=%d live=%d deferred=%d conns=%d\n",
+		multi := "atomic"
+		if len(s.shards) > 1 {
+			multi = "per-shard"
+		}
+		commits, serial, aborts := s.txTotals()
+		fmt.Fprintf(bw, "variant=%s shards=%d slots=%d keys=%d live=%d deferred=%d conns=%d maxbatch=%d autobatch=%d multi=%s commits=%d serial=%d aborts=%d\n",
 			s.shards[0].Set.Name(), len(s.shards), s.shards[0].Pool.Slots(),
-			s.keys.Load(), live, deferred, s.conns.Load())
+			s.keys.Load(), live, deferred, s.conns.Load(),
+			s.maxBatch, s.autoBatch, multi, commits, serial, aborts)
 	case "":
 		bw.WriteString("ERR empty command\n")
 	default:
@@ -389,4 +523,167 @@ func (s *Server) parseKey(arg string) (uint64, error) {
 		return 0, fmt.Errorf("key %d out of range [1, %d]", key, s.maxKey)
 	}
 	return key, nil
+}
+
+// parseOp parses one single-key request line (GET/SET/DEL) into a set op.
+// Everything else — other verbs, malformed keys — errors, which routes the
+// line back to serveLine's per-verb handling.
+func (s *Server) parseOp(line string) (sets.Op, error) {
+	verb, rest, _ := strings.Cut(line, " ")
+	var kind sets.OpKind
+	switch verb {
+	case "GET":
+		kind = sets.OpLookup
+	case "SET":
+		kind = sets.OpInsert
+	case "DEL":
+		kind = sets.OpRemove
+	default:
+		return sets.Op{}, fmt.Errorf("not a key op")
+	}
+	key, err := s.parseKey(rest)
+	if err != nil {
+		return sets.Op{}, err
+	}
+	return sets.Op{Kind: kind, Key: key}, nil
+}
+
+// serveMulti reads and executes one MULTI frame: countArg body lines, each
+// a GET/SET/DEL request, run as one batch transaction per shard touched.
+// Any rejection is a single ERR line and executes nothing. To keep the
+// connection usable after a rejection the body must still be consumed:
+// a parse failure drains the remaining body lines, and an oversized count
+// is drained only up to maxBatch×oversizeDrainFactor lines (beyond that
+// the connection drops — false — rather than stream unbounded garbage).
+// A malformed count is not drained at all: the client did not follow the
+// grammar, so there is no body to be in frame with.
+func (s *Server) serveMulti(leases *connLeases, countArg string, br *bufio.Reader, bw *bufio.Writer) bool {
+	n, err := strconv.Atoi(countArg)
+	if err != nil || n < 1 {
+		fmt.Fprintf(bw, "ERR multi: bad count %q\n", countArg)
+		return true
+	}
+	drain := func(k int) bool {
+		for i := 0; i < k; i++ {
+			if _, err := br.ReadString('\n'); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if n > s.maxBatch {
+		if n > s.maxBatch*oversizeDrainFactor {
+			fmt.Fprintf(bw, "ERR multi: batch of %d exceeds max %d\n", n, s.maxBatch)
+			return false
+		}
+		ok := drain(n)
+		fmt.Fprintf(bw, "ERR multi: batch of %d exceeds max %d\n", n, s.maxBatch)
+		return ok
+	}
+	ops := make([]sets.Op, 0, n)
+	for i := 0; i < n; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil && line == "" {
+			return false
+		}
+		op, perr := s.parseOp(strings.TrimRight(line, "\r\n"))
+		if perr != nil {
+			ok := drain(n - 1 - i)
+			fmt.Fprintf(bw, "ERR multi: op %d: %v\n", i, perr)
+			return ok
+		}
+		ops = append(ops, op)
+	}
+	// Explicit MULTI is never capacity-split (split=0): the client asked
+	// for atomicity, so an over-capacity batch takes the serial fallback
+	// instead — that cliff is the measurement, not a failure.
+	return s.execOps(leases, ops, 0, bw)
+}
+
+// execOps runs a batch of single-key ops and writes one 1/0 reply line per
+// op, in op order. Ops group by shard (order preserved within a shard) and
+// each shard's sub-batch executes through Set.Apply as one transaction —
+// unless split > 0, in which case sub-batches chunk into transactions of
+// at most split ops (the capacity-aware split used for auto-batching,
+// where no atomicity was promised). Returns false when a lease could not
+// be acquired.
+func (s *Server) execOps(leases *connLeases, ops []sets.Op, split int, bw *bufio.Writer) bool {
+	sampled := s.dom != nil && s.dom.Sampled(uint64(len(ops)))
+	var t0 time.Time
+	txs := 0
+	if sampled {
+		t0 = time.Now()
+	}
+	results := make([]sets.Result, len(ops))
+	run := func(shard int, sub []sets.Op, idx []int) bool {
+		slot, err := leases.slot(shard)
+		if err != nil {
+			bw.WriteString("ERR ")
+			bw.WriteString(err.Error())
+			bw.WriteByte('\n')
+			return false
+		}
+		set := s.shards[shard].Set
+		for len(sub) > 0 {
+			chunk := sub
+			if split > 0 && len(chunk) > split {
+				chunk = chunk[:split]
+			}
+			txs++
+			if sampled {
+				s.probe.BatchOp.RecordAt(uint64(slot), uint64(len(chunk)))
+			}
+			for i, r := range set.Apply(slot, chunk) {
+				results[idx[i]] = r
+				if r {
+					switch chunk[i].Kind {
+					case sets.OpInsert:
+						s.keys.Add(1)
+					case sets.OpRemove:
+						s.keys.Add(-1)
+					}
+				}
+			}
+			sub = sub[len(chunk):]
+			idx = idx[len(chunk):]
+		}
+		return true
+	}
+	if len(s.shards) == 1 {
+		idx := make([]int, len(ops))
+		for i := range idx {
+			idx[i] = i
+		}
+		if !run(0, ops, idx) {
+			return false
+		}
+	} else {
+		subOps := make([][]sets.Op, len(s.shards))
+		subIdx := make([][]int, len(s.shards))
+		for i, op := range ops {
+			sh := ShardOf(op.Key, len(s.shards))
+			subOps[sh] = append(subOps[sh], op)
+			subIdx[sh] = append(subIdx[sh], i)
+		}
+		for sh := range subOps {
+			if len(subOps[sh]) == 0 {
+				continue
+			}
+			if !run(sh, subOps[sh], subIdx[sh]) {
+				return false
+			}
+		}
+	}
+	if sampled {
+		s.probe.BatchNs.RecordAt(uint64(len(ops)), uint64(time.Since(t0)))
+		s.probe.Splits.RecordAt(uint64(len(ops)), uint64(txs))
+	}
+	for _, r := range results {
+		if r {
+			bw.WriteString("1\n")
+		} else {
+			bw.WriteString("0\n")
+		}
+	}
+	return true
 }

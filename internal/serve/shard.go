@@ -93,6 +93,36 @@ func (s *Sharded) Remove(tid int, key uint64) bool {
 	return s.shards[ShardOf(key, len(s.shards))].Remove(tid, key)
 }
 
+// Apply routes each op to its key's shard and runs one batch transaction
+// per shard touched, in ascending shard order, preserving per-shard op
+// order. Atomicity is therefore PER SHARD, not across the whole batch: a
+// reader may observe shard i's sub-transaction committed while shard j's
+// has not yet run. Single-shard instances retain full batch atomicity.
+// The server surfaces this weaker contract in its INFO reply
+// (multi=per-shard); see DESIGN.md §11.
+func (s *Sharded) Apply(tid int, ops []sets.Op) []sets.Result {
+	if len(s.shards) == 1 {
+		return s.shards[0].Apply(tid, ops)
+	}
+	out := make([]sets.Result, len(ops))
+	subOps := make([][]sets.Op, len(s.shards))
+	subIdx := make([][]int, len(s.shards))
+	for i, op := range ops {
+		sh := ShardOf(op.Key, len(s.shards))
+		subOps[sh] = append(subOps[sh], op)
+		subIdx[sh] = append(subIdx[sh], i)
+	}
+	for sh := range s.shards {
+		if len(subOps[sh]) == 0 {
+			continue
+		}
+		for j, r := range s.shards[sh].Apply(tid, subOps[sh]) {
+			out[subIdx[sh][j]] = r
+		}
+	}
+	return out
+}
+
 // Finish flushes tid's deferred work in every shard.
 func (s *Sharded) Finish(tid int) {
 	for _, sh := range s.shards {
@@ -221,6 +251,12 @@ func (s *Sharded) TMStats() stm.Stats {
 		out.BiasRevocations += st.BiasRevocations
 		out.WriterWaits += st.WriterWaits
 		out.CommitSlowPath += st.CommitSlowPath
+		for b := range st.Batch {
+			out.Batch[b].Txs += st.Batch[b].Txs
+			out.Batch[b].Ops += st.Batch[b].Ops
+			out.Batch[b].Aborts += st.Batch[b].Aborts
+			out.Batch[b].Serial += st.Batch[b].Serial
+		}
 	}
 	return out
 }

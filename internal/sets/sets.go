@@ -32,6 +32,58 @@ type Set interface {
 	// Name is the variant's label in benchmark output (e.g. "RR-XO",
 	// "HTM", "TMHP", "LFLeak").
 	Name() string
+	// Apply executes ops in order and returns one result per op, with the
+	// same meaning as the corresponding single-op method. Transactional
+	// implementations run the whole batch inside ONE transaction — one
+	// snapshot, one commit — so the batch is atomic (all-or-nothing, and
+	// later ops observe earlier ops' effects via read-own-writes). A batch
+	// whose footprint exceeds the transaction capacity falls back to
+	// serial-mode execution; it still commits atomically, just without
+	// speculation. Non-transactional baselines (package lockfree) and the
+	// sharded facade execute per-op / per-shard and document the weaker
+	// guarantee; see ApplyEach and serve.Sharded.
+	Apply(tid int, ops []Op) []Result
+}
+
+// OpKind selects a batch operation.
+type OpKind uint8
+
+const (
+	// OpLookup tests presence (wire verb GET).
+	OpLookup OpKind = iota
+	// OpInsert adds the key (wire verb SET).
+	OpInsert
+	// OpRemove deletes the key (wire verb DEL).
+	OpRemove
+)
+
+// Op is one operation of a batch.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+}
+
+// Result is one op's outcome, identical in meaning to the single-op
+// methods' boolean return.
+type Result = bool
+
+// ApplyEach executes ops one at a time through the single-op methods. It
+// is the non-atomic fallback for implementations without a batch
+// transaction (the lock-free baselines): results are individually
+// linearizable but the batch as a whole is not.
+func ApplyEach(s Set, tid int, ops []Op) []Result {
+	out := make([]Result, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			out[i] = s.Insert(tid, op.Key)
+		case OpRemove:
+			out[i] = s.Remove(tid, op.Key)
+		default:
+			out[i] = s.Lookup(tid, op.Key)
+		}
+	}
+	return out
 }
 
 // MemoryReporter is implemented by variants whose node memory is

@@ -22,7 +22,16 @@ func (rt *Runtime) Atomic(fn func(*Tx)) { rt.AtomicT(-1, fn) }
 // AtomicT is Atomic with the caller's thread id, which flows into the
 // observability layer (flight-recorder events and abort attribution carry
 // it). tid -1 means unknown; the transaction semantics are identical.
-func (rt *Runtime) AtomicT(tid int, fn func(*Tx)) {
+func (rt *Runtime) AtomicT(tid int, fn func(*Tx)) { rt.atomicT(tid, 0, fn) }
+
+// AtomicBatchT is AtomicT for a batch entry point: fn carries n logical
+// operations in one transaction. n does not change the execution — it
+// flows into the per-batch-size statistics (log₂ buckets of aborts and
+// serial fallbacks, see Stats.Batch) so the capacity cliff is measurable
+// as a function of batch size rather than inferred from aggregates.
+func (rt *Runtime) AtomicBatchT(tid, n int, fn func(*Tx)) { rt.atomicT(tid, n, fn) }
+
+func (rt *Runtime) atomicT(tid, batch int, fn func(*Tx)) {
 	tx := rt.txPool.Get().(*Tx)
 	defer rt.txPool.Put(tx)
 	tx.tid = int32(tid)
@@ -38,6 +47,7 @@ func (rt *Runtime) AtomicT(tid int, fn func(*Tx)) {
 	}
 
 	serial := false
+	aborted := uint64(0)
 	for attempt := 0; ; attempt++ {
 		tx.reset(serial)
 		if sampled {
@@ -45,12 +55,16 @@ func (rt *Runtime) AtomicT(tid int, fn func(*Tx)) {
 		}
 		if tx.runAttempt(fn) {
 			rt.stats.record(tx, serial)
+			if batch > 0 {
+				rt.stats.recordBatch(tx, batch, aborted, serial)
+			}
 			if sampled {
 				tx.noteCommit(p, t0)
 			}
 			runHooks(tx.commitHooks)
 			return
 		}
+		aborted++
 		rt.stats.recordAbort(tx)
 		if sampled {
 			tx.noteAbort(p)

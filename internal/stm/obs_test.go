@@ -25,6 +25,12 @@ func pokeAllStats(rt *Runtime) {
 		for c := 0; c < int(numCauses); c++ {
 			sh.aborts[c].Store(1)
 		}
+		for b := 0; b < BatchBuckets; b++ {
+			sh.batch[b].txs.Store(1)
+			sh.batch[b].ops.Store(1)
+			sh.batch[b].aborts.Store(1)
+			sh.batch[b].serial.Store(1)
+		}
 	}
 	rt.commitLock.revocations.Store(1)
 	rt.commitLock.writerWaits.Store(1)
@@ -44,7 +50,18 @@ func walkStatsFields(t *testing.T, s Stats, visit func(path string, v uint64)) {
 			visit(name, f.Uint())
 		case reflect.Array:
 			for j := 0; j < f.Len(); j++ {
-				visit(name+"["+AbortCause(j).String()+"]", f.Index(j).Uint())
+				e := f.Index(j)
+				switch e.Kind() {
+				case reflect.Uint64:
+					visit(name+"["+AbortCause(j).String()+"]", e.Uint())
+				case reflect.Struct:
+					et := e.Type()
+					for k := 0; k < e.NumField(); k++ {
+						visit(name+"["+BatchBucketLabel(j)+"]."+et.Field(k).Name, e.Field(k).Uint())
+					}
+				default:
+					t.Fatalf("Stats field %s element has kind %v; extend the parity test", name, e.Kind())
+				}
 			}
 		default:
 			t.Fatalf("Stats field %s has kind %v; extend the parity test", name, f.Kind())

@@ -19,7 +19,15 @@ type statShard struct {
 	clockCASes    atomic.Uint64
 	commitSlow    atomic.Uint64
 	aborts        [numCauses]atomic.Uint64
+	batch         [BatchBuckets]batchShard
 	_             pad.Line
+}
+
+type batchShard struct {
+	txs    atomic.Uint64
+	ops    atomic.Uint64
+	aborts atomic.Uint64
+	serial atomic.Uint64
 }
 
 type statCounters struct {
@@ -37,6 +45,21 @@ func (s *statCounters) record(tx *Tx, serial bool) {
 		sh.serialCommits.Add(1)
 	}
 	s.flushTx(sh, tx)
+}
+
+// recordBatch attributes one committed batch transaction to its size
+// bucket: the speculative attempts it burned before committing and
+// whether it had to fall back to serial mode.
+func (s *statCounters) recordBatch(tx *Tx, n int, aborted uint64, serial bool) {
+	b := &s.shard(tx).batch[BatchBucket(n)]
+	b.txs.Add(1)
+	b.ops.Add(uint64(n))
+	if aborted > 0 {
+		b.aborts.Add(aborted)
+	}
+	if serial {
+		b.serial.Add(1)
+	}
 }
 
 func (s *statCounters) recordAbort(tx *Tx) {
@@ -83,6 +106,46 @@ type Stats struct {
 	// CommitSlowPath counts speculative commits that fell through to the
 	// underlying rwlock (bias revoked, or slot hash collision).
 	CommitSlowPath uint64
+
+	// Batch breaks batch transactions (AtomicBatchT) down by batch-size
+	// bucket; Batch[i] covers sizes [2^i, 2^(i+1)) with the last bucket
+	// open-ended. Single-op transactions do not appear here.
+	Batch [BatchBuckets]BatchStat
+}
+
+// BatchBuckets is the number of log₂ batch-size buckets tracked by the
+// runtime: 1, 2–3, 4–7, …, with the last bucket covering ≥ 2^(BatchBuckets-1).
+const BatchBuckets = 9
+
+// BatchBucket maps a batch size (≥ 1) to its bucket index: floor(log₂ n),
+// capped at BatchBuckets-1.
+func BatchBucket(n int) int {
+	b := 0
+	for n > 1 && b < BatchBuckets-1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// BatchBucketLabel names bucket i by its lower bound ("1", "2", "4", …),
+// usable directly in metric names.
+func BatchBucketLabel(i int) string {
+	return fmt.Sprint(1 << uint(i))
+}
+
+// BatchStat is the per-bucket slice of batch-transaction statistics.
+type BatchStat struct {
+	// Txs counts committed batch transactions in this size bucket.
+	Txs uint64
+	// Ops counts the operations those transactions carried.
+	Ops uint64
+	// Aborts counts the speculative attempts they burned before
+	// committing (capacity overflows, conflicts, …).
+	Aborts uint64
+	// Serial counts the commits that needed the serial fallback — the
+	// per-batch-size face of the capacity cliff.
+	Serial uint64
 }
 
 // TotalAborts sums aborts across all causes.
@@ -125,6 +188,12 @@ func (rt *Runtime) Stats() Stats {
 		for c := 0; c < int(numCauses); c++ {
 			out.Aborts[c] += sh.aborts[c].Load()
 		}
+		for b := 0; b < BatchBuckets; b++ {
+			out.Batch[b].Txs += sh.batch[b].txs.Load()
+			out.Batch[b].Ops += sh.batch[b].ops.Load()
+			out.Batch[b].Aborts += sh.batch[b].aborts.Load()
+			out.Batch[b].Serial += sh.batch[b].serial.Load()
+		}
 	}
 	out.BiasRevocations = rt.commitLock.revocations.Load()
 	out.WriterWaits = rt.commitLock.writerWaits.Load()
@@ -143,6 +212,12 @@ func (rt *Runtime) ResetStats() {
 		sh.commitSlow.Store(0)
 		for c := 0; c < int(numCauses); c++ {
 			sh.aborts[c].Store(0)
+		}
+		for b := 0; b < BatchBuckets; b++ {
+			sh.batch[b].txs.Store(0)
+			sh.batch[b].ops.Store(0)
+			sh.batch[b].aborts.Store(0)
+			sh.batch[b].serial.Store(0)
 		}
 	}
 	rt.commitLock.revocations.Store(0)

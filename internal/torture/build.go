@@ -90,9 +90,13 @@ type instance struct {
 	baseLive uint64          // sentinel/bootstrap nodes (measured post-build)
 	deferred bool            // uses a deferred scheme (TMHP/ER/Leak/LFHP)
 	leak     bool            // never frees (Leak/LFLeak-style)
-	rounds   int             // Finish rounds needed to drain (2 for hazard schemes)
-	reclaim  func() reclaim.Stats
-	validate func() error
+	// atomicBatch marks structures whose Apply runs a batch as one
+	// transaction per shard (the TM-backed ones); the lock-free baselines
+	// document Apply as per-op, so the batch-atomicity pin skips them.
+	atomicBatch bool
+	rounds      int // Finish rounds needed to drain (2 for hazard schemes)
+	reclaim     func() reclaim.Stats
+	validate    func() error
 }
 
 // domains returns every observability domain the instance carries: the
@@ -324,6 +328,7 @@ func buildOne(cfg Config, guard *guardCollector, obsName string) (*instance, err
 	}
 
 	inst.obs = dom
+	inst.atomicBatch = true // every TM-backed Apply is one transaction
 	return measureBase(inst), nil
 }
 
@@ -348,13 +353,14 @@ func buildSharded(cfg Config, guard *guardCollector) (*instance, error) {
 	}
 	first := subs[0]
 	inst := &instance{
-		set:      serve.NewSharded(parts),
-		guard:    first.guard,
-		obs:      first.obs,
-		perKey:   first.perKey,
-		deferred: first.deferred,
-		leak:     first.leak,
-		rounds:   first.rounds,
+		set:         serve.NewSharded(parts),
+		guard:       first.guard,
+		obs:         first.obs,
+		perKey:      first.perKey,
+		deferred:    first.deferred,
+		leak:        first.leak,
+		atomicBatch: first.atomicBatch,
+		rounds:      first.rounds,
 	}
 	for _, si := range subs {
 		inst.baseLive += si.baseLive

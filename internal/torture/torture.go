@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"hohtx/internal/arena"
 	"hohtx/internal/obs"
@@ -26,6 +27,14 @@ type Config struct {
 	Window    int          // hand-over-hand window size (default 4)
 	Seed      uint64       // schedule seed; 0 means 1
 	Guard     bool         // enable the arena use-after-free sanitizer
+	// BatchOps, when > 1, drives each worker's op stream through Set.Apply
+	// in groups of this many ops instead of one call per op — the exact
+	// oracle then also pins Apply's per-op results. On transactional
+	// structures the run additionally keeps a key pair beyond the oracle
+	// range that one goroutine batch-inserts/batch-removes together while
+	// another batch-looks-up both, asserting all-or-nothing visibility per
+	// batch (both present or neither, never one).
+	BatchOps int
 	// Shards partitions the key space across this many fully independent
 	// instances behind serve.Sharded (default 1 = unsharded). Every
 	// invariant is then checked twice: in aggregate on the facade, and per
@@ -73,9 +82,13 @@ func (c Config) String() string {
 	if c.Shards > 1 {
 		sh = fmt.Sprintf(" -shards=%d", c.Shards)
 	}
+	b := ""
+	if c.BatchOps > 1 {
+		b = fmt.Sprintf(" -batch=%d", c.BatchOps)
+	}
 	return fmt.Sprintf(
-		"torture -structure=%s -variant=%s -policy=%d -threads=%d -ops=%d -keys=%d -lookup=%d -window=%d -seed=%d%s%s",
-		c.Structure, c.Variant, c.Policy, c.Threads, c.Ops, c.Keys, c.LookupPct, c.Window, c.Seed, sh, g)
+		"torture -structure=%s -variant=%s -policy=%d -threads=%d -ops=%d -keys=%d -lookup=%d -window=%d -seed=%d%s%s%s",
+		c.Structure, c.Variant, c.Policy, c.Threads, c.Ops, c.Keys, c.LookupPct, c.Window, c.Seed, sh, b, g)
 }
 
 // Report summarizes a completed run.
@@ -89,6 +102,7 @@ type Report struct {
 	AvgDelayOps float64 // mean retire→free distance in op stamps (deferred schemes)
 	PoisonReads uint64  // benign doomed-reader poison observations (guard)
 	Violations  uint64  // committed use-after-free reads (guard; must be 0)
+	PairChecks  uint64  // batch-atomicity observer transactions (BatchOps runs)
 }
 
 // leaseBatch is how many operations a worker runs under one slot lease
@@ -178,15 +192,50 @@ func runOn(cfg Config, inst *instance) (Report, error) {
 			}()
 			h := pool.Handle()
 			rng := cfg.Seed*0x2545f4914f6cdd1d + uint64(w+1)
+			var batch []sets.Op
+			if cfg.BatchOps > 1 {
+				batch = make([]sets.Op, 0, cfg.BatchOps)
+			}
 			for i := 0; i < cfg.Ops; {
 				_ = h.Do(context.Background(), func(tid int) {
-					for b := 0; b < leaseBatch && i < cfg.Ops; b, i = b+1, i+1 {
+					for b := 0; b < leaseBatch && i < cfg.Ops; i = i + 1 {
 						r := splitmix64(&rng)
 						k := 1 + (r>>16)%cfg.Keys
+						var kind sets.OpKind
 						switch {
 						case int(r%100) < cfg.LookupPct:
-							s.Lookup(tid, k)
+							kind = sets.OpLookup
 						case r&(1<<40) == 0:
+							kind = sets.OpInsert
+						default:
+							kind = sets.OpRemove
+						}
+						if cfg.BatchOps > 1 {
+							// Same op stream, grouped through Apply: the exact
+							// oracle below then also pins Apply's per-op results
+							// against the sequential semantics.
+							batch = append(batch, sets.Op{Kind: kind, Key: k})
+							if len(batch) == cfg.BatchOps || i+1 == cfg.Ops {
+								for j, got := range s.Apply(tid, batch) {
+									if got {
+										switch batch[j].Kind {
+										case sets.OpInsert:
+											t.ins[batch[j].Key]++
+										case sets.OpRemove:
+											t.rem[batch[j].Key]++
+										}
+									}
+								}
+								b += len(batch)
+								batch = batch[:0]
+							}
+							continue
+						}
+						b++
+						switch kind {
+						case sets.OpLookup:
+							s.Lookup(tid, k)
+						case sets.OpInsert:
 							if s.Insert(tid, k) {
 								t.ins[k]++
 							}
@@ -200,7 +249,74 @@ func runOn(cfg Config, inst *instance) (Report, error) {
 			}
 		}(w)
 	}
-	wg.Wait()
+
+	// Batch-atomicity pin: while the workers churn, a toggler flips a key
+	// pair (outside the oracle's key range, co-resident on one shard) with
+	// two-op batches — insert both, then remove both — and an observer
+	// batch-looks-up both. Each lookup batch is one transaction, so it must
+	// see the pair together or not at all; one-of-two is a torn batch.
+	// The lock-free baselines document Apply as per-op (non-atomic), so the
+	// pin only runs where the contract holds.
+	var pairChecks, pairTorn atomic.Uint64
+	if cfg.BatchOps > 1 && inst.atomicBatch {
+		pA := cfg.Keys + 1
+		pB := pA + 1
+		for serve.ShardOf(pB, cfg.Shards) != serve.ShardOf(pA, cfg.Shards) {
+			pB++
+		}
+		stopPairs := make(chan struct{})
+		var pairWg sync.WaitGroup
+		pairWg.Add(2)
+		go func() { // toggler
+			defer pairWg.Done()
+			h := pool.Handle()
+			ins := []sets.Op{{Kind: sets.OpInsert, Key: pA}, {Kind: sets.OpInsert, Key: pB}}
+			del := []sets.Op{{Kind: sets.OpRemove, Key: pA}, {Kind: sets.OpRemove, Key: pB}}
+			for on := false; ; on = !on {
+				select {
+				case <-stopPairs:
+					// Leave the pair absent so the oracle, snapshot range and
+					// memory books below are untouched by the pin.
+					_ = h.Do(context.Background(), func(tid int) { s.Apply(tid, del) })
+					return
+				default:
+				}
+				ops := ins
+				if on {
+					ops = del
+				}
+				_ = h.Do(context.Background(), func(tid int) { s.Apply(tid, ops) })
+			}
+		}()
+		go func() { // observer
+			defer pairWg.Done()
+			h := pool.Handle()
+			look := []sets.Op{{Kind: sets.OpLookup, Key: pA}, {Kind: sets.OpLookup, Key: pB}}
+			// Check-then-poll order: on a single-CPU box the workers can
+			// finish before this goroutine is first scheduled, and the pin
+			// must still record at least one check.
+			for {
+				_ = h.Do(context.Background(), func(tid int) {
+					res := s.Apply(tid, look)
+					pairChecks.Add(1)
+					if res[0] != res[1] {
+						pairTorn.Add(1)
+					}
+				})
+				select {
+				case <-stopPairs:
+					return
+				default:
+				}
+			}
+		}()
+		wg.Wait()
+		close(stopPairs)
+		pairWg.Wait()
+	} else {
+		wg.Wait()
+	}
+	rep.PairChecks = pairChecks.Load()
 
 	var failures []string
 	fail := func(format string, args ...any) {
@@ -210,6 +326,10 @@ func runOn(cfg Config, inst *instance) (Report, error) {
 		if tallies[i].err != nil {
 			fail("%v", tallies[i].err)
 		}
+	}
+	if torn := pairTorn.Load(); torn > 0 {
+		fail("batch atomicity: %d of %d pair lookups saw a torn batch (one key of an atomically toggled pair)",
+			torn, pairChecks.Load())
 	}
 	if len(failures) > 0 {
 		// A worker died mid-transaction; the structure may hold locks, so

@@ -121,6 +121,61 @@ func TestTortureFailureDumpsFlightRecorder(t *testing.T) {
 	}
 }
 
+// TestTortureBatchOps drives the oracle mix through Set.Apply and checks
+// the pair-atomicity observer engages on TM-backed variants: every batch
+// is all-or-nothing per shard, so the insert-both/remove-both toggler's
+// pair must never be seen half-applied. The lockfree variant documents
+// per-op application, so its run must skip the pin (PairChecks == 0).
+func TestTortureBatchOps(t *testing.T) {
+	for _, tc := range []struct {
+		variant   string
+		shards    int
+		wantPairs bool
+	}{
+		{"RR-V", 1, true},
+		{"TMHP", 2, true},
+		{"LFHP", 1, false},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("%s/s%d", tc.variant, tc.shards), func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{
+				Structure: StructSingly, Variant: tc.variant,
+				Threads: 4, Ops: 600, Keys: 64, Window: 4,
+				Shards: tc.shards, BatchOps: 8, Seed: 0xba7c4,
+			}
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Inserts == 0 || rep.Removes == 0 {
+				t.Fatalf("degenerate batch run: %d inserts, %d removes (repro: %s)",
+					rep.Inserts, rep.Removes, cfg)
+			}
+			if tc.wantPairs && rep.PairChecks == 0 {
+				t.Fatalf("pair-atomicity observer never ran (repro: %s)", cfg)
+			}
+			if !tc.wantPairs && rep.PairChecks != 0 {
+				t.Fatalf("pair pin ran %d checks on a variant that documents per-op Apply (repro: %s)",
+					rep.PairChecks, cfg)
+			}
+		})
+	}
+}
+
+// TestTortureBatchReproString pins the -batch suffix cmd/torture parses back.
+func TestTortureBatchReproString(t *testing.T) {
+	cfg := Config{
+		Structure: "singly", Variant: "RR-V",
+		Threads: 4, Ops: 600, Keys: 64, LookupPct: 20, Window: 4,
+		Seed: 7, BatchOps: 8,
+	}
+	want := "torture -structure=singly -variant=RR-V -policy=0 -threads=4 -ops=600 -keys=64 -lookup=20 -window=4 -seed=7 -batch=8"
+	if got := cfg.String(); got != want {
+		t.Fatalf("batch repro string drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
 // TestTortureReproString pins the repro line format the failure messages
 // and cmd/torture rely on.
 func TestTortureReproString(t *testing.T) {

@@ -150,26 +150,32 @@ func (t *Internal) Insert(tid int, key uint64) bool {
 func (t *Internal) Remove(tid int, key uint64) bool {
 	return t.apply(tid, key, true,
 		func(tx *stm.Tx, parentH, vH arena.Handle, dir int) bool {
-			v := t.ar.At(vH)
-			lH := t.loadLink(tx, tid, vH, &v.left)
-			rH := t.loadLink(tx, tid, vH, &v.right)
-			switch {
-			case lH.IsNil() && rH.IsNil():
-				child(t.ar.At(parentH), dir).Store(tx, 0)
-				t.reclaimNode(tx, tid, vH)
-			case lH.IsNil():
-				child(t.ar.At(parentH), dir).Store(tx, uint64(rH))
-				t.reclaimNode(tx, tid, vH)
-			case rH.IsNil():
-				child(t.ar.At(parentH), dir).Store(tx, uint64(lH))
-				t.reclaimNode(tx, tid, vH)
-			default:
-				t.removeTwoChildren(tx, tid, vH, rH)
-			}
+			t.removeFound(tx, tid, parentH, vH, dir)
 			return true
 		},
 		func(tx *stm.Tx, parentH arena.Handle, dir int) bool { return false },
 	)
+}
+
+// removeFound deletes the matched node vH (the dir-child of parentH),
+// dispatching on its child count.
+func (t *Internal) removeFound(tx *stm.Tx, tid int, parentH, vH arena.Handle, dir int) {
+	v := t.ar.At(vH)
+	lH := t.loadLink(tx, tid, vH, &v.left)
+	rH := t.loadLink(tx, tid, vH, &v.right)
+	switch {
+	case lH.IsNil() && rH.IsNil():
+		child(t.ar.At(parentH), dir).Store(tx, 0)
+		t.reclaimNode(tx, tid, vH)
+	case lH.IsNil():
+		child(t.ar.At(parentH), dir).Store(tx, uint64(rH))
+		t.reclaimNode(tx, tid, vH)
+	case rH.IsNil():
+		child(t.ar.At(parentH), dir).Store(tx, uint64(lH))
+		t.reclaimNode(tx, tid, vH)
+	default:
+		t.removeTwoChildren(tx, tid, vH, rH)
+	}
 }
 
 // removeTwoChildren overwrites vH's key with its successor's and extracts
