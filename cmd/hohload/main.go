@@ -37,6 +37,18 @@
 // op from INFO counter deltas — the measured face of the capacity cliff
 // when sweeping -batch (see EXPERIMENTS.md).
 //
+// With -scanfrac P > 0 that percentage of the request stream becomes
+// ASCEND scans of up to -scanlen keys each (drawn from the same key
+// range), measuring range-scan/point-op interference. A scan's latency
+// runs from its intended send time to its END terminator, so a scan that
+// stalls the pipeline charges itself (and, open-loop, its queued
+// successors) the full stall — coordinated-omission-safe in both loop
+// modes. Scans require a server whose INFO advertises scan support and
+// are incompatible with -batch. With -obsaddr pointing at the server's
+// observability endpoint (hohserver -obs), the final summary cell also
+// embeds the server-side histograms — including serve_ascend_ns,
+// ascend_windows and ascend_renavigations — under domain-prefixed names.
+//
 // The -cmd form is a one-shot client: it sends the semicolon-separated
 // requests as one pipeline, prints each reply, and exits — the quickest
 // way to poke at a running server without netcat.
@@ -48,6 +60,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"strconv"
@@ -69,6 +82,9 @@ func main() {
 	ops := flag.Int("ops", 50_000, "requests per connection")
 	rate := flag.Float64("rate", 0, "open-loop mode: target ops/sec across all connections (0 = closed loop)")
 	batch := flag.Int("batch", 1, "ops per MULTI frame (1 = plain single-key verbs)")
+	scanfrac := flag.Int("scanfrac", 0, "percent of requests that are ASCEND range scans")
+	scanlen := flag.Int("scanlen", 64, "keys per ASCEND scan (with -scanfrac)")
+	obsAddr := flag.String("obsaddr", "", "server obs endpoint (hohserver -obs); embed its histograms in the -out cell")
 	seed := flag.Uint64("seed", 20170724, "workload seed")
 	warmup := flag.Bool("warmup", true, "prefill half the key range before measuring (so the live-node envelope reflects steady state, not ramp-up)")
 	out := flag.String("out", "", "write a BENCH_<n>.json summary here (empty = report only)")
@@ -86,6 +102,16 @@ func main() {
 	}
 	if *batch > 1 && *ops / *batch < 1 {
 		fmt.Fprintln(os.Stderr, "hohload: -ops must cover at least one -batch frame")
+		os.Exit(2)
+	}
+	if *scanfrac < 0 || *scanfrac > 100 || (*scanfrac > 0 && *scanlen < 1) {
+		fmt.Fprintln(os.Stderr, "hohload: -scanfrac must be in [0,100] and -scanlen positive")
+		os.Exit(2)
+	}
+	if *scanfrac > 0 && *batch > 1 {
+		// A MULTI frame's body admits only single-key verbs; a scan inside
+		// a frame has no defined reply framing.
+		fmt.Fprintln(os.Stderr, "hohload: -scanfrac is incompatible with -batch > 1")
 		os.Exit(2)
 	}
 	// Whole frames only: trim the per-connection op count to a multiple of
@@ -113,7 +139,8 @@ func main() {
 
 	hist := obs.NewHistogram("op_latency", "ns")
 	batchHist := obs.NewHistogram("batch_latency", "ns")
-	var gets, sets, dels, hits atomic.Uint64
+	scanHist := obs.NewHistogram("scan_latency", "ns")
+	var gets, sets, dels, hits, scans atomic.Uint64
 	var wg sync.WaitGroup
 	errs := make(chan error, *conns)
 	// Open loop: the request cadence is fixed before the first send, and
@@ -140,11 +167,11 @@ func main() {
 				err = runConnBatch(cid, *addr, *ops, *depth, *batch, *keys, *reads, *seed,
 					hist, batchHist, &gets, &sets, &dels, &hits)
 			case *rate > 0:
-				err = runConnOpen(cid, *addr, *ops, *conns, interval, start, *keys, *reads, *seed,
-					hist, &gets, &sets, &dels, &hits)
+				err = runConnOpen(cid, *addr, *ops, *conns, interval, start, *keys, *reads, *scanfrac, *scanlen, *seed,
+					hist, scanHist, &gets, &sets, &dels, &hits, &scans)
 			default:
-				err = runConn(cid, *addr, *ops, *depth, *keys, *reads, *seed, hist,
-					&gets, &sets, &dels, &hits)
+				err = runConn(cid, *addr, *ops, *depth, *keys, *reads, *scanfrac, *scanlen, *seed,
+					hist, scanHist, &gets, &sets, &dels, &hits, &scans)
 			}
 			if err != nil {
 				errs <- fmt.Errorf("conn %d: %w", cid, err)
@@ -184,6 +211,12 @@ func main() {
 			time.Duration(bsnap.P50), time.Duration(bsnap.P90), time.Duration(bsnap.P99),
 			time.Duration(bsnap.Max), bsnap.Count, *batch)
 	}
+	ssnap := scanHist.Snapshot()
+	if *scanfrac > 0 {
+		fmt.Printf("  scan latency (to END) p50=%s p90=%s p99=%s max=%s (%d scans of <=%d keys)\n",
+			time.Duration(ssnap.P50), time.Duration(ssnap.P90), time.Duration(ssnap.P99),
+			time.Duration(ssnap.Max), scans.Load(), *scanlen)
+	}
 	var serialPerOp, abortsPerOp float64
 	if dc, ds, da := info.commits-mon.base.commits, info.serial-mon.base.serial, info.aborts-mon.base.aborts; dc+ds > 0 {
 		serialPerOp = float64(ds) / float64(total)
@@ -191,8 +224,8 @@ func main() {
 		fmt.Printf("  server tx over run: commits=%d serial=%d aborts=%d (serial/op=%.4f aborts/op=%.4f)\n",
 			dc, ds, da, serialPerOp, abortsPerOp)
 	}
-	fmt.Printf("  mix: GET=%d (hit %.1f%%) SET=%d DEL=%d\n",
-		gets.Load(), 100*float64(hits.Load())/float64(max64(gets.Load(), 1)), sets.Load(), dels.Load())
+	fmt.Printf("  mix: GET=%d (hit %.1f%%) SET=%d DEL=%d SCAN=%d\n",
+		gets.Load(), 100*float64(hits.Load())/float64(max64(gets.Load(), 1)), sets.Load(), dels.Load(), scans.Load())
 	fmt.Printf("  live nodes over run: [%d, %d] (spread %d, key range %d); deferred at end: %d\n",
 		info.liveMin, info.liveMax, info.liveMax-info.liveMin, *keys, info.deferred)
 
@@ -226,13 +259,27 @@ func main() {
 		cell.BatchP50Ns = bsnap.P50
 		cell.BatchP99Ns = bsnap.P99
 	}
+	if *scanfrac > 0 {
+		cell.ScanPct = *scanfrac
+		cell.ScanLen = *scanlen
+		cell.ScanP50Ns = ssnap.P50
+		cell.ScanP99Ns = ssnap.P99
+	}
+	if *obsAddr != "" {
+		snap, err := fetchObs(*obsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hohload: -obsaddr:", err)
+			os.Exit(1)
+		}
+		cell.Obs = snap
+	}
 	sum := bench.Summary{
 		Bench:      bench.BenchNumber(*out),
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
-		Workload:   workloadDesc(*keys, *reads, *conns, *depth, *batch, *rate),
+		Workload:   workloadDesc(*keys, *reads, *conns, *depth, *batch, *scanfrac, *scanlen, *rate),
 		Ops:        *ops,
 		Trials:     1,
 	}
@@ -269,10 +316,13 @@ func main() {
 // then send one request per reply.
 // workloadDesc names the recorded workload; open- and closed-loop runs
 // read differently (rate vs. pipeline depth).
-func workloadDesc(keys uint64, reads, conns, depth, batch int, rate float64) string {
+func workloadDesc(keys uint64, reads, conns, depth, batch, scanfrac, scanlen int, rate float64) string {
 	b := ""
 	if batch > 1 {
 		b = fmt.Sprintf(", MULTI batch %d", batch)
+	}
+	if scanfrac > 0 {
+		b += fmt.Sprintf(", %d%% ASCEND scans of %d", scanfrac, scanlen)
 	}
 	if rate > 0 {
 		return fmt.Sprintf("hohserver loopback: %d keys, %d%% reads, %d conns, open loop%s",
@@ -282,8 +332,8 @@ func workloadDesc(keys uint64, reads, conns, depth, batch int, rate float64) str
 		keys, reads, conns, depth, b)
 }
 
-func runConn(cid int, addr string, ops, depth int, keys uint64, reads int, seed uint64,
-	hist *obs.Histogram, gets, sets, dels, hits *atomic.Uint64) error {
+func runConn(cid int, addr string, ops, depth int, keys uint64, reads, scanfrac, scanlen int, seed uint64,
+	hist, scanHist *obs.Histogram, gets, sets, dels, hits, scans *atomic.Uint64) error {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
@@ -300,6 +350,19 @@ func runConn(cid int, addr string, ops, depth int, keys uint64, reads int, seed 
 	send := func() error {
 		r := splitmix64(&rng)
 		key := 1 + (r>>8)%keys
+		// The scan decision draws on bits the point-op classification below
+		// never touches, so a run at -scanfrac 0 issues exactly the same
+		// point-op stream as one with scans mixed in — the interference
+		// sweep changes only what is added, not what is compared.
+		if scanfrac > 0 && int((r>>48)%100) < scanfrac {
+			sendTimes[sent%depth] = time.Now()
+			verbs[sent%depth] = 'A'
+			if _, err := fmt.Fprintf(bw, "ASCEND %d %d\n", key, scanlen); err != nil {
+				return err
+			}
+			sent++
+			return bw.Flush()
+		}
 		var verb string
 		var vb byte
 		switch {
@@ -324,25 +387,35 @@ func runConn(cid int, addr string, ops, depth int, keys uint64, reads int, seed 
 		}
 	}
 	for recv < ops {
-		line, err := br.ReadString('\n')
-		if err != nil {
-			return fmt.Errorf("after %d replies: %w", recv, err)
-		}
-		reply := strings.TrimRight(line, "\n")
-		if strings.HasPrefix(reply, "ERR") {
-			return fmt.Errorf("server: %s", reply)
-		}
-		hist.RecordAt(uint64(cid), uint64(time.Since(sendTimes[recv%depth])))
-		switch verbs[recv%depth] {
-		case 'G':
-			gets.Add(1)
-			if reply == "1" {
-				hits.Add(1)
+		if verbs[recv%depth] == 'A' {
+			// A scan's reply is OK lines up to its END terminator; the
+			// scan is charged from its send time to that terminator.
+			if err := drainScan(br); err != nil {
+				return fmt.Errorf("scan after %d replies: %w", recv, err)
 			}
-		case 'S':
-			sets.Add(1)
-		default:
-			dels.Add(1)
+			scanHist.RecordAt(uint64(cid), uint64(time.Since(sendTimes[recv%depth])))
+			scans.Add(1)
+		} else {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				return fmt.Errorf("after %d replies: %w", recv, err)
+			}
+			reply := strings.TrimRight(line, "\n")
+			if strings.HasPrefix(reply, "ERR") {
+				return fmt.Errorf("server: %s", reply)
+			}
+			hist.RecordAt(uint64(cid), uint64(time.Since(sendTimes[recv%depth])))
+			switch verbs[recv%depth] {
+			case 'G':
+				gets.Add(1)
+				if reply == "1" {
+					hits.Add(1)
+				}
+			case 'S':
+				sets.Add(1)
+			default:
+				dels.Add(1)
+			}
 		}
 		recv++
 		if sent < ops {
@@ -354,6 +427,26 @@ func runConn(cid int, addr string, ops, depth int, keys uint64, reads int, seed 
 	return nil
 }
 
+// drainScan consumes one ASCEND reply — OK lines through the END
+// terminator — and fails on an ERR terminator or malformed line.
+func drainScan(br *bufio.Reader) error {
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		reply := strings.TrimRight(line, "\n")
+		switch {
+		case reply == "END":
+			return nil
+		case strings.HasPrefix(reply, "ERR"):
+			return fmt.Errorf("server: %s", reply)
+		case !strings.HasPrefix(reply, "OK "):
+			return fmt.Errorf("malformed scan line %q", reply)
+		}
+	}
+}
+
 // runConnOpen drives one connection open-loop: a writer goroutine sends
 // request i at its scheduled time start + (i×conns + cid)×interval — it
 // never waits for replies, so a slow server accumulates in-flight
@@ -362,8 +455,8 @@ func runConn(cid int, addr string, ops, depth int, keys uint64, reads int, seed 
 // Reader and writer re-derive the identical deterministic request stream
 // from the shared seed, so no per-request metadata crosses between them.
 func runConnOpen(cid int, addr string, ops, conns int, interval time.Duration, start time.Time,
-	keys uint64, reads int, seed uint64,
-	hist *obs.Histogram, gets, sets, dels, hits *atomic.Uint64) error {
+	keys uint64, reads, scanfrac, scanlen int, seed uint64,
+	hist, scanHist *obs.Histogram, gets, sets, dels, hits, scans *atomic.Uint64) error {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
@@ -374,8 +467,12 @@ func runConnOpen(cid int, addr string, ops, conns int, interval time.Duration, s
 
 	// verbOf classifies request i's random draw the same way runConn does,
 	// so closed- and open-loop runs at the same seed issue the same ops.
+	// 'A' (an ASCEND scan) draws on separate bits, leaving the point-op
+	// substream untouched across scanfrac settings.
 	verbOf := func(r uint64) (string, byte) {
 		switch {
+		case scanfrac > 0 && int((r>>48)%100) < scanfrac:
+			return "ASCEND", 'A'
 		case int(r%100) < reads:
 			return "GET", 'G'
 		case r&(1<<40) == 0:
@@ -402,7 +499,14 @@ func runConnOpen(cid int, addr string, ops, conns int, interval time.Duration, s
 				time.Sleep(d)
 			}
 			r := splitmix64(&rng)
-			verb, _ := verbOf(r)
+			verb, vb := verbOf(r)
+			if vb == 'A' {
+				if _, err := fmt.Fprintf(bw, "ASCEND %d %d\n", 1+(r>>8)%keys, scanlen); err != nil {
+					writeErr <- err
+					return
+				}
+				continue
+			}
 			if _, err := fmt.Fprintf(bw, "%s %d\n", verb, 1+(r>>8)%keys); err != nil {
 				writeErr <- err
 				return
@@ -415,9 +519,25 @@ func runConnOpen(cid int, addr string, ops, conns int, interval time.Duration, s
 	// clocks each one against the request's intended send time — if the
 	// server (or the writer's socket) stalls, every queued request's
 	// latency grows by the stall, exactly as a real open-loop client
-	// population would experience it.
+	// population would experience it. A scan is clocked from its intended
+	// send time to its END terminator, so a slow scan charges both itself
+	// and (through the shared pipeline) the requests queued behind it.
 	rng := seed + uint64(cid+1)*0x9e3779b97f4a7c15
 	for recv := 0; recv < ops; recv++ {
+		r := splitmix64(&rng)
+		_, vb := verbOf(r)
+		if vb == 'A' {
+			if err := drainScan(br); err != nil {
+				return fmt.Errorf("scan after %d replies: %w", recv, err)
+			}
+			lat := time.Since(due(recv))
+			if lat < 0 {
+				lat = 0
+			}
+			scanHist.RecordAt(uint64(cid), uint64(lat))
+			scans.Add(1)
+			continue
+		}
 		line, err := br.ReadString('\n')
 		if err != nil {
 			return fmt.Errorf("after %d replies: %w", recv, err)
@@ -426,8 +546,6 @@ func runConnOpen(cid int, addr string, ops, conns int, interval time.Duration, s
 		if strings.HasPrefix(reply, "ERR") {
 			return fmt.Errorf("server: %s", reply)
 		}
-		r := splitmix64(&rng)
-		_, vb := verbOf(r)
 		lat := time.Since(due(recv))
 		if lat < 0 {
 			lat = 0 // clock skew guard: a reply cannot precede its request
@@ -670,6 +788,39 @@ func prefill(addr string, keys uint64) error {
 	return drain()
 }
 
+// fetchObs pulls the server's observability snapshot (hohserver -obs)
+// and folds every domain's populated histograms into one DomainSnapshot
+// under domain-prefixed names. Prefixing instead of merging keeps each
+// histogram's buckets intact — summing per-shard log₂ buckets would
+// still be sound, but percentile reconstruction across differently
+// loaded shards is not, so the cell records them side by side.
+func fetchObs(addr string) (*obs.DomainSnapshot, error) {
+	resp, err := http.Get("http://" + addr + "/snapshot")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /snapshot: %s", resp.Status)
+	}
+	var doms []obs.DomainSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&doms); err != nil {
+		return nil, fmt.Errorf("decode /snapshot: %w", err)
+	}
+	merged := &obs.DomainSnapshot{Name: "server-export"}
+	for _, d := range doms {
+		merged.Events += d.Events
+		for _, h := range d.Histograms {
+			if h.Count == 0 {
+				continue
+			}
+			h.Name = d.Name + "/" + h.Name
+			merged.Histograms = append(merged.Histograms, h)
+		}
+	}
+	return merged, nil
+}
+
 // monitor samples INFO on its own connection every 50ms.
 type monitor struct {
 	br    *bufio.Reader // one reader for the connection's lifetime
@@ -821,6 +972,23 @@ func oneShot(addr, script string) {
 		fmt.Printf("%-12s -> %s", r, line)
 	}
 	for i := 0; i < len(reqs); i++ {
+		if strings.HasPrefix(reqs[i], "ASCEND ") {
+			// A scan streams OK lines until END (or an ERR terminator).
+			fmt.Printf("%-12s    (scan)\n", reqs[i])
+			for {
+				line, err := br.ReadString('\n')
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "hohload:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("%-12s -> %s", "", line)
+				l := strings.TrimRight(line, "\n")
+				if l == "END" || strings.HasPrefix(l, "ERR") {
+					break
+				}
+			}
+			continue
+		}
 		arg, isMulti := strings.CutPrefix(reqs[i], "MULTI ")
 		n := 0
 		if isMulti {

@@ -5,8 +5,13 @@
 // and the live-node gauge stays flat under sustained external churn.
 //
 // The protocol is one line per request, one line per reply, pipelined
-// (see internal/serve): GET/SET/DEL <key>, LEN, INFO, and MULTI <n> —
-// n body ops executed as one batch transaction per shard touched.
+// (see internal/serve): GET/SET/DEL <key>, LEN, INFO, MULTI <n> — n body
+// ops executed as one batch transaction per shard touched — and
+// ASCEND <lo> <n>, which streams up to n keys >= lo in ascending order
+// as OK lines terminated by END. Scans run on the structure's Ascender
+// reservation cursor (weakly consistent, sync.Map.Range-style; sharded
+// servers merge one cursor per shard); variants without scan support
+// advertise scan=none in INFO and answer ERR scan unsupported.
 //
 // Usage:
 //

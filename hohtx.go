@@ -288,15 +288,22 @@ func NewSkipListSet(cfg Config) Set {
 }
 
 // Ascender is implemented by sets that support ordered iteration
-// (currently NewListSet and NewDoublyListSet; the hash set has no global
-// order to iterate). Ascend calls fn for each key >= from in
-// ascending order until fn returns false; the traversal is hand-over-hand
-// (the iterator's position is itself a revocable reservation) and weakly
-// consistent: keys present for the whole scan appear exactly once, and
-// concurrent removals still reclaim immediately.
-type Ascender interface {
-	Ascend(tid int, from uint64, fn func(key uint64) bool)
-}
+// (currently NewListSet, NewDoublyListSet, NewSkipListSet, and
+// NewShardedSet over those; the hash set has no global order to
+// iterate). Ascend calls fn for each key >= from in ascending order until
+// fn returns false; the traversal is hand-over-hand (the iterator's
+// position is itself a revocable reservation) and weakly consistent: keys
+// present for the whole scan appear exactly once, in strictly ascending
+// order, and concurrent removals still reclaim immediately. Variants
+// whose reclamation scheme cannot hold a revocable cursor (TMHP, REF, ER
+// and the lock-free baselines) return ErrScanUnsupported instead of
+// iterating.
+type Ascender = sets.Ascender
+
+// ErrScanUnsupported is returned by Ascender.Ascend when the variant
+// cannot run a reservation cursor; the serve layer maps it to an
+// "ERR scan unsupported" reply instead of crashing.
+var ErrScanUnsupported = sets.ErrScanUnsupported
 
 // OrderedMap is an ordered uint64→uint64 map over the external
 // hand-over-hand tree with precise reclamation; see NewOrderedMap.

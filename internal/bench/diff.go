@@ -41,8 +41,9 @@ func cellIdentity(c Cell) string {
 	if shards == 0 {
 		shards = 1
 	}
-	return fmt.Sprintf("%s/%s clock=%s threads=%d window=%d conns=%d depth=%d reads=%d shards=%d rate=%g batch=%d",
-		c.Family, c.Variant, c.Clock, c.Threads, c.Window, c.Conns, c.Depth, c.ReadPct, shards, c.OfferedRps, c.Batch)
+	return fmt.Sprintf("%s/%s clock=%s threads=%d window=%d conns=%d depth=%d reads=%d shards=%d rate=%g batch=%d scan=%d/%d",
+		c.Family, c.Variant, c.Clock, c.Threads, c.Window, c.Conns, c.Depth, c.ReadPct, shards, c.OfferedRps, c.Batch,
+		c.ScanPct, c.ScanLen)
 }
 
 // Diff joins two snapshots on cell identity and applies the tolerance

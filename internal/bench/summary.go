@@ -82,6 +82,16 @@ type Cell struct {
 	BatchP50Ns uint64 `json:"batch_p50_ns,omitempty"`
 	BatchP99Ns uint64 `json:"batch_p99_ns,omitempty"`
 
+	// Scan-mode fields (cmd/hohload -scanfrac): the percentage of the
+	// request stream that ran as ASCEND range scans of up to ScanLen keys,
+	// and the client-observed whole-scan latency (intended send time to
+	// the END terminator — coordinated-omission-safe in both loop modes).
+	// Zero values mean a point-op-only run.
+	ScanPct   int    `json:"scan_pct,omitempty"`
+	ScanLen   int    `json:"scan_len,omitempty"`
+	ScanP50Ns uint64 `json:"scan_p50_ns,omitempty"`
+	ScanP99Ns uint64 `json:"scan_p99_ns,omitempty"`
+
 	// Obs is the final trial's full domain snapshot (log₂-bucket
 	// histograms, gauges, abort-attribution edges); nil when detached.
 	Obs *obs.DomainSnapshot `json:"obs,omitempty"`

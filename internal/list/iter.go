@@ -2,6 +2,7 @@ package list
 
 import (
 	"hohtx/internal/arena"
+	"hohtx/internal/sets"
 	"hohtx/internal/stm"
 )
 
@@ -23,24 +24,46 @@ import (
 // iteration. This is the strongest guarantee hand-over-hand structures
 // admit without giving up small transactions.
 
-// Ascend calls fn for each key >= from, in ascending order, until fn
-// returns false or the list is exhausted. Only ModeRR and ModeHTM lists
-// support it (ModeHTM runs the whole scan as one transaction).
-func (l *List) Ascend(tid int, from uint64, fn func(key uint64) bool) {
+// Ascend implements sets.Ascender: it calls fn for each key >= from, in
+// ascending order, until fn returns false or the list is exhausted. Only
+// ModeRR and ModeHTM support it (ModeHTM runs the whole scan as one
+// transaction); the deferred-reclamation modes return
+// sets.ErrScanUnsupported — they have no revocable cursor position, so a
+// windowed scan could dereference reclaimed nodes.
+//
+// The reservation hold is released no matter how the scan ends: clean
+// exhaustion, an early fn → false, or a panicking consumer (the release
+// runs in a defer, so the panic propagates with no hold left behind — a
+// leaked hold would make the holder's next operation resume from a stale
+// position and skip smaller keys).
+func (l *List) Ascend(tid int, from uint64, fn func(key uint64) bool) error {
 	if l.mode != ModeRR && l.mode != ModeHTM {
-		panic("list: Ascend requires ModeRR or ModeHTM")
+		return sets.ErrScanUnsupported
 	}
 	l.threads[tid].ops++
 	last := from // next key to deliver must be >= last
 	var batch []uint64
+	holding := false // a reservation survives outside the current window
+	windows, renavs := 0, 0
+	defer func() {
+		if holding {
+			l.dropHoldOutsideWindow(tid)
+		}
+		if l.scanWindows != nil {
+			l.scanWindows.Record(uint64(windows))
+			l.scanRenavs.Record(uint64(renavs))
+		}
+	}()
 	for {
 		done := false
+		resumed := false
 		batch = batch[:0]
 		l.rt.AtomicT(tid, func(tx *stm.Tx) {
 			done = false
 			batch = batch[:0]
 			win := l.window()
 			startH, held := l.windowStart(tx, tid, l.head)
+			resumed = held
 			var budget int
 			if held {
 				budget = win.Next()
@@ -81,23 +104,33 @@ func (l *List) Ascend(tid int, from uint64, fn func(key uint64) bool) {
 			// Hand over at prevH (the node holding the last batched key).
 			l.windowHold(tx, tid, held, startH, prevH)
 		})
+		windows++
+		if windows > 1 && !resumed {
+			// This window did not find the previous hold: a writer revoked
+			// it (or a relaxed reservation lost it), and the cursor had to
+			// re-navigate from the head by key.
+			renavs++
+		}
+		holding = !done
 		for _, k := range batch {
 			if !fn(k) {
-				// Consumer stopped early: drop the hold so the next
-				// operation starts cleanly.
-				l.dropHoldOutsideWindow(tid)
-				return
+				return nil
 			}
 			last = k + 1
 		}
 		if done {
-			return
+			return nil
 		}
 	}
 }
 
+// CanAscend reports whether this list's mode supports the reservation
+// cursor (the serve layer advertises scan capability through it).
+func (l *List) CanAscend() bool { return l.mode == ModeRR || l.mode == ModeHTM }
+
 // dropHoldOutsideWindow releases the iterator's reservation from outside
-// any window transaction (early consumer termination).
+// any window transaction (early consumer termination or a consumer
+// panic).
 func (l *List) dropHoldOutsideWindow(tid int) {
 	if l.mode != ModeRR {
 		return

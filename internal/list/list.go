@@ -163,6 +163,8 @@ type List struct {
 	threads     []threadState
 	guard       bool
 	obs         *obs.Domain
+	scanWindows *obs.Histogram // window txs per Ascend (nil without Obs)
+	scanRenavs  *obs.Histogram // re-navigations per Ascend (nil without Obs)
 }
 
 var _ sets.Set = (*List)(nil)
@@ -208,6 +210,8 @@ func New(cfg Config) *List {
 	}
 	if cfg.Obs != nil {
 		l.obs = cfg.Obs
+		l.scanWindows = cfg.Obs.Hist(obs.HistAscendWindows, "txs")
+		l.scanRenavs = cfg.Obs.Hist(obs.HistAscendRenavs, "navs")
 		l.rt.SetObserver(cfg.Obs.TxProbe())
 		l.ar.SetObserver(cfg.Obs.AllocProbe())
 		if l.rr != nil {

@@ -215,6 +215,16 @@ const (
 	HistServeBatchNs = "serve_batch_ns"
 	HistBatchOps     = "batch_tx_ops"
 	HistBatchSplits  = "batch_splits"
+
+	// Scan names: whole-ASCEND service time at the server (parse → merge
+	// → END written), and per-scan cursor behavior at the structure —
+	// window transactions per scan and how many of them had to
+	// re-navigate by key because a concurrent writer revoked the held
+	// position. Renavigations are the cursor-vs-writer interference the
+	// scan benchmarks measure.
+	HistServeAscendNs = "serve_ascend_ns"
+	HistAscendWindows = "ascend_windows"
+	HistAscendRenavs  = "ascend_renavigations"
 )
 
 // TxProbe bundles what the stm runtime records into. Obtained from a
@@ -278,24 +288,26 @@ func (d *Domain) ReclaimProbe() *ReclaimProbe {
 // service-time histogram per mutating/reading protocol verb, plus the
 // batch-path histograms (MULTI and auto-batched bursts).
 type ServeProbe struct {
-	D       *Domain
-	GetNs   *Histogram // GET service time
-	SetNs   *Histogram // SET service time
-	DelNs   *Histogram // DEL service time
-	BatchNs *Histogram // whole-batch service time (all sub-transactions)
-	BatchOp *Histogram // ops per executed sub-transaction
-	Splits  *Histogram // sub-transactions per wire batch (1 = unsplit)
+	D        *Domain
+	GetNs    *Histogram // GET service time
+	SetNs    *Histogram // SET service time
+	DelNs    *Histogram // DEL service time
+	BatchNs  *Histogram // whole-batch service time (all sub-transactions)
+	BatchOp  *Histogram // ops per executed sub-transaction
+	Splits   *Histogram // sub-transactions per wire batch (1 = unsplit)
+	AscendNs *Histogram // whole-ASCEND service time (merge + stream)
 }
 
 // ServeProbe builds the server-facing probe.
 func (d *Domain) ServeProbe() *ServeProbe {
 	return &ServeProbe{
-		D:       d,
-		GetNs:   d.Hist(HistServeGetNs, "ns"),
-		SetNs:   d.Hist(HistServeSetNs, "ns"),
-		DelNs:   d.Hist(HistServeDelNs, "ns"),
-		BatchNs: d.Hist(HistServeBatchNs, "ns"),
-		BatchOp: d.Hist(HistBatchOps, "ops"),
-		Splits:  d.Hist(HistBatchSplits, "txs"),
+		D:        d,
+		GetNs:    d.Hist(HistServeGetNs, "ns"),
+		SetNs:    d.Hist(HistServeSetNs, "ns"),
+		DelNs:    d.Hist(HistServeDelNs, "ns"),
+		BatchNs:  d.Hist(HistServeBatchNs, "ns"),
+		BatchOp:  d.Hist(HistBatchOps, "ops"),
+		Splits:   d.Hist(HistBatchSplits, "txs"),
+		AscendNs: d.Hist(HistServeAscendNs, "ns"),
 	}
 }

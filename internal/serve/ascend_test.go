@@ -1,0 +1,429 @@
+package serve_test
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hohtx/internal/bench"
+	"hohtx/internal/serve"
+	"hohtx/internal/sets"
+	"hohtx/internal/tree"
+)
+
+// sendLines writes raw request lines in one flush (no reply bookkeeping —
+// scans have variable-length replies, so roundTrip does not fit).
+func (cl *client) sendLines(t *testing.T, reqs ...string) {
+	t.Helper()
+	for _, r := range reqs {
+		cl.bw.WriteString(r)
+		cl.bw.WriteByte('\n')
+	}
+	if err := cl.bw.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+}
+
+// readLine reads one reply line.
+func (cl *client) readLine(t *testing.T) string {
+	t.Helper()
+	line, err := cl.br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return strings.TrimRight(line, "\n")
+}
+
+// readScan consumes one ASCEND reply: OK lines until the terminator (END,
+// or an ERR line — the protocol's alternate scan terminator).
+func (cl *client) readScan(t *testing.T) (keys []uint64, term string) {
+	t.Helper()
+	for {
+		line := cl.readLine(t)
+		if line == "END" || strings.HasPrefix(line, "ERR") {
+			return keys, line
+		}
+		rest, ok := strings.CutPrefix(line, "OK ")
+		if !ok {
+			t.Fatalf("unexpected scan line %q", line)
+		}
+		k, err := strconv.ParseUint(rest, 10, 64)
+		if err != nil {
+			t.Fatalf("bad scan key in %q: %v", line, err)
+		}
+		keys = append(keys, k)
+	}
+}
+
+// ascend runs one ASCEND request and requires a clean END terminator.
+func (cl *client) ascend(t *testing.T, lo uint64, n int) []uint64 {
+	t.Helper()
+	cl.sendLines(t, fmt.Sprintf("ASCEND %d %d", lo, n))
+	keys, term := cl.readScan(t)
+	if term != "END" {
+		t.Fatalf("ASCEND %d %d terminated by %q, want END", lo, n, term)
+	}
+	return keys
+}
+
+func keysEq(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAscendWireSingleShard drives ASCEND end to end on a one-shard
+// server: full scans, bounded scans, midpoint starts, and pipelining
+// with point ops — each scan byte-identical to the quiescent snapshot
+// range it covers.
+func TestAscendWireSingleShard(t *testing.T) {
+	_, set, addr := startServer(t, 2)
+	cl := dialClient(t, addr)
+
+	var setReqs []string
+	for k := 3; k <= 300; k += 3 {
+		setReqs = append(setReqs, fmt.Sprintf("SET %d", k))
+	}
+	cl.roundTrip(t, setReqs...)
+	want := set.Snapshot() // quiescent: only this test talks to the server
+
+	if got := cl.ascend(t, 1, 1000); !keysEq(got, want) {
+		t.Fatalf("full scan = %v, want %v", got, want)
+	}
+	if got := cl.ascend(t, 100, 1000); !keysEq(got, want[33:]) {
+		t.Fatalf("scan from 100 = %v, want %v", got, want[33:])
+	}
+	if got := cl.ascend(t, 1, 7); !keysEq(got, want[:7]) {
+		t.Fatalf("bounded scan = %v, want %v", got, want[:7])
+	}
+	// Scans pipeline with point ops: replies come back in order.
+	cl.sendLines(t, "SET 1", "ASCEND 1 2", "GET 1", "ASCEND 299 10", "DEL 1")
+	if r := cl.readLine(t); r != "1" {
+		t.Fatalf("pipelined SET -> %q", r)
+	}
+	if got, term := cl.readScan(t); term != "END" || !keysEq(got, []uint64{1, 3}) {
+		t.Fatalf("pipelined scan -> %v %q", got, term)
+	}
+	if r := cl.readLine(t); r != "1" {
+		t.Fatalf("pipelined GET -> %q", r)
+	}
+	if got, term := cl.readScan(t); term != "END" || !keysEq(got, []uint64{300}) {
+		t.Fatalf("pipelined tail scan -> %v %q", got, term)
+	}
+	if r := cl.readLine(t); r != "1" {
+		t.Fatalf("pipelined DEL -> %q", r)
+	}
+	// Malformed scans reject without dropping the connection.
+	for _, req := range []string{"ASCEND", "ASCEND 1", "ASCEND 0 5", "ASCEND 1 0", "ASCEND x 5"} {
+		cl.sendLines(t, req)
+		if r := cl.readLine(t); !strings.HasPrefix(r, "ERR") {
+			t.Fatalf("%q -> %q, want ERR", req, r)
+		}
+	}
+	info := parseInfo(t, cl.roundTrip(t, "INFO")[0])
+	if info["scan"] != "atomic-window" {
+		t.Fatalf("INFO scan=%q, want atomic-window", info["scan"])
+	}
+}
+
+// TestAscendWireSharded checks the cross-shard merge cursor: the streamed
+// union of per-shard cursors must be byte-identical to the quiescent
+// Sharded.Snapshot over the same range, on 2 and 3 shards.
+func TestAscendWireSharded(t *testing.T) {
+	for _, shards := range []int{2, 3} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			_, sh, addr := startShardedServer(t, shards, 2)
+			cl := dialClient(t, addr)
+			var setReqs []string
+			for k := 1; k <= 500; k += 2 {
+				setReqs = append(setReqs, fmt.Sprintf("SET %d", k))
+			}
+			cl.roundTrip(t, setReqs...)
+			want := sh.Snapshot()
+			if got := cl.ascend(t, 1, 1000); !keysEq(got, want) {
+				t.Fatalf("merged scan diverges from Snapshot: got %d keys, want %d", len(got), len(want))
+			}
+			if got := cl.ascend(t, 251, 1000); !keysEq(got, want[125:]) {
+				t.Fatalf("merged scan from 251 = %v, want %v", got, want[125:])
+			}
+			// A bound under the chunk size exercises the capped pulls.
+			if got := cl.ascend(t, 1, 13); !keysEq(got, want[:13]) {
+				t.Fatalf("bounded merged scan = %v, want %v", got, want[:13])
+			}
+			info := parseInfo(t, cl.roundTrip(t, "INFO")[0])
+			if info["scan"] != "merged" {
+				t.Fatalf("INFO scan=%q, want merged", info["scan"])
+			}
+		})
+	}
+}
+
+// TestAscendWireWeakConsistency runs wire scans against concurrent wire
+// writers on 1- and 2-shard servers and asserts the contract: strictly
+// ascending (hence exactly-once), every present-throughout key delivered,
+// and nothing outside the live key space.
+func TestAscendWireWeakConsistency(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			var addr string
+			if shards == 1 {
+				_, _, addr = startServer(t, 4)
+			} else {
+				_, _, addr = startShardedServer(t, shards, 4)
+			}
+			scanner := dialClient(t, addr)
+			var stableReqs []string
+			for k := 1; k <= 99; k += 2 {
+				stableReqs = append(stableReqs, fmt.Sprintf("SET %d", k))
+			}
+			scanner.roundTrip(t, stableReqs...)
+
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					c, err := net.Dial("tcp", addr)
+					if err != nil {
+						t.Errorf("writer dial: %v", err)
+						return
+					}
+					defer c.Close()
+					br, bw := bufio.NewReader(c), bufio.NewWriter(c)
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						k := (i*2+w*4)%100 + 100 // churn keys 100..199
+						fmt.Fprintf(bw, "SET %d\nDEL %d\n", k, k)
+						if bw.Flush() != nil {
+							return
+						}
+						for j := 0; j < 2; j++ {
+							if _, err := br.ReadString('\n'); err != nil {
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			for round := 0; round < 20; round++ {
+				got := scanner.ascend(t, 1, 10000)
+				last, seen := uint64(0), 0
+				for _, k := range got {
+					if k <= last {
+						t.Fatalf("round %d: not strictly ascending at %d", round, k)
+					}
+					last = k
+					switch {
+					case k <= 99 && k%2 == 1:
+						seen++
+					case k >= 100 && k <= 199: // in-flight churn key: allowed
+					default:
+						t.Fatalf("round %d: impossible key %d", round, k)
+					}
+				}
+				if seen != 50 {
+					t.Fatalf("round %d: saw %d of 50 stable keys", round, seen)
+				}
+			}
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+// startServerOn builds a single-shard server over an arbitrary set.
+func startServerOn(t *testing.T, set sets.Set, slots int) string {
+	t.Helper()
+	pool := serve.NewPool(set, serve.PoolConfig{Slots: slots})
+	srv := serve.NewServer(serve.ServerConfig{Set: set, Pool: pool})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return ln.Addr().String()
+}
+
+// TestAscendWireUnsupported pins the never-panic contract: variants that
+// cannot scan — whether they implement Ascender but refuse (TMHP list)
+// or lack the interface outright (trees) — answer ERR scan unsupported,
+// advertise scan=none, and keep the connection alive.
+func TestAscendWireUnsupported(t *testing.T) {
+	build := func(f bench.Family, name string) sets.Set {
+		s, err := bench.Build(f, bench.VariantSpec{Name: name}, 2)
+		if err != nil {
+			t.Fatalf("build %s/%s: %v", f, name, err)
+		}
+		return s
+	}
+	for _, tc := range []struct {
+		label string
+		set   sets.Set
+	}{
+		{"tmhp-list", build(bench.FamilySingly, "TMHP")},
+		{"rr-itree", build(bench.FamilyInternalTree, "RR-V")},
+	} {
+		t.Run(tc.label, func(t *testing.T) {
+			addr := startServerOn(t, tc.set, 2)
+			cl := dialClient(t, addr)
+			cl.roundTrip(t, "SET 10", "SET 20")
+			cl.sendLines(t, "ASCEND 1 10")
+			if r := cl.readLine(t); r != "ERR scan unsupported" {
+				t.Fatalf("ASCEND -> %q, want ERR scan unsupported", r)
+			}
+			// The connection survived and still serves point ops.
+			if r := cl.roundTrip(t, "GET 10")[0]; r != "1" {
+				t.Fatalf("GET after refused scan -> %q, want 1", r)
+			}
+			info := parseInfo(t, cl.roundTrip(t, "INFO")[0])
+			if info["scan"] != "none" {
+				t.Fatalf("INFO scan=%q, want none", info["scan"])
+			}
+		})
+	}
+}
+
+// TestServerSaturationKeepsConnection pins the shedding contract from the
+// client's side: with the only slot leased out-of-band and the wait queue
+// full, GET / MULTI / ASCEND / auto-batched requests are answered with
+// ERR lines — and the SAME connection keeps working once the pool frees
+// up. Before this fix the server dropped the whole pipelined connection.
+func TestServerSaturationKeepsConnection(t *testing.T) {
+	set := newSet(t, 1)
+	pool := serve.NewPool(set, serve.PoolConfig{Slots: 1, MaxWaiters: 1})
+	srv := serve.NewServer(serve.ServerConfig{Set: set, Pool: pool, AutoBatch: 8})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	cl := dialClient(t, ln.Addr().String())
+	if r := cl.roundTrip(t, "SET 7")[0]; r != "1" {
+		t.Fatalf("warm-up SET -> %q", r)
+	}
+
+	saturate := func() (release func()) {
+		t.Helper()
+		slot, err := pool.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("acquire: %v", err)
+		}
+		waiterDone := make(chan struct{})
+		go func() {
+			defer close(waiterDone)
+			s, err := pool.Acquire(context.Background())
+			if err == nil {
+				pool.Release(s)
+			}
+		}()
+		for i := 0; pool.Stats().Waiting < 1; i++ {
+			if i > 5000 {
+				t.Fatal("waiter never queued")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return func() {
+			pool.Release(slot)
+			<-waiterDone
+		}
+	}
+
+	// Plain verb: the request is shed, the connection is not.
+	release := saturate()
+	cl.sendLines(t, "GET 7")
+	if r := cl.readLine(t); !strings.HasPrefix(r, "ERR") {
+		t.Fatalf("saturated GET -> %q, want ERR", r)
+	}
+	release()
+	if r := cl.roundTrip(t, "GET 7")[0]; r != "1" {
+		t.Fatalf("GET after shed -> %q, want 1 on the same connection", r)
+	}
+
+	// Auto-batched burst: every un-executed op gets its own ERR reply.
+	release = saturate()
+	cl.sendLines(t, "GET 7", "GET 7", "GET 7")
+	for i := 0; i < 3; i++ {
+		if r := cl.readLine(t); !strings.HasPrefix(r, "ERR") {
+			t.Fatalf("saturated burst reply %d -> %q, want ERR", i, r)
+		}
+	}
+	release()
+
+	// MULTI frame: one ERR line, no body replies, connection intact.
+	release = saturate()
+	cl.sendLines(t, "MULTI 2", "GET 7", "GET 7")
+	if r := cl.readLine(t); !strings.HasPrefix(r, "ERR multi:") {
+		t.Fatalf("saturated MULTI -> %q, want ERR multi:", r)
+	}
+	release()
+
+	// ASCEND: the ERR line is the scan's terminator, not the connection's.
+	release = saturate()
+	cl.sendLines(t, "ASCEND 1 10")
+	if _, term := cl.readScan(t); !strings.HasPrefix(term, "ERR") {
+		t.Fatalf("saturated ASCEND terminated by %q, want ERR", term)
+	}
+	release()
+
+	if got := cl.ascend(t, 1, 10); !keysEq(got, []uint64{7}) {
+		t.Fatalf("post-shed scan = %v, want [7]", got)
+	}
+	if r := cl.roundTrip(t, "GET 7")[0]; r != "1" {
+		t.Fatalf("final GET -> %q: connection should have survived everything", r)
+	}
+}
+
+// TestServerMaxKeyDefault pins the default key bound to the exported
+// tree.MaxKey constant (the hardcoded copy used to be able to drift).
+func TestServerMaxKeyDefault(t *testing.T) {
+	if tree.MaxKey != ^uint64(0)-3 {
+		t.Fatalf("tree.MaxKey = %d, want %d", uint64(tree.MaxKey), ^uint64(0)-3)
+	}
+	_, _, addr := startServer(t, 2)
+	cl := dialClient(t, addr)
+	if r := cl.roundTrip(t, fmt.Sprintf("GET %d", uint64(tree.MaxKey)))[0]; r != "0" {
+		t.Fatalf("GET tree.MaxKey -> %q, want 0 (in range)", r)
+	}
+	if r := cl.roundTrip(t, fmt.Sprintf("GET %d", uint64(tree.MaxKey)+1))[0]; !strings.HasPrefix(r, "ERR key") {
+		t.Fatalf("GET tree.MaxKey+1 -> %q, want out-of-range ERR", r)
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 	"hohtx/internal/obs"
 	"hohtx/internal/sets"
 	"hohtx/internal/stm"
+	"hohtx/internal/tree"
 )
 
 // drainGrace is how long a draining server lets connections finish the
@@ -79,9 +81,11 @@ type ServerConfig struct {
 //	SET <key>\n  -> 1\n | 0\n          (1 = inserted, 0 = already present)
 //	DEL <key>\n  -> 1\n | 0\n          (1 = removed; memory is already free)
 //	MULTI <n>\n  followed by n GET/SET/DEL lines -> n reply lines (one batch)
+//	ASCEND <lo> <n>\n -> up to n "OK <k>" lines, keys ≥ lo ascending,
+//	                terminated by END\n (or by an ERR line; see below)
 //	LEN\n        -> <n>\n              (keys currently present, all shards)
 //	INFO\n       -> variant=… shards=… slots=… keys=… live=… deferred=… conns=…
-//	                maxbatch=… autobatch=… multi=… commits=… serial=… aborts=…\n
+//	                maxbatch=… autobatch=… multi=… scan=… commits=… serial=… aborts=…\n
 //	anything else -> ERR <reason>\n    (connection stays open)
 //
 // MULTI executes its n body ops as one transaction per shard touched
@@ -93,6 +97,30 @@ type ServerConfig struct {
 // configured cap, is rejected with a single ERR line and executes nothing;
 // the connection survives (the body of an oversized-but-bounded batch is
 // drained to stay in frame).
+//
+// ASCEND streams keys ≥ lo in ascending order through the structures'
+// reservation cursor (sets.Ascender): the cursor's position is itself a
+// revocable reservation, so the scan is windowed and never blocks
+// reclamation. The stream is weakly consistent in the sync.Map.Range
+// style — keys present for the whole scan are delivered exactly once,
+// keys churned during it may or may not appear, and delivered keys are
+// strictly ascending. On a sharded server one cursor runs per shard,
+// pulled one bounded chunk at a time under the same ascending-shard
+// grouped-lease discipline as MULTI and interleaved through a streaming
+// N-way merge — the online version of Sharded.Snapshot. A scan normally
+// terminates with END; a mid-stream failure (pool saturation or
+// shutdown) terminates it with an ERR line instead, so clients must
+// treat ERR as the scan's alternate terminator. Variants whose
+// reclamation scheme cannot hold a revocable cursor answer
+// "ERR scan unsupported"; INFO advertises the capability as
+// scan=atomic-window (one shard), scan=merged (cross-shard merge), or
+// scan=none.
+//
+// Lease-pool saturation (ErrSaturated) is load shedding, never a
+// connection error: the request that could not get a slot is answered
+// with an ERR line and the connection — including the rest of its
+// pipeline — stays open. Only pool shutdown and unrecoverable framing
+// errors drop connections.
 //
 // Requests pipeline: a client may write any number of lines before
 // reading; replies come back in order. Each connection runs one
@@ -116,6 +144,8 @@ type Server struct {
 	dom       *obs.Domain
 	probe     *obs.ServeProbe
 	mems      []sets.MemoryReporter // per shard; nil entries for bookless sets
+	scanOK    bool                  // every shard supports the reservation cursor
+	scanCap   string                // INFO scan= field: atomic-window|merged|none
 
 	keys  atomic.Int64 // net successful SET − DEL through this server
 	conns atomic.Int64
@@ -142,7 +172,7 @@ func NewServer(cfg ServerConfig) *Server {
 		open:      make(map[net.Conn]struct{}),
 	}
 	if s.maxKey == 0 {
-		s.maxKey = ^uint64(0) - 3 // tree.MaxKey, the tightest structure bound
+		s.maxKey = tree.MaxKey // the tightest structure bound in the repo
 	}
 	if s.maxBatch <= 0 {
 		s.maxBatch = DefaultMaxBatch
@@ -155,6 +185,7 @@ func NewServer(cfg ServerConfig) *Server {
 			anyMem = true
 		}
 	}
+	s.scanOK, s.scanCap = scanCapability(shards)
 	if cfg.Obs != nil {
 		s.probe = cfg.Obs.ServeProbe()
 		cfg.Obs.Gauge("server_keys", func() uint64 { return uint64(s.keys.Load()) })
@@ -175,6 +206,38 @@ func NewServer(cfg ServerConfig) *Server {
 		}
 	}
 	return s
+}
+
+// scanCapability probes the shards for ASCEND support: every shard must
+// implement sets.Ascender and, when it exposes a CanAscend capability
+// check, report true (the list type implements the interface in every
+// mode but can only run the cursor under RR/HTM — a misconfigured
+// variant must be a capability miss at the wire, never a crash).
+func scanCapability(shards []Backend) (bool, string) {
+	for _, b := range shards {
+		a, ok := b.Set.(sets.Ascender)
+		if !ok {
+			return false, "none"
+		}
+		if c, ok := a.(interface{ CanAscend() bool }); ok && !c.CanAscend() {
+			return false, "none"
+		}
+	}
+	if len(shards) > 1 {
+		return true, "merged"
+	}
+	return true, "atomic-window"
+}
+
+// leaseFailed writes the ERR reply for a failed lease acquisition and
+// reports whether the connection survives. Saturation is load shedding —
+// reject this request, keep the pipeline — while anything else (the pool
+// closing at shutdown) drops the connection.
+func leaseFailed(bw *bufio.Writer, err error) bool {
+	bw.WriteString("ERR ")
+	bw.WriteString(err.Error())
+	bw.WriteByte('\n')
+	return errors.Is(err, ErrSaturated)
 }
 
 // batchStat sums one batch-size bucket's transaction counters across the
@@ -374,7 +437,7 @@ func (s *Server) handle(c net.Conn) {
 		if len(pend) == 0 {
 			return true
 		}
-		ok := s.execOps(leases, pend, s.autoBatch, bw)
+		ok := s.execOps(leases, pend, s.autoBatch, bw, true)
 		pend = pend[:0]
 		return ok
 	}
@@ -446,10 +509,7 @@ func (s *Server) serveLine(leases *connLeases, line string, br *bufio.Reader, bw
 		shard := ShardOf(key, len(s.shards))
 		slot, err := leases.slot(shard)
 		if err != nil {
-			bw.WriteString("ERR ")
-			bw.WriteString(err.Error())
-			bw.WriteByte('\n')
-			return false
+			return leaseFailed(bw, err)
 		}
 		sampled := s.dom != nil && s.dom.Sampled(uint64(slot))
 		var t0 time.Time
@@ -488,6 +548,8 @@ func (s *Server) serveLine(leases *connLeases, line string, br *bufio.Reader, bw
 		}
 	case "MULTI":
 		return s.serveMulti(leases, rest, br, bw)
+	case "ASCEND":
+		return s.serveAscend(leases, rest, bw)
 	case "LEN":
 		bw.WriteString(strconv.FormatInt(s.keys.Load(), 10))
 		bw.WriteByte('\n')
@@ -498,14 +560,112 @@ func (s *Server) serveLine(leases *connLeases, line string, br *bufio.Reader, bw
 			multi = "per-shard"
 		}
 		commits, serial, aborts := s.txTotals()
-		fmt.Fprintf(bw, "variant=%s shards=%d slots=%d keys=%d live=%d deferred=%d conns=%d maxbatch=%d autobatch=%d multi=%s commits=%d serial=%d aborts=%d\n",
+		fmt.Fprintf(bw, "variant=%s shards=%d slots=%d keys=%d live=%d deferred=%d conns=%d maxbatch=%d autobatch=%d multi=%s scan=%s commits=%d serial=%d aborts=%d\n",
 			s.shards[0].Set.Name(), len(s.shards), s.shards[0].Pool.Slots(),
 			s.keys.Load(), live, deferred, s.conns.Load(),
-			s.maxBatch, s.autoBatch, multi, commits, serial, aborts)
+			s.maxBatch, s.autoBatch, multi, s.scanCap, commits, serial, aborts)
 	case "":
 		bw.WriteString("ERR empty command\n")
 	default:
 		bw.WriteString("ERR unknown command\n")
+	}
+	return true
+}
+
+// serveAscend executes one ASCEND <lo> <n> request: stream up to n keys
+// ≥ lo as "OK <k>" lines, terminated by END. Each shard's cursor is
+// pulled one bounded chunk at a time; every pull is a self-contained
+// sub-scan that drops its reservation hold before returning, so no
+// cursor position is ever held while the connection's lease on that
+// shard could be released and re-leased to another connection (a hold
+// outliving its lease would make the slot's next owner resume from a
+// stale position). A lease failure mid-stream terminates the scan with
+// an ERR line — the scan's alternate terminator — and the connection
+// survives iff the failure was saturation.
+func (s *Server) serveAscend(leases *connLeases, args string, bw *bufio.Writer) bool {
+	loArg, nArg, ok := strings.Cut(args, " ")
+	if !ok {
+		bw.WriteString("ERR ascend: want ASCEND <lo> <n>\n")
+		return true
+	}
+	lo, err := s.parseKey(loArg)
+	if err != nil {
+		fmt.Fprintf(bw, "ERR ascend: %v\n", err)
+		return true
+	}
+	n, err := strconv.Atoi(nArg)
+	if err != nil || n < 1 {
+		fmt.Fprintf(bw, "ERR ascend: bad count %q\n", nArg)
+		return true
+	}
+	if !s.scanOK {
+		bw.WriteString("ERR scan unsupported\n")
+		return true
+	}
+	sampled := s.dom != nil && s.dom.Sampled(lo)
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
+	cursors := make([]shardCursor, len(s.shards))
+	for i := range cursors {
+		cursors[i].next = lo
+	}
+	emitted := 0
+	for emitted < n {
+		// Refill every empty, non-exhausted shard buffer (ascending shard
+		// order — the MULTI grouped-lease discipline, so two scans can
+		// never deadlock on each other's slots).
+		for i := range cursors {
+			cur := &cursors[i]
+			if cur.done || len(cur.buf) > 0 {
+				continue
+			}
+			slot, err := leases.slot(i)
+			if err != nil {
+				fmt.Fprintf(bw, "ERR ascend: %v\n", err)
+				return errors.Is(err, ErrSaturated)
+			}
+			max := ascendChunk
+			if rem := n - emitted; rem < max {
+				max = rem
+			}
+			a, aok := s.shards[i].Set.(sets.Ascender)
+			if !aok {
+				bw.WriteString("ERR scan unsupported\n")
+				return true
+			}
+			if err := cur.pull(a, slot, max); err != nil {
+				// Defensive: capability was probed at construction, but a
+				// variant may still refuse at run time.
+				bw.WriteString("ERR scan unsupported\n")
+				return true
+			}
+		}
+		// Emit the smallest buffered key. Shards partition keys and each
+		// shard's cursor is monotonic, so the merged stream is strictly
+		// ascending and exactly-once for keys present throughout.
+		best := -1
+		for i := range cursors {
+			if len(cursors[i].buf) == 0 {
+				continue
+			}
+			if best < 0 || cursors[i].buf[0] < cursors[best].buf[0] {
+				best = i
+			}
+		}
+		if best < 0 {
+			break // every shard exhausted
+		}
+		bw.WriteString("OK ")
+		bw.WriteString(strconv.FormatUint(cursors[best].buf[0], 10))
+		bw.WriteByte('\n')
+		cursors[best].buf = cursors[best].buf[1:]
+		emitted++
+	}
+	bw.WriteString("END\n")
+	if sampled {
+		s.probe.AscendNs.RecordAt(lo, uint64(time.Since(t0)))
 	}
 	return true
 }
@@ -597,7 +757,7 @@ func (s *Server) serveMulti(leases *connLeases, countArg string, br *bufio.Reade
 	// Explicit MULTI is never capacity-split (split=0): the client asked
 	// for atomicity, so an over-capacity batch takes the serial fallback
 	// instead — that cliff is the measurement, not a failure.
-	return s.execOps(leases, ops, 0, bw)
+	return s.execOps(leases, ops, 0, bw, false)
 }
 
 // execOps runs a batch of single-key ops and writes one 1/0 reply line per
@@ -605,9 +765,18 @@ func (s *Server) serveMulti(leases *connLeases, countArg string, br *bufio.Reade
 // each shard's sub-batch executes through Set.Apply as one transaction —
 // unless split > 0, in which case sub-batches chunk into transactions of
 // at most split ops (the capacity-aware split used for auto-batching,
-// where no atomicity was promised). Returns false when a lease could not
-// be acquired.
-func (s *Server) execOps(leases *connLeases, ops []sets.Op, split int, bw *bufio.Writer) bool {
+// where no atomicity was promised).
+//
+// A lease failure stops execution at that shard (shards already run keep
+// their effects: atomicity is per-shard). How the failure is reported
+// depends on where the ops came from. perOpErr=true is the auto-batch
+// path — each op was an individual pipelined request owed its own reply
+// line, so executed ops answer 1/0 and unexecuted ops answer ERR.
+// perOpErr=false is the MULTI path — a rejected frame answers a single
+// ERR line with no body replies, matching serveMulti's other rejections.
+// Either way the return value follows the shedding contract: true (keep
+// the connection) iff the failure was saturation.
+func (s *Server) execOps(leases *connLeases, ops []sets.Op, split int, bw *bufio.Writer, perOpErr bool) bool {
 	sampled := s.dom != nil && s.dom.Sampled(uint64(len(ops)))
 	var t0 time.Time
 	txs := 0
@@ -615,12 +784,12 @@ func (s *Server) execOps(leases *connLeases, ops []sets.Op, split int, bw *bufio
 		t0 = time.Now()
 	}
 	results := make([]sets.Result, len(ops))
+	executed := make([]bool, len(ops))
+	var leaseErr error
 	run := func(shard int, sub []sets.Op, idx []int) bool {
 		slot, err := leases.slot(shard)
 		if err != nil {
-			bw.WriteString("ERR ")
-			bw.WriteString(err.Error())
-			bw.WriteByte('\n')
+			leaseErr = err
 			return false
 		}
 		set := s.shards[shard].Set
@@ -635,6 +804,7 @@ func (s *Server) execOps(leases *connLeases, ops []sets.Op, split int, bw *bufio
 			}
 			for i, r := range set.Apply(slot, chunk) {
 				results[idx[i]] = r
+				executed[idx[i]] = true
 				if r {
 					switch chunk[i].Kind {
 					case sets.OpInsert:
@@ -654,9 +824,7 @@ func (s *Server) execOps(leases *connLeases, ops []sets.Op, split int, bw *bufio
 		for i := range idx {
 			idx[i] = i
 		}
-		if !run(0, ops, idx) {
-			return false
-		}
+		run(0, ops, idx)
 	} else {
 		subOps := make([][]sets.Op, len(s.shards))
 		subIdx := make([][]int, len(s.shards))
@@ -670,7 +838,7 @@ func (s *Server) execOps(leases *connLeases, ops []sets.Op, split int, bw *bufio
 				continue
 			}
 			if !run(sh, subOps[sh], subIdx[sh]) {
-				return false
+				break
 			}
 		}
 	}
@@ -678,12 +846,22 @@ func (s *Server) execOps(leases *connLeases, ops []sets.Op, split int, bw *bufio
 		s.probe.BatchNs.RecordAt(uint64(len(ops)), uint64(time.Since(t0)))
 		s.probe.Splits.RecordAt(uint64(len(ops)), uint64(txs))
 	}
-	for _, r := range results {
-		if r {
+	if leaseErr != nil && !perOpErr {
+		fmt.Fprintf(bw, "ERR multi: %v\n", leaseErr)
+		return errors.Is(leaseErr, ErrSaturated)
+	}
+	for i, r := range results {
+		switch {
+		case leaseErr != nil && !executed[i]:
+			fmt.Fprintf(bw, "ERR %v\n", leaseErr)
+		case r:
 			bw.WriteString("1\n")
-		} else {
+		default:
 			bw.WriteString("0\n")
 		}
+	}
+	if leaseErr != nil {
+		return errors.Is(leaseErr, ErrSaturated)
 	}
 	return true
 }

@@ -159,6 +159,114 @@ func (s *Sharded) Snapshot() []uint64 {
 	}
 }
 
+// ascendChunk is the per-shard pull size for the streaming merge: each
+// pull runs one bounded sub-scan whose reservation hold is dropped before
+// the pull returns, so no cursor position is held while the merge is
+// busy with other shards (or, in the server, while the shard's worker
+// slot is released between pulls).
+const ascendChunk = 64
+
+// shardCursor is one shard's position in a streaming merge: the next key
+// to pull from, the keys pulled but not yet emitted, and whether the
+// shard is exhausted.
+type shardCursor struct {
+	next uint64
+	buf  []uint64
+	done bool
+}
+
+// pull refills the cursor with up to max keys from a, advancing next past
+// the last key pulled. The sub-scan terminates itself (fn → false), so
+// the underlying reservation hold is released before pull returns.
+func (c *shardCursor) pull(a sets.Ascender, tid, max int) error {
+	got := 0
+	if err := a.Ascend(tid, c.next, func(k uint64) bool {
+		c.buf = append(c.buf, k)
+		got++
+		return got < max
+	}); err != nil {
+		return err
+	}
+	if got < max {
+		c.done = true
+	}
+	if got > 0 {
+		c.next = c.buf[len(c.buf)-1] + 1
+	}
+	return nil
+}
+
+// Ascend implements sets.Ascender by interleaving one reservation cursor
+// per shard through a streaming N-way merge — the online version of
+// Snapshot, requiring no quiescence. Each shard is pulled one bounded
+// chunk at a time; shards partition keys, so per-shard ascending order
+// makes the merged stream strictly ascending and exactly-once. The
+// result is weakly consistent per shard (the sync.Map.Range contract on
+// sets.Ascender); cross-shard, a key inserted on one shard during the
+// scan may be observed while an older key on another shard is not — no
+// weaker than the single-shard contract's treatment of concurrent
+// writers.
+func (s *Sharded) Ascend(tid int, from uint64, fn func(key uint64) bool) error {
+	if len(s.shards) == 1 {
+		a, ok := s.shards[0].(sets.Ascender)
+		if !ok {
+			return sets.ErrScanUnsupported
+		}
+		return a.Ascend(tid, from, fn)
+	}
+	cursors := make([]shardCursor, len(s.shards))
+	for i := range cursors {
+		cursors[i].next = from
+	}
+	for {
+		for i, sh := range s.shards {
+			cur := &cursors[i]
+			if cur.done || len(cur.buf) > 0 {
+				continue
+			}
+			a, ok := sh.(sets.Ascender)
+			if !ok {
+				return sets.ErrScanUnsupported
+			}
+			if err := cur.pull(a, tid, ascendChunk); err != nil {
+				return err
+			}
+		}
+		best := -1
+		for i := range cursors {
+			if len(cursors[i].buf) == 0 {
+				continue
+			}
+			if best < 0 || cursors[i].buf[0] < cursors[best].buf[0] {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		if !fn(cursors[best].buf[0]) {
+			return nil
+		}
+		cursors[best].buf = cursors[best].buf[1:]
+	}
+}
+
+// CanAscend reports whether every shard supports the reservation cursor
+// (see the identically named methods on the structures; the serve layer
+// advertises scan capability through it).
+func (s *Sharded) CanAscend() bool {
+	for _, sh := range s.shards {
+		a, ok := sh.(sets.Ascender)
+		if !ok {
+			return false
+		}
+		if c, ok := a.(interface{ CanAscend() bool }); ok && !c.CanAscend() {
+			return false
+		}
+	}
+	return true
+}
+
 // Name labels the sharded instance, e.g. "RR-V×4".
 func (s *Sharded) Name() string { return s.name }
 

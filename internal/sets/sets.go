@@ -5,7 +5,10 @@
 // the cross-implementation conformance tests can drive them uniformly.
 package sets
 
-import "sort"
+import (
+	"errors"
+	"sort"
+)
 
 // Set is a concurrent set of uint64 keys. Keys must lie in [1, 1<<62);
 // implementations reserve 0 and the topmost values for sentinels.
@@ -43,6 +46,32 @@ type Set interface {
 	// sharded facade execute per-op / per-shard and document the weaker
 	// guarantee; see ApplyEach and serve.Sharded.
 	Apply(tid int, ops []Op) []Result
+}
+
+// ErrScanUnsupported is returned by Ascend when the variant cannot run a
+// reservation cursor (the deferred-reclamation baselines have no revocable
+// position to hold, so a hand-over-hand scan would dereference reclaimed
+// nodes). Callers — the serve layer in particular — must treat it as a
+// capability miss, not a crash: it replaces the panic that used to make a
+// misconfigured variant remotely killable.
+var ErrScanUnsupported = errors.New("sets: scan unsupported by this variant")
+
+// Ascender is implemented by sets that support windowed ascending
+// iteration with the cursor position held as a revocable reservation.
+//
+// Ascend visits keys ≥ from in ascending order until fn returns false or
+// the set is exhausted. The iteration is weakly consistent, in the style
+// of sync.Map.Range: it does NOT freeze a snapshot. Keys present for the
+// whole scan are delivered exactly once; keys inserted or removed
+// concurrently may or may not be delivered; delivered keys are strictly
+// ascending (so nothing is delivered twice). If a concurrent writer
+// revokes the cursor's reservation, the cursor re-navigates from its last
+// delivered key — position is durable by key, not by node.
+//
+// Implementations that cannot scan return ErrScanUnsupported without
+// calling fn.
+type Ascender interface {
+	Ascend(tid int, from uint64, fn func(key uint64) bool) error
 }
 
 // OpKind selects a batch operation.

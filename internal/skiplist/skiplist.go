@@ -136,6 +136,9 @@ type SkipList struct {
 	threads []threadState
 	guard   bool
 	obs     *obs.Domain
+
+	scanWindows *obs.Histogram // window txs per Ascend (nil without Obs)
+	scanRenavs  *obs.Histogram // re-navigations per Ascend (nil without Obs)
 }
 
 var _ sets.Set = (*SkipList)(nil)
@@ -166,6 +169,8 @@ func New(cfg Config) *SkipList {
 	}
 	if cfg.Obs != nil {
 		s.obs = cfg.Obs
+		s.scanWindows = cfg.Obs.Hist(obs.HistAscendWindows, "txs")
+		s.scanRenavs = cfg.Obs.Hist(obs.HistAscendRenavs, "navs")
 		s.rt.SetObserver(cfg.Obs.TxProbe())
 		s.ar.SetObserver(cfg.Obs.AllocProbe())
 		if s.rr != nil {

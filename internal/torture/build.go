@@ -90,6 +90,7 @@ type instance struct {
 	baseLive uint64          // sentinel/bootstrap nodes (measured post-build)
 	deferred bool            // uses a deferred scheme (TMHP/ER/Leak/LFHP)
 	leak     bool            // never frees (Leak/LFLeak-style)
+	canScan  bool            // Ascender-capable: the scan oracle engages
 	// atomicBatch marks structures whose Apply runs a batch as one
 	// transaction per shard (the TM-backed ones); the lock-free baselines
 	// document Apply as per-op, so the batch-atomicity pin skips them.
@@ -125,10 +126,32 @@ func build(cfg Config) (*instance, error) {
 		// the run with the one repro line.
 		guard = &guardCollector{}
 	}
+	var inst *instance
+	var err error
 	if cfg.Shards <= 1 {
-		return buildOne(cfg, guard, cfg.Structure+"/"+cfg.Variant)
+		inst, err = buildOne(cfg, guard, cfg.Structure+"/"+cfg.Variant)
+	} else {
+		inst, err = buildSharded(cfg, guard)
 	}
-	return buildSharded(cfg, guard)
+	if err != nil {
+		return nil, err
+	}
+	inst.canScan = scanCapable(inst.set)
+	return inst, nil
+}
+
+// scanCapable reports whether the built set supports the Ascender
+// reservation cursor: it must implement the interface, and if it exposes
+// a CanAscend capability probe (mode-gated structures, sharded facades)
+// that must agree too.
+func scanCapable(s sets.Set) bool {
+	if _, ok := s.(sets.Ascender); !ok {
+		return false
+	}
+	if c, ok := s.(interface{ CanAscend() bool }); ok {
+		return c.CanAscend()
+	}
+	return true
 }
 
 // buildOne constructs a single structure × variant × policy instance,

@@ -103,6 +103,7 @@ type Report struct {
 	PoisonReads uint64  // benign doomed-reader poison observations (guard)
 	Violations  uint64  // committed use-after-free reads (guard; must be 0)
 	PairChecks  uint64  // batch-atomicity observer transactions (BatchOps runs)
+	ScanChecks  uint64  // concurrent scan-oracle iterations (Ascender variants)
 }
 
 // leaseBatch is how many operations a worker runs under one slot lease
@@ -169,6 +170,95 @@ func runOn(cfg Config, inst *instance) (Report, error) {
 			}
 		}
 	})
+
+	// Scan oracle: while the workers churn, a scanner drives the Ascender
+	// reservation cursor end to end and checks the weak-consistency
+	// contract the wire ASCEND verb inherits. Fixture keys parked above
+	// both the oracle's key range and the pair pin's stay present for the
+	// whole churn phase, so every scan must deliver each fixture at or
+	// beyond its start key — and strictly ascending delivery makes that
+	// exactly-once. Everything else a scan observes must be an oracle key
+	// (in-flight churn is fine) or an in-flight pair-pin key; any other
+	// key is a phantom.
+	var scanChecks atomic.Uint64
+	var scanMu sync.Mutex
+	var scanFails []string
+	stopScan := make(chan struct{})
+	var scanWg sync.WaitGroup
+	var fixtures []uint64
+	if inst.canScan {
+		a := s.(sets.Ascender)
+		fixBase := cfg.Keys + 64
+		fixSet := make(map[uint64]bool, 8)
+		for i := uint64(0); i < 8; i++ {
+			k := fixBase + i*5
+			fixtures = append(fixtures, k)
+			fixSet[k] = true
+		}
+		_ = pool.Do(context.Background(), func(tid int) {
+			for _, k := range fixtures {
+				if !s.Insert(tid, k) {
+					scanFails = append(scanFails, fmt.Sprintf("scan oracle: fixture %d insert failed", k))
+				}
+			}
+		})
+		scanFail := func(format string, args ...any) {
+			scanMu.Lock()
+			if len(scanFails) < 8 { // a broken cursor would flood the report
+				scanFails = append(scanFails, fmt.Sprintf(format, args...))
+			}
+			scanMu.Unlock()
+		}
+		scanWg.Add(1)
+		go func() {
+			defer scanWg.Done()
+			h := pool.Handle()
+			rng := cfg.Seed ^ 0x5ca9
+			for round := 0; ; round++ {
+				select {
+				case <-stopScan:
+					return
+				default:
+				}
+				var lo uint64
+				switch round % 3 {
+				case 0:
+					lo = 0 // full scan
+				case 1:
+					lo = 1 + splitmix64(&rng)%cfg.Keys // mid-range start
+				default:
+					lo = fixBase // fixture suffix only
+				}
+				last, seenFix := uint64(0), 0
+				_ = h.Do(context.Background(), func(tid int) {
+					err := a.Ascend(tid, lo, func(k uint64) bool {
+						if k <= last && last != 0 {
+							scanFail("scan oracle: round %d from %d: %d after %d (order/duplicate)", round, lo, k, last)
+							return false
+						}
+						last = k
+						switch {
+						case k <= cfg.Keys: // oracle key, churned freely
+						case fixSet[k]:
+							seenFix++
+						case k < fixBase: // in-flight pair-pin key
+						default:
+							scanFail("scan oracle: round %d: phantom key %d", round, k)
+							return false
+						}
+						return true
+					})
+					if err != nil {
+						scanFail("scan oracle: round %d: Ascend: %v", round, err)
+					} else if seenFix != len(fixtures) {
+						scanFail("scan oracle: round %d from %d: %d of %d present-throughout fixtures delivered",
+							round, lo, seenFix, len(fixtures))
+					}
+				})
+				scanChecks.Add(1)
+			}
+		}()
+	}
 
 	// Concurrent phase: every worker runs a deterministic op stream drawn
 	// from its own seed and tallies its successful mutations per key. The
@@ -318,6 +408,21 @@ func runOn(cfg Config, inst *instance) (Report, error) {
 	}
 	rep.PairChecks = pairChecks.Load()
 
+	if inst.canScan {
+		close(stopScan)
+		scanWg.Wait()
+		// Retire the fixtures before quiesce so the exact oracle, snapshot
+		// range and memory books below see only the run's own key space.
+		_ = pool.Do(context.Background(), func(tid int) {
+			for _, k := range fixtures {
+				if !s.Remove(tid, k) {
+					scanFails = append(scanFails, fmt.Sprintf("scan oracle: fixture %d missing at teardown", k))
+				}
+			}
+		})
+	}
+	rep.ScanChecks = scanChecks.Load()
+
 	var failures []string
 	fail := func(format string, args ...any) {
 		failures = append(failures, fmt.Sprintf(format, args...))
@@ -327,6 +432,7 @@ func runOn(cfg Config, inst *instance) (Report, error) {
 			fail("%v", tallies[i].err)
 		}
 	}
+	failures = append(failures, scanFails...)
 	if torn := pairTorn.Load(); torn > 0 {
 		fail("batch atomicity: %d of %d pair lookups saw a torn batch (one key of an atomically toggled pair)",
 			torn, pairChecks.Load())

@@ -163,6 +163,47 @@ func TestTortureBatchOps(t *testing.T) {
 	}
 }
 
+// TestTortureScanOracle checks the concurrent scan oracle arms on every
+// Ascender-capable shape — singly/skip, RR and HTM, unsharded and behind
+// the merged sharded cursor — and stays off where scanning is undefined
+// (deferred-reclamation variants, trees), with the run's other invariants
+// (exact oracle, memory books) undisturbed by the fixture keys either way.
+func TestTortureScanOracle(t *testing.T) {
+	for _, tc := range []struct {
+		structure, variant string
+		shards             int
+		wantScans          bool
+	}{
+		{StructSingly, "RR-V", 1, true},
+		{StructSingly, "HTM", 1, true},
+		{StructSingly, "RR-FA", 3, true}, // merged cross-shard cursor
+		{StructSkip, "RR-V", 2, true},
+		{StructSingly, "TMHP", 1, false}, // Ascender but CanAscend() == false
+		{StructITree, "HTM", 1, false},   // no Ascender at all
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("%s/%s/s%d", tc.structure, tc.variant, tc.shards), func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{
+				Structure: tc.structure, Variant: tc.variant,
+				Threads: 4, Ops: 800, Keys: 64, Window: 3,
+				Shards: tc.shards, Seed: 0x5ca9, Guard: true,
+			}
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.wantScans && rep.ScanChecks == 0 {
+				t.Fatalf("scan oracle never ran on an Ascender variant (repro: %s)", cfg)
+			}
+			if !tc.wantScans && rep.ScanChecks != 0 {
+				t.Fatalf("scan oracle ran %d checks on a variant without scan support (repro: %s)",
+					rep.ScanChecks, cfg)
+			}
+		})
+	}
+}
+
 // TestTortureBatchReproString pins the -batch suffix cmd/torture parses back.
 func TestTortureBatchReproString(t *testing.T) {
 	cfg := Config{
