@@ -49,9 +49,18 @@
 // embeds the server-side histograms — including serve_ascend_ns,
 // ascend_windows and ascend_renavigations — under domain-prefixed names.
 //
+// When the server runs with -obs it advertises the endpoint's bound
+// address in INFO as obs=<addr>, and hohload auto-discovers it — an
+// explicit -obsaddr is only needed to override. Either way the run's
+// summary (and the -out cell) gains a tail-latency forensics block: the
+// server-side slowlog's entry count, its worst request's total and
+// dominant phase, and the key that caused the most aborts per the
+// hot-key sketch rollup.
+//
 // The -cmd form is a one-shot client: it sends the semicolon-separated
 // requests as one pipeline, prints each reply, and exits — the quickest
-// way to poke at a running server without netcat.
+// way to poke at a running server without netcat. END-framed replies
+// (ASCEND scans, SLOWLOG dumps) are streamed through their terminator.
 package main
 
 import (
@@ -229,6 +238,31 @@ func main() {
 	fmt.Printf("  live nodes over run: [%d, %d] (spread %d, key range %d); deferred at end: %d\n",
 		info.liveMin, info.liveMax, info.liveMax-info.liveMin, *keys, info.deferred)
 
+	// Tail-latency forensics: if the server advertised its obs endpoint in
+	// INFO (hohserver -obs), use it even without an explicit -obsaddr, and
+	// summarize the slowlog + hot-key sketches it captured over the run.
+	if *obsAddr == "" && info.obsAddr != "" {
+		*obsAddr = info.obsAddr
+		fmt.Printf("  obs endpoint auto-discovered from INFO: %s\n", *obsAddr)
+	}
+	var fz forensics
+	if *obsAddr != "" {
+		var err error
+		fz, err = fetchForensics(*obsAddr)
+		if err != nil {
+			// Forensics are best-effort decoration on a load report; a server
+			// built before the slowlog existed should not fail the run.
+			fmt.Fprintln(os.Stderr, "hohload: forensics:", err)
+		} else if fz.slowCount > 0 {
+			fmt.Printf("  slowlog: %d entries, worst %s (%s-dominated)",
+				fz.slowCount, time.Duration(fz.slowWorstNs), fz.slowWorstPhase)
+			if fz.hotKeyAborts > 0 {
+				fmt.Printf("; hottest key by aborts: %d (%d aborts)", fz.hotKey, fz.hotKeyAborts)
+			}
+			fmt.Println()
+		}
+	}
+
 	if *out == "" {
 		return
 	}
@@ -272,6 +306,11 @@ func main() {
 			os.Exit(1)
 		}
 		cell.Obs = snap
+		cell.SlowCount = fz.slowCount
+		cell.SlowWorstNs = fz.slowWorstNs
+		cell.SlowWorstPhase = fz.slowWorstPhase
+		cell.HotKey = fz.hotKey
+		cell.HotKeyAborts = fz.hotKeyAborts
 	}
 	sum := bench.Summary{
 		Bench:      bench.BenchNumber(*out),
@@ -821,6 +860,62 @@ func fetchObs(addr string) (*obs.DomainSnapshot, error) {
 	return merged, nil
 }
 
+// forensics is the slowlog/hot-key summary hohload embeds in the bench
+// cell: how bad the worst request was, where its time went, and which key
+// caused the most aborts.
+type forensics struct {
+	slowCount      int
+	slowWorstNs    uint64
+	slowWorstPhase string
+	hotKey         uint64
+	hotKeyAborts   uint64
+}
+
+// fetchForensics pulls /slowlog and /hotkeys from the server's obs
+// endpoint. Entries are already slowest-first per domain; across domains
+// (there is normally exactly one slowlog, on the server domain) the worst
+// entry wins and counts sum. The hot key is the cross-shard rollup's top
+// entry by aborts caused.
+func fetchForensics(addr string) (forensics, error) {
+	var fz forensics
+	resp, err := http.Get("http://" + addr + "/slowlog")
+	if err != nil {
+		return fz, err
+	}
+	var slow []obs.SlowlogDump
+	err = json.NewDecoder(resp.Body).Decode(&slow)
+	resp.Body.Close()
+	if err != nil {
+		return fz, fmt.Errorf("decode /slowlog: %w", err)
+	}
+	for _, d := range slow {
+		fz.slowCount += len(d.Entries)
+		for _, e := range d.Entries {
+			if e.TotalNs > fz.slowWorstNs {
+				fz.slowWorstNs = e.TotalNs
+				fz.slowWorstPhase = e.WorstPhase
+			}
+		}
+	}
+	resp, err = http.Get("http://" + addr + "/hotkeys")
+	if err != nil {
+		return fz, err
+	}
+	var hot []obs.HotKeysDump
+	err = json.NewDecoder(resp.Body).Decode(&hot)
+	resp.Body.Close()
+	if err != nil {
+		return fz, fmt.Errorf("decode /hotkeys: %w", err)
+	}
+	for _, d := range hot {
+		if len(d.Rollup.ByAborts) > 0 && d.Rollup.ByAborts[0].Count > fz.hotKeyAborts {
+			fz.hotKey = d.Rollup.ByAborts[0].Key
+			fz.hotKeyAborts = d.Rollup.ByAborts[0].Count
+		}
+	}
+	return fz, nil
+}
+
 // monitor samples INFO on its own connection every 50ms.
 type monitor struct {
 	br    *bufio.Reader // one reader for the connection's lifetime
@@ -840,6 +935,7 @@ type serverInfo struct {
 	commits  uint64
 	serial   uint64
 	aborts   uint64
+	obsAddr  string // INFO obs=<addr>: the server's own advertisement of its obs endpoint
 }
 
 func startMonitor(addr string) (*monitor, error) {
@@ -929,6 +1025,8 @@ func queryInfo(c net.Conn, br *bufio.Reader) (serverInfo, error) {
 			in.serial, _ = strconv.ParseUint(v, 10, 64)
 		case "aborts":
 			in.aborts, _ = strconv.ParseUint(v, 10, 64)
+		case "obs":
+			in.obsAddr = v
 		}
 	}
 	if in.variant == "" {
@@ -972,9 +1070,10 @@ func oneShot(addr, script string) {
 		fmt.Printf("%-12s -> %s", r, line)
 	}
 	for i := 0; i < len(reqs); i++ {
-		if strings.HasPrefix(reqs[i], "ASCEND ") {
-			// A scan streams OK lines until END (or an ERR terminator).
-			fmt.Printf("%-12s    (scan)\n", reqs[i])
+		if strings.HasPrefix(reqs[i], "ASCEND ") || strings.HasPrefix(reqs[i], "SLOWLOG") {
+			// Both stream lines until END (or an ERR terminator): OK lines
+			// for a scan, SLOW lines for a slowlog dump.
+			fmt.Printf("%-12s    (stream)\n", reqs[i])
 			for {
 				line, err := br.ReadString('\n')
 				if err != nil {

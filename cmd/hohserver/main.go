@@ -138,11 +138,6 @@ func main() {
 		})
 		backends[i] = serve.Backend{Set: sharded.Shard(i), Pool: pools[i]}
 	}
-	srv := serve.NewServer(serve.ServerConfig{
-		Shards: backends, MaxKey: hohtx.MaxKey, Obs: dom,
-		MaxBatch: *maxBatch, AutoBatch: *autoBatch,
-	})
-
 	// Per-shard roll-ups on the server domain: one glance at /metrics
 	// shows whether commits (and serial fallbacks, and lease traffic)
 	// spread across shards or pile onto one.
@@ -154,6 +149,11 @@ func main() {
 		dom.Gauge(fmt.Sprintf("shard%d_leases", i), func() uint64 { return pool.Stats().Leases })
 	}
 
+	// Bind the observability endpoint before the server exists so the
+	// bound address (the OS may pick the port) can be advertised to
+	// clients through INFO obs=<addr> — hohload auto-discovers the
+	// forensics endpoints that way.
+	boundObs := ""
 	if *obsAddr != "" {
 		reg := obs.NewRegistry()
 		reg.Register(dom)
@@ -170,8 +170,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "hohserver: obs:", err)
 			os.Exit(2)
 		}
+		boundObs = bound.String()
 		fmt.Fprintf(os.Stderr, "hohserver: obs endpoint on http://%s/metrics\n", bound)
 	}
+
+	srv := serve.NewServer(serve.ServerConfig{
+		Shards: backends, MaxKey: hohtx.MaxKey, Obs: dom,
+		MaxBatch: *maxBatch, AutoBatch: *autoBatch,
+		ObsAddr: boundObs,
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

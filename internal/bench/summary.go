@@ -92,6 +92,19 @@ type Cell struct {
 	ScanP50Ns uint64 `json:"scan_p50_ns,omitempty"`
 	ScanP99Ns uint64 `json:"scan_p99_ns,omitempty"`
 
+	// Forensics fields (cmd/hohload -obsaddr, or auto-discovered from
+	// INFO obs=): a summary of the server's slowlog and hot-key sketches
+	// at the end of the run — how many slow entries the window held, the
+	// worst entry's total and dominant phase, and the key topping the
+	// abort-attribution sketch. Outcome fields only: none participate in
+	// the diff join key, so cells recorded before these columns existed
+	// still compare against cells recorded after.
+	SlowCount      int    `json:"slow_count,omitempty"`
+	SlowWorstNs    uint64 `json:"slow_worst_ns,omitempty"`
+	SlowWorstPhase string `json:"slow_worst_phase,omitempty"`
+	HotKey         uint64 `json:"hot_key,omitempty"`
+	HotKeyAborts   uint64 `json:"hot_key_aborts,omitempty"`
+
 	// Obs is the final trial's full domain snapshot (log₂-bucket
 	// histograms, gauges, abort-attribution edges); nil when detached.
 	Obs *obs.DomainSnapshot `json:"obs,omitempty"`

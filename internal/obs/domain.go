@@ -47,6 +47,24 @@ type Domain struct {
 
 	rec  *Recorder
 	attr *AttrTable
+
+	// spans is the per-tid request-span table (see span.go): the serving
+	// layer arms tid's slot before running an operation, and the stm /
+	// reclaim layers consult it to stamp their phases onto the request.
+	// Sized by DomainConfig.Threads; empty means SpanOf is always nil.
+	// Each slot is padded: set/clear runs on the request hot path.
+	spans []paddedSpanSlot
+
+	// slow and hot are the forensic sinks the serving layer attaches (see
+	// slowlog.go, topk.go); the registry's /slowlog and /hotkeys handlers
+	// read them. Written once at wiring time under mu.
+	slow *Slowlog
+	hot  []*HotKeys
+}
+
+type paddedSpanSlot struct {
+	sp *Span
+	_  pad.Line
 }
 
 type gaugeEntry struct {
@@ -60,6 +78,9 @@ func NewDomain(cfg DomainConfig) *Domain {
 		name: cfg.Name,
 		rec:  NewRecorder(cfg.Threads, cfg.RingEvents),
 		attr: NewAttrTable(),
+	}
+	if cfg.Threads > 0 {
+		d.spans = make([]paddedSpanSlot, cfg.Threads)
 	}
 	d.shift.Store(int32(cfg.SampleShift))
 	return d
@@ -122,6 +143,48 @@ func (d *Domain) Gauge(name string, f func() uint64) {
 
 // Recorder returns the domain's flight recorder.
 func (d *Domain) Recorder() *Recorder { return d.rec }
+
+// SetSlowlog attaches the domain's slowlog (the registry's /slowlog
+// handler serves every attached one). Nil-safe.
+func (d *Domain) SetSlowlog(s *Slowlog) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.slow = s
+	d.mu.Unlock()
+}
+
+// SlowlogOf returns the attached slowlog, or nil.
+func (d *Domain) SlowlogOf() *Slowlog {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.slow
+}
+
+// SetHotKeys attaches the per-shard hot-key sketches (index = shard; a
+// single-shard server attaches one). Nil-safe.
+func (d *Domain) SetHotKeys(hot []*HotKeys) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.hot = hot
+	d.mu.Unlock()
+}
+
+// HotKeysOf returns the attached per-shard hot-key sketches, or nil.
+func (d *Domain) HotKeysOf() []*HotKeys {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hot
+}
 
 // Attr returns the domain's abort-attribution table.
 func (d *Domain) Attr() *AttrTable { return d.attr }

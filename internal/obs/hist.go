@@ -136,7 +136,19 @@ func (s HistSnapshot) Quantile(q float64) uint64 {
 	if s.Count == 0 {
 		return 0
 	}
-	rank := uint64(q * float64(s.Count))
+	// Clamp q before the float→uint64 conversion: converting a negative
+	// or NaN float64 to uint64 is implementation-specific in Go, so an
+	// out-of-range q must never reach it. q ≤ 0 (and NaN, which fails
+	// every comparison) degrades to the minimum rank; q ≥ 1 to the max.
+	var rank uint64
+	switch {
+	case q > 0 && q < 1:
+		rank = uint64(q * float64(s.Count))
+	case q >= 1:
+		rank = s.Count
+	default:
+		rank = 1
+	}
 	if rank < 1 {
 		rank = 1
 	}

@@ -105,9 +105,80 @@ func (r *Registry) WriteProm(w *strings.Builder) {
 	}
 }
 
+// sortedDomains returns the registered domains, name-ordered.
+func (r *Registry) sortedDomains() []*Domain {
+	r.mu.Lock()
+	ds := make([]*Domain, 0, len(r.domains))
+	for d := range r.domains {
+		ds = append(ds, d)
+	}
+	r.mu.Unlock()
+	sort.Slice(ds, func(i, j int) bool { return ds[i].name < ds[j].name })
+	return ds
+}
+
+// SlowlogDump is one domain's /slowlog JSON element.
+type SlowlogDump struct {
+	Domain   string      `json:"domain"`
+	WindowMs int64       `json:"window_ms"`
+	Cap      int         `json:"cap"`
+	Entries  []SlowEntry `json:"entries"`
+}
+
+// SlowlogDumps collects every registered domain's attached slowlog (n
+// bounds entries per domain; ≤ 0 = all retained).
+func (r *Registry) SlowlogDumps(n int) []SlowlogDump {
+	out := []SlowlogDump{}
+	for _, d := range r.sortedDomains() {
+		sl := d.SlowlogOf()
+		if sl == nil {
+			continue
+		}
+		entries := sl.Entries(n)
+		if entries == nil {
+			entries = []SlowEntry{}
+		}
+		out = append(out, SlowlogDump{
+			Domain:   d.name,
+			WindowMs: sl.Window().Milliseconds(),
+			Cap:      sl.Cap(),
+			Entries:  entries,
+		})
+	}
+	return out
+}
+
+// HotKeysDump is one domain's /hotkeys JSON element: each shard's
+// sketches plus the cross-shard rollup.
+type HotKeysDump struct {
+	Domain string     `json:"domain"`
+	Shards []HotShard `json:"shards"`
+	Rollup HotShard   `json:"rollup"`
+}
+
+// HotKeysDumps collects every registered domain's attached sketches.
+func (r *Registry) HotKeysDumps() []HotKeysDump {
+	out := []HotKeysDump{}
+	for _, d := range r.sortedDomains() {
+		hot := d.HotKeysOf()
+		if len(hot) == 0 {
+			continue
+		}
+		dump := HotKeysDump{Domain: d.name, Rollup: RollupHot(hot)}
+		for i, h := range hot {
+			if h != nil {
+				dump.Shards = append(dump.Shards, h.Snapshot(i))
+			}
+		}
+		out = append(out, dump)
+	}
+	return out
+}
+
 // Handler returns the registry's HTTP mux: /metrics (Prometheus text),
-// /snapshot (the DomainSnapshot list as JSON), /flight (recorder dumps)
-// and the net/http/pprof endpoints under /debug/pprof/.
+// /snapshot (the DomainSnapshot list as JSON), /flight (recorder dumps),
+// /slowlog and /hotkeys (the request-forensics surfaces, JSON) and the
+// net/http/pprof endpoints under /debug/pprof/.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -123,17 +194,26 @@ func (r *Registry) Handler() http.Handler {
 		_ = enc.Encode(r.Snapshots())
 	})
 	mux.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
-		r.mu.Lock()
-		ds := make([]*Domain, 0, len(r.domains))
-		for d := range r.domains {
-			ds = append(ds, d)
-		}
-		r.mu.Unlock()
-		sort.Slice(ds, func(i, j int) bool { return ds[i].name < ds[j].name })
 		w.Header().Set("Content-Type", "text/plain")
-		for _, d := range ds {
+		for _, d := range r.sortedDomains() {
 			d.DumpFlight(w, 200)
 		}
+	})
+	mux.HandleFunc("/slowlog", func(w http.ResponseWriter, req *http.Request) {
+		n := 0
+		if v := req.URL.Query().Get("n"); v != "" {
+			fmt.Sscanf(v, "%d", &n)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.SlowlogDumps(n))
+	})
+	mux.HandleFunc("/hotkeys", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.HotKeysDumps())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hohtx/internal/pad"
+)
+
+// paddedFloor keeps the admission threshold on its own cache line: every
+// request loads it, and it must not false-share with the mutex the
+// admitted few contend on.
+type paddedFloor struct {
+	v atomic.Uint64
+	_ pad.Line
+}
+
+// DefaultSlowlogSize is the per-window entry capacity when the serving
+// layer does not configure one.
+const DefaultSlowlogSize = 32
+
+// DefaultSlowlogWindow is the rotation period when unconfigured.
+const DefaultSlowlogWindow = 10 * time.Second
+
+// SlowEntry is one captured slow request: everything a postmortem needs
+// to explain the latency without re-running the workload — the verb and
+// keys identify the request, the shard set and phase breakdown localize
+// the time, and the abort causes/owners name the who-aborted-whom chain.
+type SlowEntry struct {
+	Seq     uint64   `json:"seq"`     // capture order, process-wide per slowlog
+	UnixNs  int64    `json:"unix_ns"` // wall-clock capture time
+	Verb    string   `json:"verb"`
+	Keys    []uint64 `json:"keys,omitempty"`
+	KeyN    int      `json:"key_n"` // true key count (Keys truncates)
+	Shards  []int    `json:"shards,omitempty"`
+	TotalNs uint64   `json:"total_ns"`
+
+	WaitNs     uint64 `json:"wait_ns"`
+	LeaseNs    uint64 `json:"lease_ns"`
+	AttemptsNs uint64 `json:"attempts_ns"`
+	SerialNs   uint64 `json:"serial_ns"`
+	ReclaimNs  uint64 `json:"reclaim_ns"`
+	WriteNs    uint64 `json:"write_ns"`
+	WorstPhase string `json:"worst_phase"`
+
+	Attempts  uint32       `json:"attempts"`
+	SerialTxs uint32       `json:"serial_txs"`
+	Aborts    []CauseCount `json:"aborts,omitempty"`
+	Owners    []int32      `json:"abort_owners,omitempty"`
+}
+
+// entryFromSpan freezes a finished span into a slowlog entry.
+func entryFromSpan(sp *Span) SlowEntry {
+	keys, keyN := sp.Keys()
+	attempts, serial := sp.Attempts()
+	return SlowEntry{
+		UnixNs:     time.Now().UnixNano(),
+		Verb:       sp.Verb(),
+		Keys:       append([]uint64(nil), keys...),
+		KeyN:       keyN,
+		Shards:     sp.Shards(),
+		TotalNs:    sp.TotalNs(),
+		WaitNs:     sp.Phase(SpanWait),
+		LeaseNs:    sp.Phase(SpanLease),
+		AttemptsNs: sp.Phase(SpanAttempts),
+		SerialNs:   sp.Phase(SpanSerial),
+		ReclaimNs:  sp.Phase(SpanReclaim),
+		WriteNs:    sp.Phase(SpanWrite),
+		WorstPhase: sp.WorstPhase().String(),
+		Attempts:   attempts,
+		SerialTxs:  serial,
+		Aborts:     sp.Causes(),
+		Owners:     sp.Owners(),
+	}
+}
+
+// Slowlog keeps the N slowest requests per time window, plus the previous
+// window so a fresh rotation never serves an empty log. It deliberately
+// sits outside the sampling gate: the gate throws away 1-in-2^k events
+// uniformly, which is exactly wrong for outliers — the slowlog's
+// admission is value-based instead (is this request slower than the
+// window's current N-th slowest?), so the worst requests always capture.
+//
+// The admission fast path is one atomic load against that N-th-slowest
+// floor; requests below it — the overwhelming majority, by construction —
+// never touch the mutex that guards the (small, bounded) entry lists.
+type Slowlog struct {
+	cap    int
+	window time.Duration
+	floor  paddedFloor // admission threshold: 0 until the window fills
+
+	mu       sync.Mutex
+	seq      uint64
+	curStart time.Time
+	cur      []SlowEntry // sorted slowest-first, ≤ cap
+	prev     []SlowEntry
+}
+
+// NewSlowlog builds a slowlog holding the size slowest requests per
+// rotation window (≤ 0 picks the defaults).
+func NewSlowlog(size int, window time.Duration) *Slowlog {
+	if size <= 0 {
+		size = DefaultSlowlogSize
+	}
+	if window <= 0 {
+		window = DefaultSlowlogWindow
+	}
+	return &Slowlog{cap: size, window: window}
+}
+
+// Observe offers a finished span to the log. It must be called before the
+// span is pooled for reuse (the entry copies what it keeps).
+func (s *Slowlog) Observe(sp *Span) {
+	if s == nil || sp == nil {
+		return
+	}
+	total := sp.TotalNs()
+	if total < s.floor.v.Load() {
+		return // fast path: not in this window's top N
+	}
+	e := entryFromSpan(sp)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	s.rotateLocked(now)
+	if s.curStart.IsZero() {
+		s.curStart = now
+	}
+	// Re-check under the lock: the floor may have moved past us.
+	if len(s.cur) == s.cap && total < s.cur[len(s.cur)-1].TotalNs {
+		return
+	}
+	s.seq++
+	e.Seq = s.seq
+	i := sort.Search(len(s.cur), func(i int) bool { return s.cur[i].TotalNs < total })
+	s.cur = append(s.cur, SlowEntry{})
+	copy(s.cur[i+1:], s.cur[i:])
+	s.cur[i] = e
+	if len(s.cur) > s.cap {
+		s.cur = s.cur[:s.cap]
+	}
+	if len(s.cur) == s.cap {
+		s.floor.v.Store(s.cur[len(s.cur)-1].TotalNs)
+	}
+}
+
+// rotateLocked retires the current window once it ages out. Two stale
+// windows in a row clear the previous one too (nothing slow happened
+// recently — say so rather than serving ancient outliers as current).
+func (s *Slowlog) rotateLocked(now time.Time) {
+	if s.curStart.IsZero() || now.Sub(s.curStart) < s.window {
+		return
+	}
+	if now.Sub(s.curStart) >= 2*s.window {
+		s.prev = nil
+	} else {
+		s.prev = s.cur
+	}
+	s.cur = nil
+	s.curStart = now
+	s.floor.v.Store(0)
+}
+
+// Entries returns up to n entries, slowest first, merged across the
+// current and previous windows (n ≤ 0 returns everything retained).
+func (s *Slowlog) Entries(n int) []SlowEntry {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.rotateLocked(time.Now())
+	merged := make([]SlowEntry, 0, len(s.cur)+len(s.prev))
+	merged = append(merged, s.cur...)
+	merged = append(merged, s.prev...)
+	s.mu.Unlock()
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].TotalNs > merged[j].TotalNs })
+	if n > 0 && len(merged) > n {
+		merged = merged[:n]
+	}
+	return merged
+}
+
+// Window returns the rotation period.
+func (s *Slowlog) Window() time.Duration { return s.window }
+
+// Cap returns the per-window entry capacity.
+func (s *Slowlog) Cap() int { return s.cap }

@@ -1,0 +1,387 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestSpanLifecyclePanics pins the lifecycle discipline the torture
+// harness relies on: a live span cannot be re-armed (a leaked span), and
+// a span cannot finish twice (a double free of a pooled span).
+func TestSpanLifecyclePanics(t *testing.T) {
+	sp := NewSpan("GET")
+	mustPanic(t, "Reset on live span", func() { sp.Reset("GET") })
+	sp.Finish()
+	mustPanic(t, "second Finish", func() { sp.Finish() })
+	mustPanic(t, "Finish on never-started span", func() { new(Span).Finish() })
+
+	// After a clean Finish, Reset re-arms and the cycle repeats.
+	sp.Reset("SET")
+	if sp.Verb() != "SET" {
+		t.Fatalf("Verb after Reset = %q, want SET", sp.Verb())
+	}
+	sp.Finish()
+}
+
+// TestSpanFinishNetsInner checks that Finish subtracts the phases stamped
+// by inner layers (attempts, serial, reclaim run *inside* the server's
+// whole-op Lease stamp) out of Lease so the breakdown's slices are
+// disjoint — and clamps at zero rather than underflowing.
+func TestSpanFinishNetsInner(t *testing.T) {
+	sp := NewSpan("GET")
+	sp.Add(SpanLease, 100)
+	sp.Add(SpanAttempts, 30)
+	sp.Add(SpanSerial, 20)
+	sp.Add(SpanReclaim, 10)
+	sp.Finish()
+	if got := sp.Phase(SpanLease); got != 40 {
+		t.Errorf("Lease after netting = %d, want 40", got)
+	}
+
+	sp2 := NewSpan("GET")
+	sp2.Add(SpanLease, 10)
+	sp2.Add(SpanAttempts, 50)
+	sp2.Finish()
+	if got := sp2.Phase(SpanLease); got != 0 {
+		t.Errorf("Lease underflow clamped = %d, want 0", got)
+	}
+	if got := sp2.Phase(SpanAttempts); got != 50 {
+		t.Errorf("Attempts = %d, want 50 (netting must not touch inner phases)", got)
+	}
+}
+
+// TestSpanBoundedCapture: keys past capacity truncate while the true
+// count is kept, owners deduplicate into the bounded list, and cause
+// ordinals tally under their stm-mirrored names.
+func TestSpanBoundedCapture(t *testing.T) {
+	sp := NewSpan("MULTI")
+	for k := uint64(1); k <= 10; k++ {
+		sp.AddKey(k)
+	}
+	keys, n := sp.Keys()
+	if len(keys) != spanMaxKeys || n != 10 {
+		t.Errorf("Keys() = %d retained, %d true; want %d, 10", len(keys), n, spanMaxKeys)
+	}
+
+	for i := 0; i < 3; i++ {
+		sp.NoteAbort(3, 7) // write-lock, owner 7 each time
+	}
+	sp.NoteAbort(1, -1) // read-conflict, unknown owner
+	for o := 10; o < 20; o++ {
+		sp.NoteAbort(2, o) // validation, ten distinct owners
+	}
+	if got := sp.Aborts(); got != 14 {
+		t.Errorf("Aborts() = %d, want 14", got)
+	}
+	owners := sp.Owners()
+	if len(owners) != spanMaxOwners || owners[0] != 7 {
+		t.Errorf("Owners() = %v, want %d entries led by 7", owners, spanMaxOwners)
+	}
+	causes := sp.Causes()
+	want := map[string]uint32{"read-conflict": 1, "validation": 10, "write-lock": 3}
+	if len(causes) != len(want) {
+		t.Fatalf("Causes() = %v, want %v", causes, want)
+	}
+	for _, c := range causes {
+		if want[c.Cause] != c.Count {
+			t.Errorf("cause %s = %d, want %d", c.Cause, c.Count, want[c.Cause])
+		}
+	}
+
+	sp.MarkShard(0)
+	sp.MarkShard(2)
+	sp.MarkShard(999) // clamps to the top bit rather than corrupting
+	if got := sp.Shards(); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 63 {
+		t.Errorf("Shards() = %v, want [0 2 63]", got)
+	}
+
+	sp.Add(SpanWait, 5)
+	sp.Add(SpanWrite, 9)
+	if got := sp.WorstPhase(); got != SpanWrite {
+		t.Errorf("WorstPhase = %v, want write", got)
+	}
+	sp.Finish()
+}
+
+// TestSpanTableBounds: arming outside the table (bad tid, nil domain,
+// domain built without Threads) is a no-op, not a panic — unwired layers
+// must cost one branch.
+func TestSpanTableBounds(t *testing.T) {
+	var nilDom *Domain
+	nilDom.SetSpan(0, nil)
+	if nilDom.SpanOf(0) != nil {
+		t.Error("nil domain SpanOf != nil")
+	}
+
+	d := NewDomain(DomainConfig{Name: "t"}) // Threads unset: no span table
+	sp := NewSpan("GET")
+	d.SetSpan(0, sp)
+	if d.SpanOf(0) != nil {
+		t.Error("span table absent but SpanOf returned a span")
+	}
+
+	d2 := NewDomain(DomainConfig{Name: "t2", Threads: 2})
+	d2.SetSpan(-1, sp)
+	d2.SetSpan(2, sp)
+	if d2.SpanOf(-1) != nil || d2.SpanOf(2) != nil {
+		t.Error("out-of-range tid stored a span")
+	}
+	d2.SetSpan(1, sp)
+	if d2.SpanOf(1) != sp {
+		t.Error("in-range span not returned")
+	}
+	d2.SetSpan(1, nil)
+	if d2.SpanOf(1) != nil {
+		t.Error("cleared span still returned")
+	}
+	sp.Finish()
+}
+
+// slowSpan fabricates a finished span with a controlled total — internal
+// tests drive the slowlog's value-based admission deterministically
+// instead of sleeping real wall-clock durations.
+func slowSpan(verb string, totalNs uint64) *Span {
+	return &Span{verb: verb, totalNs: totalNs, finished: true}
+}
+
+// TestSlowlogAdmission: the log keeps the N slowest of a window sorted
+// slowest-first, and once full the Nth-slowest total becomes the atomic
+// admission floor that rejects faster requests without the mutex.
+func TestSlowlogAdmission(t *testing.T) {
+	s := NewSlowlog(3, time.Hour)
+	for _, total := range []uint64{10, 30, 20, 40, 5} {
+		s.Observe(slowSpan("GET", total))
+	}
+	got := s.Entries(0)
+	if len(got) != 3 || got[0].TotalNs != 40 || got[1].TotalNs != 30 || got[2].TotalNs != 20 {
+		t.Fatalf("Entries = %+v, want totals [40 30 20]", got)
+	}
+	if f := s.floor.v.Load(); f != 20 {
+		t.Errorf("admission floor = %d, want 20", f)
+	}
+	s.Observe(slowSpan("GET", 15)) // below the floor: rejected on the fast path
+	if n := len(s.Entries(0)); n != 3 {
+		t.Errorf("below-floor observe changed the window: %d entries", n)
+	}
+	s.Observe(slowSpan("GET", 25)) // evicts the 20
+	got = s.Entries(2)
+	if len(got) != 2 || got[0].TotalNs != 40 || got[1].TotalNs != 30 {
+		t.Errorf("Entries(2) = %+v, want totals [40 30]", got)
+	}
+	if f := s.floor.v.Load(); f != 25 {
+		t.Errorf("floor after eviction = %d, want 25", f)
+	}
+}
+
+// TestSlowlogRotation: an aged-out window moves to prev (a fresh rotation
+// never serves an empty log), and two stale windows clear prev too.
+func TestSlowlogRotation(t *testing.T) {
+	s := NewSlowlog(4, time.Minute)
+	s.Observe(slowSpan("GET", 100))
+	s.mu.Lock()
+	s.curStart = time.Now().Add(-90 * time.Second) // one window stale
+	s.mu.Unlock()
+	s.Observe(slowSpan("SET", 50))
+
+	got := s.Entries(0)
+	if len(got) != 2 || got[0].TotalNs != 100 || got[1].TotalNs != 50 {
+		t.Fatalf("after rotation Entries = %+v, want old 100 in prev + new 50 in cur", got)
+	}
+	if f := s.floor.v.Load(); f != 0 {
+		t.Errorf("floor after rotation = %d, want 0 (window restarts empty)", f)
+	}
+
+	s.mu.Lock()
+	s.curStart = time.Now().Add(-3 * time.Minute) // two windows stale
+	s.mu.Unlock()
+	if got := s.Entries(0); len(got) != 0 {
+		t.Errorf("two stale windows still served %d entries", len(got))
+	}
+}
+
+// TestSlowlogEntrySnapshot: the entry freezes the span's breakdown and
+// attribution at capture time.
+func TestSlowlogEntrySnapshot(t *testing.T) {
+	sp := NewSpan("MULTI")
+	sp.AddKey(7)
+	sp.AddKey(9)
+	sp.MarkShard(1)
+	sp.Add(SpanWait, 400)
+	sp.Add(SpanLease, 100)
+	sp.NoteAttempt(false)
+	sp.NoteAttempt(true)
+	sp.NoteAbort(3, 2)
+	sp.Finish()
+	e := entryFromSpan(sp)
+	if e.Verb != "MULTI" || e.KeyN != 2 || len(e.Keys) != 2 || e.Keys[1] != 9 {
+		t.Errorf("entry identity = %+v", e)
+	}
+	if e.WaitNs != 400 || e.WorstPhase != "wait" {
+		t.Errorf("entry breakdown: wait=%d worst=%s, want 400/wait", e.WaitNs, e.WorstPhase)
+	}
+	if e.Attempts != 2 || e.SerialTxs != 1 {
+		t.Errorf("entry attempts = %d/%d, want 2/1", e.Attempts, e.SerialTxs)
+	}
+	if len(e.Owners) != 1 || e.Owners[0] != 2 || len(e.Aborts) != 1 || e.Aborts[0].Cause != "write-lock" {
+		t.Errorf("entry attribution = owners %v aborts %v", e.Owners, e.Aborts)
+	}
+}
+
+// TestTopKSpaceSaving pins the space-saving sketch's semantics: an
+// untracked key evicts the current minimum and inherits its count as an
+// error bound, the guarantee true ∈ [Count−Err, Count] holds, and a key
+// whose true weight exceeds N/k is always retained.
+func TestTopKSpaceSaving(t *testing.T) {
+	k := NewTopK(2)
+	k.Add(1, 3)
+	k.Add(2, 2)
+	k.Add(3, 1) // evicts key 2 (min, count 2): key 3 reports 3 with err 2
+	items := k.Items()
+	if len(items) != 2 {
+		t.Fatalf("Items = %+v, want 2 entries", items)
+	}
+	if items[0].Key != 1 || items[0].Count != 3 || items[0].Err != 0 {
+		t.Errorf("retained key = %+v, want key 1 count 3 err 0", items[0])
+	}
+	if items[1].Key != 3 || items[1].Count != 3 || items[1].Err != 2 {
+		t.Errorf("evictor = %+v, want key 3 count 3 err 2", items[1])
+	}
+	// True count of key 3 is 1: within [Count-Err, Count] = [1, 3].
+	if lo := items[1].Count - items[1].Err; lo > 1 || items[1].Count < 1 {
+		t.Errorf("error-bound guarantee broken: true 1 outside [%d, %d]", lo, items[1].Count)
+	}
+
+	// Heavy hitter: key 1's true weight (13 of N=19) far exceeds N/k; it
+	// must still be present — and ranked first — after churn.
+	for i := uint64(10); i < 20; i++ {
+		k.Add(i, 1)
+	}
+	k.Add(1, 10)
+	items = k.Items()
+	if items[0].Key != 1 {
+		t.Errorf("heavy hitter evicted: %+v", items)
+	}
+}
+
+// TestRollupHot: per-shard sketches merge by summing counts and error
+// bounds per key, sorted like a single sketch.
+func TestRollupHot(t *testing.T) {
+	a := NewHotKeys(4)
+	b := NewHotKeys(4)
+	a.Aborts.Add(1, 5)
+	a.Latency.Add(1, 100)
+	b.Aborts.Add(2, 9)
+	b.Latency.Add(2, 50)
+	r := RollupHot([]*HotKeys{a, nil, b})
+	if r.Shard != -1 {
+		t.Errorf("rollup shard = %d, want -1", r.Shard)
+	}
+	if len(r.ByAborts) != 2 || r.ByAborts[0].Key != 2 || r.ByAborts[0].Count != 9 {
+		t.Errorf("rollup ByAborts = %+v, want key 2 (9) first", r.ByAborts)
+	}
+	if len(r.ByLatency) != 2 || r.ByLatency[0].Key != 1 || r.ByLatency[0].Count != 100 {
+		t.Errorf("rollup ByLatency = %+v, want key 1 (100) first", r.ByLatency)
+	}
+}
+
+// TestHistSnapshotEdgeCases: the quantile/mean paths that used to be able
+// to divide by zero or feed NaN into a float→uint64 conversion.
+func TestHistSnapshotEdgeCases(t *testing.T) {
+	var empty HistSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Quantile(math.NaN()) != 0 {
+		t.Error("empty snapshot quantile != 0")
+	}
+	if m := empty.Mean(); m != 0 || math.IsNaN(m) {
+		t.Errorf("empty snapshot Mean = %v, want 0", m)
+	}
+
+	h := NewHistogram("t", "ns")
+	h.Record(5)
+	h.Record(100)
+	s := h.Snapshot()
+	min := s.Quantile(0.01)
+	for _, q := range []float64{0, -1, math.NaN()} {
+		if got := s.Quantile(q); got != min {
+			t.Errorf("Quantile(%v) = %d, want minimum rank %d", q, got, min)
+		}
+	}
+	for _, q := range []float64{1, 2, math.Inf(1)} {
+		if got := s.Quantile(q); got != 100 {
+			t.Errorf("Quantile(%v) = %d, want recorded max 100", q, got)
+		}
+	}
+	if m := s.Mean(); m != 52.5 {
+		t.Errorf("Mean = %v, want 52.5 (exact, not bucketed)", m)
+	}
+
+	// Single-bucket population: every quantile lands in that bucket, and
+	// the top bucket reports the true max rather than its 2^k edge.
+	h1 := NewHistogram("t1", "ns")
+	for i := 0; i < 10; i++ {
+		h1.Record(70) // bucket (64, 128]
+	}
+	s1 := h1.Snapshot()
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := s1.Quantile(q); got != 70 {
+			t.Errorf("single-bucket Quantile(%v) = %d, want true max 70", q, got)
+		}
+	}
+}
+
+// TestServeProbeHistograms: the probe's per-verb histograms are the
+// domain-registered serve_*_ns instruments (recording through the probe
+// is visible in the domain snapshot under the canonical names), and
+// repeated probe construction returns the same instruments rather than
+// forking the counts.
+func TestServeProbeHistograms(t *testing.T) {
+	d := NewDomain(DomainConfig{Name: "srv", Threads: 2})
+	p := d.ServeProbe()
+	p.GetNs.RecordAt(0, 100)
+	p.SetNs.RecordAt(1, 200)
+	p.SetNs.RecordAt(0, 300)
+	p.DelNs.Record(400)
+	p.AscendNs.Record(500)
+
+	want := map[string]uint64{
+		HistServeGetNs:    1,
+		HistServeSetNs:    2,
+		HistServeDelNs:    1,
+		HistServeAscendNs: 1,
+		HistServeBatchNs:  0,
+	}
+	snap := d.Snapshot()
+	seen := map[string]uint64{}
+	for _, h := range snap.Histograms {
+		seen[h.Name] = h.Count
+	}
+	for name, count := range want {
+		got, ok := seen[name]
+		if !ok {
+			t.Errorf("domain snapshot missing %s", name)
+			continue
+		}
+		if got != count {
+			t.Errorf("%s count = %d, want %d", name, got, count)
+		}
+	}
+
+	p2 := d.ServeProbe()
+	if p2.GetNs != p.GetNs {
+		t.Error("second ServeProbe forked a new serve_get_ns histogram")
+	}
+	p2.GetNs.Record(1)
+	if got := p.GetNs.Snapshot().Count; got != 2 {
+		t.Errorf("shared histogram count = %d, want 2", got)
+	}
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultTopK is the sketch capacity when the serving layer does not
+// configure one.
+const DefaultTopK = 16
+
+// TopKItem is one tracked key with its estimated count. The space-saving
+// guarantee: the true count lies in [Count-Err, Count], and any key whose
+// true count exceeds N/k (N = total weight added, k = capacity) is
+// guaranteed to be present in the sketch.
+type TopKItem struct {
+	Key   uint64 `json:"key"`
+	Count uint64 `json:"count"`
+	Err   uint64 `json:"err"` // overestimate bound inherited at eviction
+}
+
+// TopK is a space-saving (Metwally et al.) top-K counter over uint64
+// keys: at most k keys are tracked; an untracked key evicts the current
+// minimum and inherits its count as its error bound. Adds take a mutex —
+// the callers (the serving layer's per-request hot-key accounting) add at
+// request granularity, not per memory access, and k is small enough that
+// the linear min scan is cheaper than heap bookkeeping.
+type TopK struct {
+	k  int
+	mu sync.Mutex
+	m  map[uint64]*topkSlot
+}
+
+type topkSlot struct {
+	count uint64
+	err   uint64
+}
+
+// NewTopK builds a sketch tracking at most k keys (≤ 0 picks the default).
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		k = DefaultTopK
+	}
+	return &TopK{k: k, m: make(map[uint64]*topkSlot, k)}
+}
+
+// Add adds weight w for key (w 0 is a no-op).
+func (t *TopK) Add(key uint64, w uint64) {
+	if t == nil || w == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.m[key]; ok {
+		s.count += w
+		return
+	}
+	if len(t.m) < t.k {
+		t.m[key] = &topkSlot{count: w}
+		return
+	}
+	// Evict the minimum; the newcomer inherits its count as error.
+	var minKey uint64
+	var min *topkSlot
+	for k, s := range t.m {
+		if min == nil || s.count < min.count {
+			minKey, min = k, s
+		}
+	}
+	delete(t.m, minKey)
+	t.m[key] = &topkSlot{count: min.count + w, err: min.count}
+}
+
+// Items returns the tracked keys, highest estimated count first (ties by
+// key for determinism).
+func (t *TopK) Items() []TopKItem {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]TopKItem, 0, len(t.m))
+	for k, s := range t.m {
+		out = append(out, TopKItem{Key: k, Count: s.count, Err: s.err})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// HotKeys is one shard's pair of hot-key sketches: which keys cause
+// transaction aborts, and which keys the request latency concentrates on.
+// Two sketches because the rankings diverge — a key can be latency-hot
+// without ever conflicting (large scans) and an aborts-ranked sketch
+// would evict it.
+type HotKeys struct {
+	Aborts  *TopK // weight = aborted attempts of requests touching the key
+	Latency *TopK // weight = request total ns attributed to the key
+}
+
+// NewHotKeys builds both sketches at capacity k.
+func NewHotKeys(k int) *HotKeys {
+	return &HotKeys{Aborts: NewTopK(k), Latency: NewTopK(k)}
+}
+
+// HotShard is the JSON face of one shard's sketches (Shard -1 = the
+// cross-shard rollup).
+type HotShard struct {
+	Shard     int        `json:"shard"`
+	ByAborts  []TopKItem `json:"by_aborts"`
+	ByLatency []TopKItem `json:"by_latency_ns"`
+}
+
+// Snapshot captures one shard's sketches.
+func (h *HotKeys) Snapshot(shard int) HotShard {
+	return HotShard{Shard: shard, ByAborts: h.Aborts.Items(), ByLatency: h.Latency.Items()}
+}
+
+// RollupHot merges per-shard sketches into one cross-shard ranking:
+// counts and error bounds sum per key (shards partition the key space, so
+// a key's estimates come from exactly one shard and the sum is just the
+// union — but the merge stays correct even for overlapping sketches),
+// truncated to the largest per-shard capacity.
+func RollupHot(shards []*HotKeys) HotShard {
+	merge := func(pick func(h *HotKeys) *TopK) []TopKItem {
+		acc := make(map[uint64]TopKItem)
+		maxK := 0
+		for _, h := range shards {
+			if h == nil {
+				continue
+			}
+			t := pick(h)
+			if t != nil && t.k > maxK {
+				maxK = t.k
+			}
+			for _, it := range t.Items() {
+				a := acc[it.Key]
+				a.Key = it.Key
+				a.Count += it.Count
+				a.Err += it.Err
+				acc[it.Key] = a
+			}
+		}
+		out := make([]TopKItem, 0, len(acc))
+		for _, it := range acc {
+			out = append(out, it)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Count != out[j].Count {
+				return out[i].Count > out[j].Count
+			}
+			return out[i].Key < out[j].Key
+		})
+		if maxK > 0 && len(out) > maxK {
+			out = out[:maxK]
+		}
+		return out
+	}
+	return HotShard{
+		Shard:     -1,
+		ByAborts:  merge(func(h *HotKeys) *TopK { return h.Aborts }),
+		ByLatency: merge(func(h *HotKeys) *TopK { return h.Latency }),
+	}
+}

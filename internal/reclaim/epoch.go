@@ -2,8 +2,10 @@ package reclaim
 
 import (
 	"sync/atomic"
+	"time"
 
 	"hohtx/internal/arena"
+	"hohtx/internal/obs"
 	"hohtx/internal/pad"
 )
 
@@ -133,6 +135,10 @@ func (e *Epochs) tryAdvance() {
 // drain frees the caller's retired nodes whose epoch is at least two
 // behind the global epoch.
 func (e *Epochs) drain(tid int, stamp uint64) {
+	if sp := e.reclaimSpan(tid); sp != nil {
+		t0 := time.Now()
+		defer func() { sp.Add(obs.SpanReclaim, uint64(time.Since(t0))) }()
+	}
 	t := &e.threads[tid]
 	g := e.global.Load()
 	st := &e.stats[tid]

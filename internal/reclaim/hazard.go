@@ -2,8 +2,10 @@ package reclaim
 
 import (
 	"sync/atomic"
+	"time"
 
 	"hohtx/internal/arena"
+	"hohtx/internal/obs"
 	"hohtx/internal/pad"
 )
 
@@ -121,6 +123,10 @@ func (hp *HazardPointers) Flush(tid int, stamp uint64) {
 // batched reclamation whose allocator interaction Figure 5 studies: up to
 // ScanThreshold frees hit the allocator back to back.
 func (hp *HazardPointers) scan(tid int, stamp uint64) {
+	if sp := hp.reclaimSpan(tid); sp != nil {
+		t0 := time.Now()
+		defer func() { sp.Add(obs.SpanReclaim, uint64(time.Since(t0))) }()
+	}
 	st := &hp.stats[tid]
 	st.scans.Add(1)
 	hazards := make(map[arena.Handle]struct{}, len(hp.threads)*hp.perThread)

@@ -31,3 +31,16 @@ func (o *observer) noteFreeEv(tid int, delay uint64) {
 		p.DelayOps.RecordAt(uint64(tid), delay)
 	}
 }
+
+// reclaimSpan returns the request span armed on tid, if the serving layer
+// is tracing — the deferred schemes stamp their scan/drain time onto it
+// as the Reclaim phase, so a request that happened to amortize a big
+// reclamation batch shows that in its slowlog breakdown instead of the
+// time being smeared into the operation. Unlike the flight events above,
+// span stamping is not sampled: the slowlog must capture outliers.
+func (o *observer) reclaimSpan(tid int) *obs.Span {
+	if p := o.probe; p != nil {
+		return p.D.SpanOf(tid)
+	}
+	return nil
+}

@@ -1,0 +1,424 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hohtx/internal/bench"
+	"hohtx/internal/obs"
+	"hohtx/internal/serve"
+	"hohtx/internal/sets"
+)
+
+// tracedServer is a loopback server with request tracing armed: an obs
+// domain on the server, Observe-enabled structure domains per shard, and
+// a live obs HTTP endpoint serving /slowlog and /hotkeys.
+type tracedServer struct {
+	srv   *serve.Server
+	pools []*serve.Pool
+	addr  string // wire protocol address
+	obs   string // obs endpoint host:port (also advertised via INFO obs=)
+}
+
+func startTracedServer(t *testing.T, shards, slots int) *tracedServer {
+	t.Helper()
+	dom := obs.NewDomain(obs.DomainConfig{Name: "server", Threads: slots})
+	reg := obs.NewRegistry()
+	reg.Register(dom)
+	bound, err := obs.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("obs.Serve: %v", err)
+	}
+
+	spec := bench.VariantSpec{Name: "RR-V", Observe: true}
+	backends := make([]serve.Backend, shards)
+	pools := make([]*serve.Pool, shards)
+	if shards <= 1 {
+		set, err := bench.Build(bench.FamilySingly, spec, slots)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		pools[0] = serve.NewPool(set, serve.PoolConfig{Slots: slots})
+		backends[0] = serve.Backend{Set: set, Pool: pools[0]}
+	} else {
+		sh, err := bench.BuildSharded(bench.FamilySingly, spec, slots, shards)
+		if err != nil {
+			t.Fatalf("build sharded: %v", err)
+		}
+		for i := 0; i < shards; i++ {
+			pools[i] = serve.NewPool(sh.Shard(i), serve.PoolConfig{Slots: slots})
+			backends[i] = serve.Backend{Set: sh.Shard(i), Pool: pools[i]}
+		}
+	}
+	srv := serve.NewServer(serve.ServerConfig{
+		Shards: backends, Obs: dom, ObsAddr: bound.String(),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return &tracedServer{srv: srv, pools: pools, addr: ln.Addr().String(), obs: bound.String()}
+}
+
+// getJSON fetches a forensics endpoint and decodes it — the decode
+// itself is the valid-JSON assertion.
+func getJSON(t *testing.T, hostport, path string, v any) {
+	t.Helper()
+	resp, err := http.Get("http://" + hostport + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", path, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode %s: %v", path, err)
+	}
+}
+
+// TestSlowlogCapturesWaitDominatedRequest is the acceptance path for the
+// phase breakdown: with a single-slot pool whose only lease the test
+// holds, a request must queue — and its slowlog entry must say so, with
+// the wait phase dominating the breakdown.
+func TestSlowlogCapturesWaitDominatedRequest(t *testing.T) {
+	ts := startTracedServer(t, 1, 1)
+	cl := dialClient(t, ts.addr)
+
+	// Hold the only worker slot, then send a request that has to queue
+	// behind us for its lease.
+	slot, err := ts.pools[0].Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	const stall = 60 * time.Millisecond
+	cl.bw.WriteString("SET 7\n")
+	if err := cl.bw.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	time.Sleep(stall)
+	ts.pools[0].Release(slot)
+	line, err := cl.br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read reply: %v", err)
+	}
+	if got := strings.TrimRight(line, "\n"); got != "1" {
+		t.Fatalf("SET 7 -> %q, want 1", got)
+	}
+
+	var dumps []obs.SlowlogDump
+	getJSON(t, ts.obs, "/slowlog", &dumps)
+	if len(dumps) != 1 || len(dumps[0].Entries) == 0 {
+		t.Fatalf("/slowlog = %+v, want one domain with entries", dumps)
+	}
+	var found *obs.SlowEntry
+	for i := range dumps[0].Entries {
+		e := &dumps[0].Entries[i]
+		if e.Verb == "SET" && len(e.Keys) == 1 && e.Keys[0] == 7 {
+			found = e
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("no SET 7 entry in %+v", dumps[0].Entries)
+	}
+	if found.WorstPhase != "wait" {
+		t.Errorf("worst phase = %q, want wait (breakdown: %+v)", found.WorstPhase, *found)
+	}
+	if found.WaitNs < uint64(stall/2) {
+		t.Errorf("wait phase = %s, want >= %s", time.Duration(found.WaitNs), stall/2)
+	}
+	if found.TotalNs < found.WaitNs {
+		t.Errorf("total %d < wait %d: phases exceed the request", found.TotalNs, found.WaitNs)
+	}
+
+	// The same forensics over the wire: SLOWLOG streams SLOW lines with
+	// the breakdown as key=value fields, terminated by END.
+	cl.bw.WriteString("SLOWLOG 8\n")
+	if err := cl.bw.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	sawWait := false
+	for {
+		line, err := cl.br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("SLOWLOG read: %v", err)
+		}
+		l := strings.TrimRight(line, "\n")
+		if l == "END" {
+			break
+		}
+		if !strings.HasPrefix(l, "SLOW ") {
+			t.Fatalf("SLOWLOG line %q, want SLOW …", l)
+		}
+		if strings.Contains(l, "verb=SET") && strings.Contains(l, "worst=wait") {
+			sawWait = true
+		}
+	}
+	if !sawWait {
+		t.Error("SLOWLOG stream had no wait-dominated SET line")
+	}
+}
+
+// pipeline round-trips requests on a raw client without touching
+// testing.T — safe from worker goroutines.
+func pipeline(cl *client, reqs []string) error {
+	for _, r := range reqs {
+		cl.bw.WriteString(r)
+		cl.bw.WriteByte('\n')
+	}
+	if err := cl.bw.Flush(); err != nil {
+		return err
+	}
+	for range reqs {
+		line, err := cl.br.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		if strings.HasPrefix(line, "ERR") {
+			return fmt.Errorf("server: %s", strings.TrimRight(line, "\n"))
+		}
+	}
+	return nil
+}
+
+// TestHotKeysAbortAttribution is the acceptance path for hot-key
+// forensics: concurrent writers hammering one key must surface that key
+// at the top of /hotkeys' cross-shard abort rollup — on one shard and on
+// two.
+func TestHotKeysAbortAttribution(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			const (
+				conns  = 4
+				hotKey = 5
+			)
+			ts := startTracedServer(t, shards, 4)
+			clients := make([]*client, conns)
+			for c := range clients {
+				clients[c] = dialClient(t, ts.addr)
+			}
+
+			// Churn in rounds until the contention shows up in the sketch:
+			// every connection alternates SET/DEL on the hot key (write-write
+			// conflicts on one word) with a few cold keys mixed in so topping
+			// the ranking means something.
+			deadline := time.Now().Add(10 * time.Second)
+			var rollup obs.HotShard
+			for {
+				var wg sync.WaitGroup
+				errs := make(chan error, conns)
+				for c := 0; c < conns; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						reqs := make([]string, 0, 300)
+						for i := 0; i < 140; i++ {
+							reqs = append(reqs, fmt.Sprintf("SET %d", hotKey), fmt.Sprintf("DEL %d", hotKey))
+							if i%20 == 0 {
+								reqs = append(reqs, fmt.Sprintf("SET %d", 1000+c*10+i/20))
+							}
+						}
+						errs <- pipeline(clients[c], reqs)
+					}(c)
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					if err != nil {
+						t.Fatalf("churn: %v", err)
+					}
+				}
+
+				var dumps []obs.HotKeysDump
+				getJSON(t, ts.obs, "/hotkeys", &dumps)
+				if len(dumps) != 1 {
+					t.Fatalf("/hotkeys = %d domains, want 1", len(dumps))
+				}
+				if len(dumps[0].Shards) != shards {
+					t.Fatalf("/hotkeys shards = %d, want %d", len(dumps[0].Shards), shards)
+				}
+				rollup = dumps[0].Rollup
+				if len(rollup.ByAborts) > 0 {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("no aborts attributed after 10s of single-key write churn")
+				}
+			}
+
+			if rollup.Shard != -1 {
+				t.Errorf("rollup shard = %d, want -1", rollup.Shard)
+			}
+			if rollup.ByAborts[0].Key != hotKey {
+				t.Errorf("top key by aborts = %d (count %d), want %d; rollup %+v",
+					rollup.ByAborts[0].Key, rollup.ByAborts[0].Count, hotKey, rollup.ByAborts)
+			}
+			// Latency attribution runs even without aborts; the hot key saw
+			// the overwhelming majority of requests, so it must be tracked.
+			foundLat := false
+			for _, it := range rollup.ByLatency {
+				if it.Key == hotKey {
+					foundLat = true
+				}
+			}
+			if !foundLat {
+				t.Errorf("hot key absent from latency rollup %+v", rollup.ByLatency)
+			}
+
+			// The slowlog endpoint must be live and valid JSON on every shard
+			// count; after hundreds of traced requests it cannot be empty.
+			var slow []obs.SlowlogDump
+			getJSON(t, ts.obs, "/slowlog", &slow)
+			if len(slow) != 1 || len(slow[0].Entries) == 0 {
+				t.Errorf("/slowlog = %+v, want a populated dump", slow)
+			}
+		})
+	}
+}
+
+// TestInfoAdvertisesObs: a traced server advertises its obs endpoint in
+// INFO as obs=<addr> (the hohload auto-discovery hook); an untraced one
+// stays silent.
+func TestInfoAdvertisesObs(t *testing.T) {
+	ts := startTracedServer(t, 1, 2)
+	cl := dialClient(t, ts.addr)
+	info := cl.roundTrip(t, "INFO")[0]
+	if want := "obs=" + ts.obs; !strings.Contains(info, want) {
+		t.Errorf("INFO %q missing %q", info, want)
+	}
+
+	_, _, addr := startServer(t, 2)
+	cl2 := dialClient(t, addr)
+	if info := cl2.roundTrip(t, "INFO")[0]; strings.Contains(info, "obs=") {
+		t.Errorf("untraced INFO %q advertises an obs endpoint", info)
+	}
+}
+
+// TestSlowlogVerbErrors: SLOWLOG rejects malformed counts, and reports
+// plainly when the server has no tracing to dump.
+func TestSlowlogVerbErrors(t *testing.T) {
+	_, _, addr := startServer(t, 2)
+	cl := dialClient(t, addr)
+	if r := cl.roundTrip(t, "SLOWLOG 5")[0]; !strings.HasPrefix(r, "ERR") {
+		t.Errorf("SLOWLOG on untraced server -> %q, want ERR", r)
+	}
+
+	ts := startTracedServer(t, 1, 2)
+	cl2 := dialClient(t, ts.addr)
+	if r := cl2.roundTrip(t, "SLOWLOG x")[0]; !strings.HasPrefix(r, "ERR") {
+		t.Errorf("SLOWLOG x -> %q, want ERR", r)
+	}
+}
+
+// TestAcquireSpanStampsWait: a queued lease stamps the span's Wait phase
+// with the time spent behind other leaseholders; the uncontended fast
+// path stamps nothing.
+func TestAcquireSpanStampsWait(t *testing.T) {
+	set := newSet(t, 1)
+	p := serve.NewPool(set, serve.PoolConfig{Slots: 1})
+
+	sp := obs.NewSpan("GET")
+	h := p.Handle()
+	if slot, err := h.AcquireSpan(context.Background(), sp); err != nil {
+		t.Fatalf("fast-path AcquireSpan: %v", err)
+	} else {
+		defer p.Release(slot)
+		if got := sp.Phase(obs.SpanWait); got != 0 {
+			t.Errorf("uncontended acquire stamped wait=%d, want 0", got)
+		}
+
+		sp2 := obs.NewSpan("GET")
+		const stall = 40 * time.Millisecond
+		got := make(chan int, 1)
+		go func() {
+			h2 := p.Handle()
+			s2, err := h2.AcquireSpan(context.Background(), sp2)
+			if err != nil {
+				s2 = -1
+			}
+			got <- s2
+		}()
+		time.Sleep(stall)
+		p.Release(slot)
+		s2 := <-got
+		if s2 < 0 {
+			t.Fatal("queued AcquireSpan failed")
+		}
+		slot = s2 // the deferred Release hands back the re-leased slot
+		if w := sp2.Phase(obs.SpanWait); w < uint64(stall/2) {
+			t.Errorf("queued acquire stamped wait=%s, want >= %s", time.Duration(w), stall/2)
+		}
+		sp2.Finish()
+	}
+	sp.Finish()
+}
+
+// TestStmStampsSpan drives the deterministic capacity cliff with a span
+// armed: a batch over the simulated HTM capacity must abort with the
+// capacity cause and fall back to serial, and the armed span must carry
+// the whole story — attempt counts, the serial attempt, the cause tally,
+// and nonzero attempt/serial phase time.
+func TestStmStampsSpan(t *testing.T) {
+	set, err := bench.Build(bench.FamilySingly, bench.VariantSpec{Name: "HTM", Capacity: 8, Observe: true}, 1)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	dom := set.(interface{ ObsDomain() *obs.Domain }).ObsDomain()
+	p := serve.NewPool(set, serve.PoolConfig{Slots: 1})
+
+	ops := make([]sets.Op, 32)
+	for i := range ops {
+		ops[i] = sets.Op{Kind: sets.OpInsert, Key: uint64(i + 1)}
+	}
+	sp := obs.NewSpan("MULTI")
+	err = p.Do(context.Background(), func(tid int) {
+		dom.SetSpan(tid, sp)
+		defer dom.SetSpan(tid, nil)
+		for i, ok := range set.Apply(tid, ops) {
+			if !ok {
+				t.Errorf("Apply op %d failed", i)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	sp.Finish()
+
+	total, serial := sp.Attempts()
+	if total < 2 || serial < 1 {
+		t.Errorf("attempts = %d (serial %d), want >= 2 with >= 1 serial (capacity cliff)", total, serial)
+	}
+	if sp.Phase(obs.SpanSerial) == 0 {
+		t.Error("serial attempt left no serial phase time")
+	}
+	sawCapacity := false
+	for _, c := range sp.Causes() {
+		if c.Cause == "capacity" && c.Count > 0 {
+			sawCapacity = true
+		}
+	}
+	if !sawCapacity {
+		t.Errorf("causes = %+v, want a capacity abort", sp.Causes())
+	}
+}

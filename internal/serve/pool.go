@@ -123,7 +123,7 @@ func (p *Pool) Slots() int { return p.slots }
 // Acquire leases a slot, queueing FIFO behind other waiters when all
 // slots are out. It fails with ErrSaturated when the wait queue is full,
 // ErrClosed after Close, or ctx.Err() if ctx ends first.
-func (p *Pool) Acquire(ctx context.Context) (int, error) { return p.acquire(ctx, -1) }
+func (p *Pool) Acquire(ctx context.Context) (int, error) { return p.acquire(ctx, -1, nil) }
 
 // TryAcquire leases a slot only when one is free right now; it never
 // queues. The false return means "would have to wait" (or the pool is
@@ -185,8 +185,13 @@ func (p *Pool) tryAcquire(want int) (int, bool) {
 // acquire implements Acquire; want ≥ 0 asks for a specific free slot
 // (handle affinity) and falls back to any free slot. A nil ctx means
 // "wait forever" — it only matters on the queued path, and Do(nil, fn)
-// is too convenient a call shape to let it panic there.
-func (p *Pool) acquire(ctx context.Context, want int) (int, error) {
+// is too convenient a call shape to let it panic there. A non-nil sp gets
+// the queued time stamped as its Wait phase — measured waiter-side (time
+// since enqueue, taken after the grant lands) so it agrees with what the
+// lease_wait_ns histogram's granter-side measurement saw to within a
+// scheduling quantum; the fast path's wait is genuinely zero and stamps
+// nothing.
+func (p *Pool) acquire(ctx context.Context, want int, sp *obs.Span) (int, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -226,6 +231,9 @@ func (p *Pool) acquire(ctx context.Context, want int) (int, error) {
 	case slot, ok := <-w.ch:
 		if !ok {
 			return -1, ErrClosed
+		}
+		if sp != nil {
+			sp.Add(obs.SpanWait, uint64(time.Since(w.enqueued)))
 		}
 		return slot, nil
 	case <-ctx.Done():
@@ -338,7 +346,13 @@ func (p *Pool) Handle() *Handle { return &Handle{p: p, last: -1} }
 
 // Acquire leases a slot, preferring this handle's previous one.
 func (h *Handle) Acquire(ctx context.Context) (int, error) {
-	slot, err := h.p.acquire(ctx, h.last)
+	return h.AcquireSpan(ctx, nil)
+}
+
+// AcquireSpan is Acquire with a request span: when the lease has to
+// queue, the queued time is stamped as the span's Wait phase.
+func (h *Handle) AcquireSpan(ctx context.Context, sp *obs.Span) (int, error) {
+	slot, err := h.p.acquire(ctx, h.last, sp)
 	if err == nil {
 		h.last = slot
 	}

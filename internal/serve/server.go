@@ -71,8 +71,22 @@ type ServerConfig struct {
 	// Obs, when non-nil, receives per-verb service-time histograms, the
 	// batch-path histograms (batch service time, sub-transaction sizes,
 	// splits per batch), per-batch-size transaction gauges, and the
-	// live/deferred/connection gauges.
+	// live/deferred/connection gauges. It also arms request tracing: every
+	// request carries an obs.Span through lease acquisition, the STM
+	// attempt loop and the reply write, feeding the slowlog (SLOWLOG verb,
+	// /slowlog endpoint) and the per-shard hot-key sketches (/hotkeys).
 	Obs *obs.Domain
+	// ObsAddr, when set, is advertised in INFO as obs=<addr> so load
+	// generators can discover the obs endpoint without a second flag.
+	ObsAddr string
+	// SlowlogSize caps how many slow requests each window retains (zero =
+	// obs.DefaultSlowlogSize); SlowlogWindow is the rotation period (zero
+	// = obs.DefaultSlowlogWindow). Ignored without Obs.
+	SlowlogSize   int
+	SlowlogWindow time.Duration
+	// HotKeyK sizes the per-shard space-saving sketches (zero =
+	// obs.DefaultTopK). Ignored without Obs.
+	HotKeyK int
 }
 
 // Server speaks the repository's line protocol over one or more shards:
@@ -83,9 +97,12 @@ type ServerConfig struct {
 //	MULTI <n>\n  followed by n GET/SET/DEL lines -> n reply lines (one batch)
 //	ASCEND <lo> <n>\n -> up to n "OK <k>" lines, keys ≥ lo ascending,
 //	                terminated by END\n (or by an ERR line; see below)
+//	SLOWLOG <n>\n -> up to n "SLOW …" lines (slowest requests, phase
+//	                breakdowns as key=value fields), terminated by END\n
 //	LEN\n        -> <n>\n              (keys currently present, all shards)
 //	INFO\n       -> variant=… shards=… slots=… keys=… live=… deferred=… conns=…
-//	                maxbatch=… autobatch=… multi=… scan=… commits=… serial=… aborts=…\n
+//	                maxbatch=… autobatch=… multi=… scan=… commits=… serial=…
+//	                aborts=… [obs=<addr>]\n
 //	anything else -> ERR <reason>\n    (connection stays open)
 //
 // MULTI executes its n body ops as one transaction per shard touched
@@ -146,6 +163,17 @@ type Server struct {
 	mems      []sets.MemoryReporter // per shard; nil entries for bookless sets
 	scanOK    bool                  // every shard supports the reservation cursor
 	scanCap   string                // INFO scan= field: atomic-window|merged|none
+	obsAddr   string                // advertised obs endpoint (INFO obs=)
+
+	// Request-tracing state (nil/empty without cfg.Obs). setDoms[i] is
+	// shard i's structure-level obs domain when its set exposes one: the
+	// span is armed there per slot so the shard's stm runtime and
+	// reclamation scheme can stamp their phases.
+	trace    bool
+	slow     *obs.Slowlog
+	hot      []*obs.HotKeys // per shard
+	setDoms  []*obs.Domain  // per shard; nil entries for unobserved sets
+	spanPool sync.Pool
 
 	keys  atomic.Int64 // net successful SET − DEL through this server
 	conns atomic.Int64
@@ -186,7 +214,23 @@ func NewServer(cfg ServerConfig) *Server {
 		}
 	}
 	s.scanOK, s.scanCap = scanCapability(shards)
+	s.obsAddr = cfg.ObsAddr
 	if cfg.Obs != nil {
+		s.trace = true
+		s.slow = obs.NewSlowlog(cfg.SlowlogSize, cfg.SlowlogWindow)
+		cfg.Obs.SetSlowlog(s.slow)
+		s.hot = make([]*obs.HotKeys, len(shards))
+		for i := range s.hot {
+			s.hot[i] = obs.NewHotKeys(cfg.HotKeyK)
+		}
+		cfg.Obs.SetHotKeys(s.hot)
+		s.setDoms = make([]*obs.Domain, len(shards))
+		for i, b := range shards {
+			if or, ok := b.Set.(interface{ ObsDomain() *obs.Domain }); ok {
+				s.setDoms[i] = or.ObsDomain()
+			}
+		}
+		s.spanPool.New = func() any { return &obs.Span{} }
 		s.probe = cfg.Obs.ServeProbe()
 		cfg.Obs.Gauge("server_keys", func() uint64 { return uint64(s.keys.Load()) })
 		cfg.Obs.Gauge("server_conns", func() uint64 { return uint64(s.conns.Load()) })
@@ -227,6 +271,45 @@ func scanCapability(shards []Backend) (bool, string) {
 		return true, "merged"
 	}
 	return true, "atomic-window"
+}
+
+// span starts a request span (nil when tracing is off — every stamping
+// site nil-checks, so an untracing server pays one branch per site).
+// Spans are pooled: Reset panics if a pooled span comes back unfinished,
+// which turns a leaked span into a loud failure instead of a slow leak.
+func (s *Server) span(verb string) *obs.Span {
+	if !s.trace {
+		return nil
+	}
+	sp := s.spanPool.Get().(*obs.Span)
+	sp.Reset(verb)
+	return sp
+}
+
+// finishSpan seals the span, offers it to the slowlog, feeds the per-key
+// hot sketches, and returns it to the pool. Must be the last touch: the
+// slowlog copies what it keeps and the pool will reuse the span.
+func (s *Server) finishSpan(sp *obs.Span) {
+	if sp == nil {
+		return
+	}
+	total := sp.Finish()
+	s.slow.Observe(sp)
+	keys, _ := sp.Keys()
+	aborts := sp.Aborts()
+	for _, k := range keys {
+		sh := ShardOf(k, len(s.shards))
+		s.hot[sh].Latency.Add(k, total)
+		if aborts > 0 {
+			// Every key of the request is charged the request's aborts:
+			// within one transaction there is no per-key attribution, and
+			// for the sketch's purpose (which keys correlate with abort
+			// churn) over-charging cold keys washes out while hot keys
+			// accumulate exactly their conflict volume.
+			s.hot[sh].Aborts.Add(k, aborts)
+		}
+	}
+	s.spanPool.Put(sp)
 }
 
 // leaseFailed writes the ERR reply for a failed lease acquisition and
@@ -384,7 +467,8 @@ func newConnLeases(shards []Backend) *connLeases {
 // another is the hold-and-wait half of a deadlock cycle — with one slot
 // per shard, connection A holding shard 0 and waiting on shard 1 while
 // connection B holds 1 and waits on 0 would stall the server for good.
-func (l *connLeases) slot(i int) (int, error) {
+// A non-nil sp gets any queued time stamped as its Wait phase.
+func (l *connLeases) slot(i int, sp *obs.Span) (int, error) {
 	if l.slots[i] >= 0 {
 		return l.slots[i], nil
 	}
@@ -393,7 +477,7 @@ func (l *connLeases) slot(i int) (int, error) {
 		return slot, nil
 	}
 	l.releaseAll()
-	slot, err := l.handles[i].Acquire(context.Background())
+	slot, err := l.handles[i].AcquireSpan(context.Background(), sp)
 	if err != nil {
 		return -1, err
 	}
@@ -507,8 +591,16 @@ func (s *Server) serveLine(leases *connLeases, line string, br *bufio.Reader, bw
 			return true
 		}
 		shard := ShardOf(key, len(s.shards))
-		slot, err := leases.slot(shard)
+		sp := s.span(verb)
+		if sp != nil {
+			sp.AddKey(key)
+			sp.MarkShard(shard)
+		}
+		slot, err := leases.slot(shard, sp)
 		if err != nil {
+			// The span still finishes: a shed request is a tail-latency
+			// event too (all wait, no work), and the slowlog should show it.
+			s.finishSpan(sp)
 			return leaseFailed(bw, err)
 		}
 		sampled := s.dom != nil && s.dom.Sampled(uint64(slot))
@@ -517,6 +609,13 @@ func (s *Server) serveLine(leases *connLeases, line string, br *bufio.Reader, bw
 			t0 = time.Now()
 		}
 		set := s.shards[shard].Set
+		var dom *obs.Domain
+		var opT0 time.Time
+		if sp != nil {
+			dom = s.setDoms[shard]
+			dom.SetSpan(slot, sp)
+			opT0 = time.Now()
+		}
 		var ok bool
 		switch verb {
 		case "GET":
@@ -530,6 +629,10 @@ func (s *Server) serveLine(leases *connLeases, line string, br *bufio.Reader, bw
 				s.keys.Add(-1)
 			}
 		}
+		if sp != nil {
+			sp.Add(obs.SpanLease, uint64(time.Since(opT0)))
+			dom.SetSpan(slot, nil)
+		}
 		if sampled {
 			d := uint64(time.Since(t0))
 			switch verb {
@@ -541,15 +644,25 @@ func (s *Server) serveLine(leases *connLeases, line string, br *bufio.Reader, bw
 				s.probe.DelNs.RecordAt(uint64(slot), d)
 			}
 		}
+		var wT0 time.Time
+		if sp != nil {
+			wT0 = time.Now()
+		}
 		if ok {
 			bw.WriteString("1\n")
 		} else {
 			bw.WriteString("0\n")
 		}
+		if sp != nil {
+			sp.Add(obs.SpanWrite, uint64(time.Since(wT0)))
+			s.finishSpan(sp)
+		}
 	case "MULTI":
 		return s.serveMulti(leases, rest, br, bw)
 	case "ASCEND":
 		return s.serveAscend(leases, rest, bw)
+	case "SLOWLOG":
+		s.serveSlowlog(rest, bw)
 	case "LEN":
 		bw.WriteString(strconv.FormatInt(s.keys.Load(), 10))
 		bw.WriteByte('\n')
@@ -560,10 +673,14 @@ func (s *Server) serveLine(leases *connLeases, line string, br *bufio.Reader, bw
 			multi = "per-shard"
 		}
 		commits, serial, aborts := s.txTotals()
-		fmt.Fprintf(bw, "variant=%s shards=%d slots=%d keys=%d live=%d deferred=%d conns=%d maxbatch=%d autobatch=%d multi=%s scan=%s commits=%d serial=%d aborts=%d\n",
+		fmt.Fprintf(bw, "variant=%s shards=%d slots=%d keys=%d live=%d deferred=%d conns=%d maxbatch=%d autobatch=%d multi=%s scan=%s commits=%d serial=%d aborts=%d",
 			s.shards[0].Set.Name(), len(s.shards), s.shards[0].Pool.Slots(),
 			s.keys.Load(), live, deferred, s.conns.Load(),
 			s.maxBatch, s.autoBatch, multi, s.scanCap, commits, serial, aborts)
+		if s.obsAddr != "" {
+			fmt.Fprintf(bw, " obs=%s", s.obsAddr)
+		}
+		bw.WriteByte('\n')
 	case "":
 		bw.WriteString("ERR empty command\n")
 	default:
@@ -602,6 +719,11 @@ func (s *Server) serveAscend(leases *connLeases, args string, bw *bufio.Writer) 
 		bw.WriteString("ERR scan unsupported\n")
 		return true
 	}
+	sp := s.span("ASCEND")
+	if sp != nil {
+		sp.AddKey(lo)
+		defer s.finishSpan(sp)
+	}
 	sampled := s.dom != nil && s.dom.Sampled(lo)
 	var t0 time.Time
 	if sampled {
@@ -621,7 +743,10 @@ func (s *Server) serveAscend(leases *connLeases, args string, bw *bufio.Writer) 
 			if cur.done || len(cur.buf) > 0 {
 				continue
 			}
-			slot, err := leases.slot(i)
+			if sp != nil {
+				sp.MarkShard(i)
+			}
+			slot, err := leases.slot(i, sp)
 			if err != nil {
 				fmt.Fprintf(bw, "ERR ascend: %v\n", err)
 				return errors.Is(err, ErrSaturated)
@@ -635,7 +760,23 @@ func (s *Server) serveAscend(leases *connLeases, args string, bw *bufio.Writer) 
 				bw.WriteString("ERR scan unsupported\n")
 				return true
 			}
-			if err := cur.pull(a, slot, max); err != nil {
+			// Each chunk pull runs its window transactions with the span
+			// armed on the shard's domain, so cursor commits and
+			// renavigations stamp the tx phases; the pull itself counts as
+			// Lease time (Finish nets the inner phases back out).
+			var dom *obs.Domain
+			var pullT0 time.Time
+			if sp != nil {
+				dom = s.setDoms[i]
+				dom.SetSpan(slot, sp)
+				pullT0 = time.Now()
+			}
+			err = cur.pull(a, slot, max)
+			if sp != nil {
+				sp.Add(obs.SpanLease, uint64(time.Since(pullT0)))
+				dom.SetSpan(slot, nil)
+			}
+			if err != nil {
 				// Defensive: capability was probed at construction, but a
 				// variant may still refuse at run time.
 				bw.WriteString("ERR scan unsupported\n")
@@ -663,11 +804,88 @@ func (s *Server) serveAscend(leases *connLeases, args string, bw *bufio.Writer) 
 		cursors[best].buf = cursors[best].buf[1:]
 		emitted++
 	}
+	var wT0 time.Time
+	if sp != nil {
+		wT0 = time.Now()
+	}
 	bw.WriteString("END\n")
+	if sp != nil {
+		sp.Add(obs.SpanWrite, uint64(time.Since(wT0)))
+	}
 	if sampled {
 		s.probe.AscendNs.RecordAt(lo, uint64(time.Since(t0)))
 	}
 	return true
+}
+
+// serveSlowlog answers SLOWLOG <n>: up to n SLOW lines, slowest first,
+// terminated by END (the ASCEND framing, so one-shot clients reuse the
+// same reader). Each line is the wire rendering of one slowlog entry —
+// total, phase breakdown, attempt/abort counts, keys, shards and abort
+// owners as key=value fields. Servers running without an obs domain have
+// no slowlog and answer a single ERR line.
+func (s *Server) serveSlowlog(countArg string, bw *bufio.Writer) {
+	n, err := strconv.Atoi(countArg)
+	if err != nil || n < 1 {
+		fmt.Fprintf(bw, "ERR slowlog: bad count %q\n", countArg)
+		return
+	}
+	if !s.trace {
+		bw.WriteString("ERR slowlog unavailable (server has no obs domain)\n")
+		return
+	}
+	for rank, e := range s.slow.Entries(n) {
+		fmt.Fprintf(bw, "SLOW rank=%d verb=%s total_ns=%d worst=%s wait_ns=%d lease_ns=%d attempts_ns=%d serial_ns=%d reclaim_ns=%d write_ns=%d attempts=%d serial_txs=%d keys=%s key_n=%d shards=%s owners=%s\n",
+			rank+1, e.Verb, e.TotalNs, e.WorstPhase,
+			e.WaitNs, e.LeaseNs, e.AttemptsNs, e.SerialNs, e.ReclaimNs, e.WriteNs,
+			e.Attempts, e.SerialTxs,
+			joinUints(e.Keys), e.KeyN, joinInts(e.Shards), joinInt32s(e.Owners))
+	}
+	bw.WriteString("END\n")
+}
+
+// joinUints renders a list as comma-separated decimals ("-" when empty,
+// so the SLOW line's field count is stable for text tooling).
+func joinUints(v []uint64) string {
+	if len(v) == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(x, 10))
+	}
+	return b.String()
+}
+
+func joinInts(v []int) string {
+	if len(v) == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(x))
+	}
+	return b.String()
+}
+
+func joinInt32s(v []int32) string {
+	if len(v) == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(int64(x), 10))
+	}
+	return b.String()
 }
 
 // parseKey validates a decimal key in [1, maxKey].
@@ -777,6 +995,16 @@ func (s *Server) serveMulti(leases *connLeases, countArg string, br *bufio.Reade
 // Either way the return value follows the shedding contract: true (keep
 // the connection) iff the failure was saturation.
 func (s *Server) execOps(leases *connLeases, ops []sets.Op, split int, bw *bufio.Writer, perOpErr bool) bool {
+	verb := "MULTI"
+	if perOpErr {
+		verb = "BATCH" // auto-batched pipelined burst
+	}
+	sp := s.span(verb)
+	if sp != nil {
+		for _, op := range ops {
+			sp.AddKey(op.Key)
+		}
+	}
 	sampled := s.dom != nil && s.dom.Sampled(uint64(len(ops)))
 	var t0 time.Time
 	txs := 0
@@ -787,12 +1015,22 @@ func (s *Server) execOps(leases *connLeases, ops []sets.Op, split int, bw *bufio
 	executed := make([]bool, len(ops))
 	var leaseErr error
 	run := func(shard int, sub []sets.Op, idx []int) bool {
-		slot, err := leases.slot(shard)
+		if sp != nil {
+			sp.MarkShard(shard)
+		}
+		slot, err := leases.slot(shard, sp)
 		if err != nil {
 			leaseErr = err
 			return false
 		}
 		set := s.shards[shard].Set
+		var dom *obs.Domain
+		var opT0 time.Time
+		if sp != nil {
+			dom = s.setDoms[shard]
+			dom.SetSpan(slot, sp)
+			opT0 = time.Now()
+		}
 		for len(sub) > 0 {
 			chunk := sub
 			if split > 0 && len(chunk) > split {
@@ -816,6 +1054,10 @@ func (s *Server) execOps(leases *connLeases, ops []sets.Op, split int, bw *bufio
 			}
 			sub = sub[len(chunk):]
 			idx = idx[len(chunk):]
+		}
+		if sp != nil {
+			sp.Add(obs.SpanLease, uint64(time.Since(opT0)))
+			dom.SetSpan(slot, nil)
 		}
 		return true
 	}
@@ -846,6 +1088,16 @@ func (s *Server) execOps(leases *connLeases, ops []sets.Op, split int, bw *bufio
 		s.probe.BatchNs.RecordAt(uint64(len(ops)), uint64(time.Since(t0)))
 		s.probe.Splits.RecordAt(uint64(len(ops)), uint64(txs))
 	}
+	var wT0 time.Time
+	if sp != nil {
+		wT0 = time.Now()
+	}
+	defer func() {
+		if sp != nil {
+			sp.Add(obs.SpanWrite, uint64(time.Since(wT0)))
+			s.finishSpan(sp)
+		}
+	}()
 	if leaseErr != nil && !perOpErr {
 		fmt.Fprintf(bw, "ERR multi: %v\n", leaseErr)
 		return errors.Is(leaseErr, ErrSaturated)

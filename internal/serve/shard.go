@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hohtx/internal/arena"
+	"hohtx/internal/obs"
 	"hohtx/internal/reclaim"
 	"hohtx/internal/sets"
 	"hohtx/internal/stm"
@@ -68,6 +69,22 @@ func (s *Sharded) Shard(i int) sets.Set { return s.shards[i] }
 
 // ShardFor returns the shard index serving key.
 func (s *Sharded) ShardFor(key uint64) int { return ShardOf(key, len(s.shards)) }
+
+// ArmSpan arms sp as tid's active request span on every shard's
+// observability domain (and disarms with a nil sp). Library-level callers
+// going through the facade — the torture harness, embedding applications
+// — cannot know which shard an operation will route to, so the span is
+// armed everywhere the tid might execute; shards without a domain are
+// skipped. The serving layer does not use this (it arms exactly the shard
+// it routes to); it exists so facade users get the same per-request
+// stm/reclaim phase stamping the server gets.
+func (s *Sharded) ArmSpan(tid int, sp *obs.Span) {
+	for _, sh := range s.shards {
+		if or, ok := sh.(interface{ ObsDomain() *obs.Domain }); ok {
+			or.ObsDomain().SetSpan(tid, sp)
+		}
+	}
+}
 
 // Register registers tid with every shard: a worker id owns its slot of
 // per-thread state (reservations, allocator magazines, commit slots) in

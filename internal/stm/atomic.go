@@ -45,6 +45,14 @@ func (rt *Runtime) atomicT(tid, batch int, fn func(*Tx)) {
 	if sampled {
 		t0 = time.Now()
 	}
+	// The request span, when the serving layer armed one on this tid,
+	// deliberately sits outside the sampling gate: the slowlog it feeds
+	// exists to catch outliers, which uniform sampling throws away. With
+	// no span armed the cost is one bounds check and one pointer load.
+	var sp *obs.Span
+	if p != nil {
+		sp = p.D.SpanOf(tid)
+	}
 
 	serial := false
 	aborted := uint64(0)
@@ -53,7 +61,20 @@ func (rt *Runtime) atomicT(tid, batch int, fn func(*Tx)) {
 		if sampled {
 			p.Rec.Emit(tid, obs.EvBegin, 0, 0, uint64(attempt))
 		}
-		if tx.runAttempt(fn) {
+		var committed bool
+		if sp == nil {
+			committed = tx.runAttempt(fn)
+		} else {
+			a0 := time.Now()
+			committed = tx.runAttempt(fn)
+			ph := obs.SpanAttempts
+			if serial {
+				ph = obs.SpanSerial
+			}
+			sp.Add(ph, uint64(time.Since(a0)))
+			sp.NoteAttempt(serial)
+		}
+		if committed {
 			rt.stats.record(tx, serial)
 			if batch > 0 {
 				rt.stats.recordBatch(tx, batch, aborted, serial)
@@ -66,6 +87,18 @@ func (rt *Runtime) atomicT(tid, batch int, fn func(*Tx)) {
 		}
 		aborted++
 		rt.stats.recordAbort(tx)
+		if sp != nil {
+			// Stamp the abort cause and the owner the attribution table
+			// blames onto the request — even unsampled, so a slow request's
+			// abort chain is never a forensics hole. Owner lookups only read
+			// the table; NoteWrite stays sampled, so the blame can be -1
+			// (unknown) when the owning transaction was not sampled.
+			owner := -1
+			if tx.conflict != nil {
+				owner = p.Attr.Owner(tx.conflict)
+			}
+			sp.NoteAbort(uint8(tx.cause), owner)
+		}
 		if sampled {
 			tx.noteAbort(p)
 		}

@@ -158,6 +158,21 @@ func runOn(cfg Config, inst *instance) (Report, error) {
 	// leak between the streams that share a slot over time.
 	pool := serve.NewPool(s, serve.PoolConfig{Slots: cfg.Threads, Obs: inst.obs})
 
+	// Span arming: the serving layer threads an obs.Span through every
+	// stamping site (stm attempt loop, serial fallback, reclamation
+	// scans, abort attribution). The harness arms a pooled span around
+	// every lease batch so those exact paths run under the race detector
+	// with tracing live, and so span lifecycle bugs become panics: Reset
+	// panics on a span the previous batch leaked, Finish on a double
+	// finish. Lock-free baselines carry no domain; their workers still
+	// cycle the spans, pinning the lifecycle discipline itself.
+	armSpan := func(tid int, sp *obs.Span) {}
+	if sh, ok := s.(*serve.Sharded); ok && len(inst.obsAll) > 0 {
+		armSpan = sh.ArmSpan
+	} else if inst.obs != nil {
+		armSpan = inst.obs.SetSpan
+	}
+
 	// Prefill about half the key space single-threaded so removals have
 	// something to chew on from the first operation.
 	presence := make([]int64, cfg.Keys+1)
@@ -213,6 +228,7 @@ func runOn(cfg Config, inst *instance) (Report, error) {
 		go func() {
 			defer scanWg.Done()
 			h := pool.Handle()
+			sp := new(obs.Span) // pooled: one span object, re-armed per scan
 			rng := cfg.Seed ^ 0x5ca9
 			for round := 0; ; round++ {
 				select {
@@ -231,6 +247,9 @@ func runOn(cfg Config, inst *instance) (Report, error) {
 				}
 				last, seenFix := uint64(0), 0
 				_ = h.Do(context.Background(), func(tid int) {
+					sp.Reset("ASCEND")
+					armSpan(tid, sp)
+					defer func() { armSpan(tid, nil); sp.Finish() }()
 					err := a.Ascend(tid, lo, func(k uint64) bool {
 						if k <= last && last != 0 {
 							scanFail("scan oracle: round %d from %d: %d after %d (order/duplicate)", round, lo, k, last)
@@ -281,6 +300,7 @@ func runOn(cfg Config, inst *instance) (Report, error) {
 				}
 			}()
 			h := pool.Handle()
+			sp := new(obs.Span) // pooled: one span object, re-armed per lease batch
 			rng := cfg.Seed*0x2545f4914f6cdd1d + uint64(w+1)
 			var batch []sets.Op
 			if cfg.BatchOps > 1 {
@@ -288,6 +308,9 @@ func runOn(cfg Config, inst *instance) (Report, error) {
 			}
 			for i := 0; i < cfg.Ops; {
 				_ = h.Do(context.Background(), func(tid int) {
+					sp.Reset("torture")
+					armSpan(tid, sp)
+					defer func() { armSpan(tid, nil); sp.Finish() }()
 					for b := 0; b < leaseBatch && i < cfg.Ops; i = i + 1 {
 						r := splitmix64(&rng)
 						k := 1 + (r>>16)%cfg.Keys
