@@ -1,7 +1,11 @@
 // Command benchdiff is the bench trend gate: it joins two BENCH_<n>.json
 // snapshots on cell identity (family/variant/clock/threads/window plus
-// the server-mode dimensions conns/depth/read%/shards/rate) and fails
-// when a cell's throughput dropped through its tolerance band. The band
+// the server-mode dimensions conns/depth/read%/shards/rate/batch/scan)
+// and fails when a cell's throughput dropped through its tolerance band.
+// Outcome columns — the deferral depth and reclamation-delay percentiles
+// BENCH_7 records for the extended reclamation matrix, the forensics
+// block — never join the identity, so snapshots recorded before those
+// columns existed still compare against snapshots recorded after. The band
 // is the -tolerance floor widened by both snapshots' recorded relative
 // standard deviations, so noisy cells don't gate on noise; cells present
 // in only one snapshot are reported but never gate, because PRs add and

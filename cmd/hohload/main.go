@@ -306,6 +306,7 @@ func main() {
 			os.Exit(1)
 		}
 		cell.Obs = snap
+		reclaimCellFields(&cell, snap)
 		cell.SlowCount = fz.slowCount
 		cell.SlowWorstNs = fz.slowWorstNs
 		cell.SlowWorstPhase = fz.slowWorstPhase
@@ -856,8 +857,43 @@ func fetchObs(addr string) (*obs.DomainSnapshot, error) {
 			h.Name = d.Name + "/" + h.Name
 			merged.Histograms = append(merged.Histograms, h)
 		}
+		for _, g := range d.Gauges {
+			g.Name = d.Name + "/" + g.Name
+			merged.Gauges = append(merged.Gauges, g)
+		}
 	}
 	return merged, nil
+}
+
+// reclaimCellFields lifts the deferred-reclamation view out of the merged
+// server snapshot into the cell's outcome columns: the worst shard's
+// retire→free delay and free→reuse distance percentiles (sampled by the
+// structure's ReclaimProbe/AllocProbe), and the peak deferred depth summed
+// across shards — each shard's scheme defers independently, so the sum is
+// the process-wide high-water mark's upper bound. Outcome fields only:
+// none join the benchdiff cell identity, so BENCH_7 cells recorded with
+// these columns still gate against BENCH_5/6 cells recorded without them.
+func reclaimCellFields(cell *bench.Cell, snap *obs.DomainSnapshot) {
+	for _, h := range snap.Histograms {
+		switch {
+		case strings.HasSuffix(h.Name, "/"+obs.HistReclaimOps):
+			if h.P99 > cell.ReclaimP99Ops {
+				cell.ReclaimP50Ops, cell.ReclaimP99Ops = h.P50, h.P99
+			}
+			if h.Max > cell.ReclaimMaxOps {
+				cell.ReclaimMaxOps = h.Max
+			}
+		case strings.HasSuffix(h.Name, "/"+obs.HistReuseOps):
+			if h.P99 > cell.ReuseP99Ops {
+				cell.ReuseP50Ops, cell.ReuseP99Ops = h.P50, h.P99
+			}
+		}
+	}
+	for _, g := range snap.Gauges {
+		if strings.HasSuffix(g.Name, "/peak_deferred") {
+			cell.PeakDeferred += g.Value
+		}
+	}
 }
 
 // forensics is the slowlog/hot-key summary hohload embeds in the bench

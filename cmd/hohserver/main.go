@@ -17,6 +17,7 @@
 //
 //	hohserver                                  # RR-V singly list on 127.0.0.1:7070
 //	hohserver -family etree -variant TMHP      # any bench variant works
+//	hohserver -family skip -variant TMVBR      # extended matrix (DESIGN.md §14)
 //	hohserver -shards 4 -threads 2             # 4 independent STM instances
 //	hohserver -addr :7070 -threads 8 -obs 127.0.0.1:6070
 //	hohserver -maxbatch 512 -autobatch 64      # batch knobs (DESIGN.md §11)
@@ -66,7 +67,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "TCP listen address")
 	family := flag.String("family", "singly", "structure family: singly, doubly, itree, etree, skip")
-	variant := flag.String("variant", "RR-V", "variant: RR-V, RR-XO, RR-SO, RR-FA, RR-DM, RR-SA, HTM, TMHP, REF, ER, LFLeak, LFHP")
+	variant := flag.String("variant", "RR-V", "variant: RR-V, RR-XO, RR-SO, RR-FA, RR-DM, RR-SA, HTM, TMHP, TMHE, TMVBR, REF, ER, LFLeak, LFHP")
 	threads := flag.Int("threads", 8, "worker slots per shard (the set's Threads)")
 	shards := flag.Int("shards", 1, "independent STM instances; keys hash-partition across them")
 	window := flag.Int("window", 0, "hand-over-hand window W (0 = tuned default)")

@@ -68,10 +68,11 @@ func TestRunProducesThroughput(t *testing.T) {
 
 func TestBuildEveryPaperVariant(t *testing.T) {
 	cases := map[Family][]string{
-		FamilySingly:       append(RRNames(), "HTM", "TMHP", "REF", "LFLeak", "LFHP"),
-		FamilyDoubly:       append(RRNames(), "HTM", "TMHP"),
+		FamilySingly:       append(RRNames(), "HTM", "TMHP", "TMHE", "TMVBR", "REF", "LFLeak", "LFHP"),
+		FamilyDoubly:       append(RRNames(), "HTM", "TMHP", "TMHE", "TMVBR"),
 		FamilyInternalTree: append(RRNames(), "HTM"),
-		FamilyExternalTree: append(RRNames(), "HTM", "TMHP", "LFLeak"),
+		FamilyExternalTree: append(RRNames(), "HTM", "TMHP", "TMHE", "TMVBR", "LFLeak"),
+		FamilySkipList:     append(RRNames(), "HTM", "TMHE", "TMVBR"),
 	}
 	for fam, names := range cases {
 		for _, name := range names {
@@ -96,6 +97,8 @@ func TestBuildRejectsUndefinedCombos(t *testing.T) {
 		{FamilyDoubly, "REF"},
 		{FamilyDoubly, "LFLeak"},
 		{FamilyInternalTree, "TMHP"},
+		{FamilyInternalTree, "TMHE"},
+		{FamilyInternalTree, "TMVBR"},
 		{FamilyInternalTree, "LFLeak"},
 		{FamilySingly, "bogus"},
 	}

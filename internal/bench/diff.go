@@ -36,6 +36,10 @@ func (d CellDelta) Regressed() bool { return d.Why != "" }
 
 // cellIdentity is the join key for trend comparison: everything that
 // determines what was measured, nothing that describes how it came out.
+// The deferred-reclamation columns (PeakDeferred, the retire→free and
+// free→reuse percentiles) are outcomes, like the forensics block: they
+// stay out of the key, so BENCH_7 cells recorded with them gate cleanly
+// against BENCH_5/6 cells recorded before they existed.
 func cellIdentity(c Cell) string {
 	shards := c.Shards
 	if shards == 0 {

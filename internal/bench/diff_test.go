@@ -90,6 +90,28 @@ func TestDiffBatchDimension(t *testing.T) {
 	}
 }
 
+// TestDiffReclaimColumnsAreOutcomes pins that the extended-matrix
+// deferral columns (PeakDeferred, retire→free and free→reuse
+// percentiles) never join the cell identity: a BENCH_7-era cell that
+// records them still compares against a BENCH_5/6-era cell that
+// predates them, and differing values never split the join.
+func TestDiffReclaimColumnsAreOutcomes(t *testing.T) {
+	withReclaim := func(c Cell) Cell {
+		c.PeakDeferred = 120
+		c.ReclaimP50Ops = 40
+		c.ReclaimP99Ops = 300
+		c.ReclaimMaxOps = 900
+		c.ReuseP50Ops = 8
+		c.ReuseP99Ops = 64
+		return c
+	}
+	old := Summary{Cells: []Cell{cell("TMHE", 2, 2, 1.0, 0, 0)}}
+	cur := Summary{Cells: []Cell{withReclaim(cell("TMHE", 2, 2, 1.0, 0, 0))}}
+	if deltas := Diff(old, cur, DiffOptions{Tolerance: 0.10}); len(deltas) != 1 {
+		t.Fatalf("reclaim outcome columns split the identity join: %+v", deltas)
+	}
+}
+
 // TestLatestPair pins the -auto pair selection: the two highest-numbered
 // snapshots win (numeric, not lexicographic order), and fewer than two is
 // an error with an actionable message, never a silent empty diff.

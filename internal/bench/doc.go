@@ -7,11 +7,13 @@
 //     of §5.1 (Workload);
 //   - the timed runner: trials, warmup, post-run invariant checks and the
 //     memory-book reconciliation every run ends with (Run, Result);
-//   - the variant registry: Build maps the paper's series names (RR-V,
-//     RR-XO, …, HTM, TMHP, REF, ER, LFLeak, LFHP) times a structure Family
-//     to a ready-to-run sets.Set — the single spelling of that mapping,
-//     shared by cmd/benchfig, cmd/benchjson, cmd/hohserver and the tests.
-//     Variants built with Observe expose their obs.Domain via ObsReporter;
+//   - the variant registry: Build maps the series names — the paper's
+//     (RR-V, RR-XO, …, HTM, TMHP, REF, ER, LFLeak, LFHP) plus the extended
+//     reclamation matrix's TMHE and TMVBR (DESIGN.md §14) — times a
+//     structure Family to a ready-to-run sets.Set — the single spelling of
+//     that mapping, shared by cmd/benchfig, cmd/benchjson, cmd/hohserver
+//     and the tests. Variants built with Observe expose their obs.Domain
+//     via ObsReporter;
 //   - the trend schema: Cell and Summary define the BENCH_<n>.json shape
 //     that cmd/benchjson (in-process suite) and cmd/hohload (server mode)
 //     both emit, so successive snapshots diff mechanically across PRs.

@@ -150,12 +150,14 @@ func Figure(n int, o Opts) error {
 // experiences the longest reclamation delays for the hazard pointer and
 // epoch-based reclamation strategies", §5.1) — peak deferred nodes and
 // mean delete-to-free delay in operations, per scheme, on the singly
-// linked list.
+// linked list. The extended-matrix schemes TMHE and TMVBR (DESIGN.md §14)
+// join the sweep so their deferral profiles are measured against the
+// 2017 baselines.
 func figureDelay(o Opts) error {
 	for _, look := range []int{33, 80} {
 		panel := fmt.Sprintf("10bit/%d%%", look)
 		wl := Workload{KeyBits: 10, LookupPct: look, OpsPerThread: o.ops(200_000)}
-		for _, name := range []string{"RR-V", "RR-FA", "TMHP", "ER", "LFHP", "LFLeak"} {
+		for _, name := range []string{"RR-V", "RR-FA", "TMHP", "TMHE", "TMVBR", "ER", "LFHP", "LFLeak"} {
 			for _, th := range o.Threads {
 				// Observed cells: the trailing TSV columns get real sampled
 				// reclamation-delay percentiles, not just the mean.

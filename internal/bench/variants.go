@@ -35,8 +35,9 @@ const (
 
 // VariantSpec fully determines how to build one series' data structure.
 type VariantSpec struct {
-	// Name is the paper's legend label ("RR-XO", "HTM", "TMHP", "REF",
-	// "LFLeak", "LFHP").
+	// Name is the series legend label: the paper's ("RR-XO", "HTM",
+	// "TMHP", "REF", "LFLeak", "LFHP") plus the extended reclamation
+	// matrix's "TMHE" and "TMVBR" (DESIGN.md §14).
 	Name string
 	// Window is the hand-over-hand window size W (ignored by HTM and the
 	// lock-free variants). Zero means "use BestWindow for the family and
@@ -175,6 +176,10 @@ func Build(f Family, spec VariantSpec, threads int) (sets.Set, error) {
 			cfg.Mode = list.ModeHTM
 		case "TMHP":
 			cfg.Mode = list.ModeTMHP
+		case "TMHE":
+			cfg.Mode = list.ModeTMHE
+		case "TMVBR":
+			cfg.Mode = list.ModeTMVBR
 		case "REF":
 			if f == FamilyDoubly {
 				return nil, fmt.Errorf("bench: REF is undefined for the doubly linked list")
@@ -229,6 +234,16 @@ func Build(f Family, spec VariantSpec, threads int) (sets.Set, error) {
 				return nil, fmt.Errorf("bench: no internal tree with hazard pointers (as in the paper)")
 			}
 			cfg.Mode = tree.ModeTMHP
+		case "TMHE":
+			if f == FamilyInternalTree {
+				return nil, fmt.Errorf("bench: the deferred schemes run on the external tree only")
+			}
+			cfg.Mode = tree.ModeTMHE
+		case "TMVBR":
+			if f == FamilyInternalTree {
+				return nil, fmt.Errorf("bench: the deferred schemes run on the external tree only")
+			}
+			cfg.Mode = tree.ModeTMVBR
 		case "LFLeak":
 			if f == FamilyInternalTree {
 				return nil, fmt.Errorf("bench: the lock-free comparator tree is external (as in the paper)")
@@ -266,6 +281,10 @@ func Build(f Family, spec VariantSpec, threads int) (sets.Set, error) {
 		switch spec.Name {
 		case "HTM":
 			cfg.Mode = skiplist.ModeHTM
+		case "TMHE":
+			cfg.Mode = skiplist.ModeTMHE
+		case "TMVBR":
+			cfg.Mode = skiplist.ModeTMVBR
 		default:
 			k, ok := rrKindByName(spec.Name)
 			if !ok {

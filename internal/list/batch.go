@@ -173,6 +173,14 @@ func (d *DList) removeDoublyInTx(tx *stm.Tx, tid int, prevH, currH arena.Handle)
 		d.ar.At(currH).dead.Store(tx, 1)
 		stamp := d.threads[tid].ops
 		tx.OnCommit(func() { d.hp.Retire(tid, currH, stamp) })
+	case ModeTMHE:
+		d.ar.At(currH).dead.Store(tx, 1)
+		stamp := d.threads[tid].ops
+		tx.OnCommit(func() { d.he.Retire(tid, currH, stamp) })
+	case ModeTMVBR:
+		d.ar.At(currH).dead.Store(tx, 1)
+		stamp := d.threads[tid].ops
+		tx.OnCommit(func() { d.vbr.Retire(tid, currH, stamp) })
 	}
 }
 

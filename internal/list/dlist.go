@@ -84,6 +84,10 @@ func (d *DList) Remove(tid int, key uint64) bool {
 			out = d.removePhase2RR(tid, target)
 		case ModeTMHP:
 			out = d.removePhase2TMHP(tid, target)
+		case ModeTMHE:
+			out = d.removePhase2TMHE(tid, target)
+		case ModeTMVBR:
+			out = d.removePhase2TMVBR(tid, target)
 		}
 		switch out {
 		case removedOp:
@@ -150,6 +154,72 @@ func (d *DList) removePhase2TMHP(tid int, target arena.Handle) int {
 	if out == lostOp {
 		ts.start = arena.Nil
 		d.hp.ClearSlots(tid)
+	}
+	return out
+}
+
+// removePhase2TMHE is removePhase2TMHP with an era reservation standing
+// in for the hazard pointer; the dead flag plays the same role.
+func (d *DList) removePhase2TMHE(tid int, target arena.Handle) int {
+	ts := &d.threads[tid]
+	out := retryOp
+	d.rt.AtomicT(tid, func(tx *stm.Tx) {
+		out = retryOp
+		curr := d.ar.At(target)
+		if d.loadWord(tx, tid, target, &curr.dead) != 0 {
+			out = lostOp
+			return
+		}
+		d.unlinkDoubly(tx, tid, target)
+		curr.dead.Store(tx, 1)
+		stamp := ts.ops
+		tx.OnCommit(func() {
+			ts.start = arena.Nil
+			d.he.ClearSlots(tid)
+			d.he.Retire(tid, target, stamp)
+		})
+		out = removedOp
+	})
+	if out == lostOp {
+		ts.start = arena.Nil
+		d.he.ClearSlots(tid)
+	}
+	return out
+}
+
+// removePhase2TMVBR unlinks the held target with nothing pinning it
+// between the phases: like windowStart, the dead load is bracketed by
+// arena-generation liveness checks so a free-and-recycle between phases
+// reads as a lost race rather than a wrong-incarnation unlink.
+func (d *DList) removePhase2TMVBR(tid int, target arena.Handle) int {
+	ts := &d.threads[tid]
+	out := retryOp
+	d.rt.AtomicT(tid, func(tx *stm.Tx) {
+		out = retryOp
+		if !d.ar.Live(target) {
+			out = lostOp
+			return
+		}
+		curr := d.ar.At(target)
+		if d.loadWord(tx, tid, target, &curr.dead) != 0 {
+			out = lostOp
+			return
+		}
+		if !d.ar.Live(target) {
+			out = lostOp
+			return
+		}
+		d.unlinkDoubly(tx, tid, target)
+		curr.dead.Store(tx, 1)
+		stamp := ts.ops
+		tx.OnCommit(func() {
+			ts.start = arena.Nil
+			d.vbr.Retire(tid, target, stamp)
+		})
+		out = removedOp
+	})
+	if out == lostOp {
+		ts.start = arena.Nil
 	}
 	return out
 }

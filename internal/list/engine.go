@@ -10,10 +10,12 @@ import (
 // one window transaction; the traversal position is carried across
 // transactions by the mode's linking mechanism:
 //
-//	ModeRR   — a revocable reservation on the window-start node
-//	ModeHTM  — never cuts (the whole operation is one transaction)
-//	ModeTMHP — a thread-local start handle + a published hazard pointer
-//	ModeREF  — a thread-local start handle + a transactional refcount
+//	ModeRR    — a revocable reservation on the window-start node
+//	ModeHTM   — never cuts (the whole operation is one transaction)
+//	ModeTMHP  — a thread-local start handle + a published hazard pointer
+//	ModeTMHE  — a thread-local start handle + a published era reservation
+//	ModeTMVBR — a thread-local start handle, revalidated on resume
+//	ModeREF   — a thread-local start handle + a transactional refcount
 //
 // TMHP's resume protocol deserves a note. A window ends by publishing a
 // hazard on the new start node and *then* transactionally loading its
@@ -23,6 +25,26 @@ import (
 // which must then observe a bumped version, fail snapshot extension
 // against the unlink write we read past, and abort this window. Either
 // the node is protected or we never resume from it.
+//
+// TMHE runs the same protocol with "hazard" read as "era reservation":
+// the published era E satisfies birth <= E (the node was allocated before
+// we observed it; eras only grow) and, when a remover's scan sees the
+// publication, del >= E (the retire stamps an era at least as new), so E
+// lies inside the retiree's lifetime interval and the scan keeps it.
+// If the scan instead missed the publication, the TMHP ordering argument
+// applies unchanged and the dead load kills the resume.
+//
+// TMVBR publishes nothing, so the held start node can be freed — and its
+// arena slot recycled — between windows. Resume therefore revalidates:
+// check arena generation liveness, transactionally load the dead flag,
+// then re-check liveness. A free between the two checks either poisons
+// the load's version (the retire fence lifts the cell above any read
+// version that could still validate, so the transaction cannot commit a
+// stale read) or is caught by the second liveness check before the
+// traversal trusts a wrong-incarnation value. Once a live, not-dead read
+// of the correct incarnation is pinned in the read set, any later free
+// dooms the transaction at validation — the fence is what makes "no
+// reservation at all" sound here, exactly as in VBR's checkpoint scheme.
 
 // applyFn is a terminal-phase callback; prevH's successor is currH at the
 // transaction's snapshot. For the found callback currH holds the key; for
@@ -144,6 +166,35 @@ func (l *List) windowStart(tx *stm.Tx, tid int, head arena.Handle) (arena.Handle
 			return head, false
 		}
 		return s, true
+	case ModeTMHE:
+		s := l.threads[tid].start
+		if s.IsNil() {
+			return head, false
+		}
+		if l.loadWord(tx, tid, s, &l.ar.At(s).dead) != 0 {
+			// Removed since our last window; pinned by our era reservation,
+			// so the flag is trustworthy (same argument as TMHP).
+			return head, false
+		}
+		return s, true
+	case ModeTMVBR:
+		s := l.threads[tid].start
+		if s.IsNil() || !l.ar.Live(s) {
+			// Nothing pins the start between windows: it may have been
+			// freed and its slot recycled. A generation mismatch means a
+			// different incarnation lives there now — restart.
+			return head, false
+		}
+		if l.loadWord(tx, tid, s, &l.ar.At(s).dead) != 0 {
+			return head, false
+		}
+		if !l.ar.Live(s) {
+			// Freed (and possibly recycled) between the liveness check and
+			// the dead load: the value we read may belong to the new
+			// incarnation, so it proves nothing about the node we held.
+			return head, false
+		}
+		return s, true
 	case ModeREF:
 		s := l.threads[tid].start
 		if s.IsNil() {
@@ -180,6 +231,19 @@ func (l *List) windowHold(tx *stm.Tx, tid int, held bool, startH, currH arena.Ha
 			l.hp.Protect(tid, slot^1, 0) // drop the previous window's hazard
 			ts.parity++
 		})
+	case ModeTMHE:
+		slot := ts.parity & 1
+		l.he.Protect(tid, slot, currH)
+		// Ordering re-check; see the protocol note atop this file.
+		_ = l.loadWord(tx, tid, currH, &l.ar.At(currH).dead)
+		tx.OnCommit(func() {
+			ts.start = currH
+			l.he.Protect(tid, slot^1, 0) // drop the previous window's reservation
+			ts.parity++
+		})
+	case ModeTMVBR:
+		// No reservation to publish; windowStart revalidates on resume.
+		tx.OnCommit(func() { ts.start = currH })
 	case ModeREF:
 		n := l.ar.At(currH)
 		n.rc.Store(tx, l.loadWord(tx, tid, currH, &n.rc)+1)
@@ -204,6 +268,13 @@ func (l *List) windowTerminal(tx *stm.Tx, tid int, held bool, startH arena.Handl
 			ts.start = arena.Nil
 			l.hp.ClearSlots(tid)
 		})
+	case ModeTMHE:
+		tx.OnCommit(func() {
+			ts.start = arena.Nil
+			l.he.ClearSlots(tid)
+		})
+	case ModeTMVBR:
+		tx.OnCommit(func() { ts.start = arena.Nil })
 	case ModeREF:
 		if held {
 			l.refDecrement(tx, tid, startH)

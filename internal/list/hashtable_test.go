@@ -18,6 +18,8 @@ func hashVariants(threads int) []*HashTable {
 	out = append(out,
 		NewHashTable(Config{Mode: ModeHTM, Threads: threads}, 16),
 		NewHashTable(Config{Mode: ModeTMHP, Threads: threads, Window: core.Window{W: 4}, ScanThreshold: 8}, 16),
+		NewHashTable(Config{Mode: ModeTMHE, Threads: threads, Window: core.Window{W: 4}, ScanThreshold: 8}, 16),
+		NewHashTable(Config{Mode: ModeTMVBR, Threads: threads, Window: core.Window{W: 4}, ScanThreshold: 8}, 16),
 	)
 	return out
 }

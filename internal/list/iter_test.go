@@ -76,7 +76,7 @@ func TestAscendHTMMode(t *testing.T) {
 // (they used to panic, which an ASCEND wire request could trigger
 // remotely) and never call fn.
 func TestAscendUnsupportedModes(t *testing.T) {
-	for _, mode := range []Mode{ModeTMHP, ModeREF, ModeER} {
+	for _, mode := range []Mode{ModeTMHP, ModeTMHE, ModeTMVBR, ModeREF, ModeER} {
 		l := New(Config{Mode: mode, Threads: 1, Window: core.Window{W: 4}})
 		l.Register(0)
 		l.Insert(0, 1)

@@ -3,7 +3,9 @@
 // lists with revocable reservations, plus the three comparator modes the
 // evaluation uses — whole-operation transactions (the HTM baseline),
 // hand-over-hand with hazard-pointer deferred reclamation (TMHP), and
-// hand-over-hand with transactional reference counting (REF).
+// hand-over-hand with transactional reference counting (REF) — and the
+// post-2017 deferred comparators DESIGN.md §14 describes: hazard eras
+// (TMHE) and version-based reclamation (TMVBR).
 //
 // All variants share one node layout and one arena, so differences in the
 // figures come from the synchronization/reclamation mechanism, not from
@@ -48,6 +50,20 @@ const (
 	// epochs. Singly linked list only; provided as an extension
 	// comparator, not one of the paper's measured series.)
 	ModeER
+	// ModeTMHE is hand-over-hand transactions with hazard-era deferred
+	// reclamation (Ramalhete & Correia; DESIGN.md §14): the TMHP window
+	// protocol verbatim, but the published reservation is an era, not a
+	// pointer, so protection costs an epoch-style clock read while a
+	// stalled reader strands only the nodes whose lifetime interval it
+	// covers.
+	ModeTMHE
+	// ModeTMVBR is hand-over-hand transactions with version-based
+	// reclamation (Sheffi, Herlihy & Petrank; DESIGN.md §14): no
+	// reservations at all — retirees are freed once the STM's version
+	// fence advances past their retire stamp, and a resumed traversal
+	// revalidates its held node by arena generation + dead mark instead
+	// of pinning it.
+	ModeTMVBR
 )
 
 // node is the shared node layout. Every field is a transactional cell;
@@ -66,8 +82,8 @@ type node struct {
 // threadState is per-thread traversal state for the deferred-reclamation
 // modes plus the operation stamp used for reclamation-delay accounting.
 type threadState struct {
-	start  arena.Handle // TMHP/REF resume position (Nil = start from head)
-	parity int          // TMHP hazard slot alternation
+	start  arena.Handle // TMHP/TMHE/TMVBR/REF resume position (Nil = start from head)
+	parity int          // TMHP/TMHE hazard slot alternation
 	ops    uint64
 	marks  []uint64 // ModeER: read marks of the last W spine nodes
 	_      pad.Line
@@ -155,7 +171,9 @@ type List struct {
 	ar          *arena.Arena[node]
 	rr          core.Reservation // ModeRR only
 	hp          *reclaim.HazardPointers
-	ep          *reclaim.Epochs // ModeER only
+	ep          *reclaim.Epochs     // ModeER only
+	he          *reclaim.HazardEras // ModeTMHE only
+	vbr         *reclaim.VBR        // ModeTMVBR only
 	mode        Mode
 	win         core.Window
 	winOverride atomic.Int32
@@ -207,6 +225,21 @@ func New(cfg Config) *List {
 		for i := range l.threads {
 			l.threads[i].marks = make([]uint64, cfg.Window.W)
 		}
+	case ModeTMHE:
+		l.he = reclaim.NewHazardEras(reclaim.HEConfig{
+			Threads:        cfg.Threads,
+			SlotsPerThread: 2,
+			ScanThreshold:  cfg.ScanThreshold,
+			Free:           func(tid int, h arena.Handle) { l.ar.Free(tid, h) },
+		})
+	case ModeTMVBR:
+		l.vbr = reclaim.NewVBR(reclaim.VBRConfig{
+			Threads:   cfg.Threads,
+			TickEvery: cfg.ScanThreshold,
+			Clock:     l.rt.VersionFence,
+			Tick:      l.rt.TickVersionFence,
+			Free:      func(tid int, h arena.Handle) { l.ar.Free(tid, h) },
+		})
 	}
 	if cfg.Obs != nil {
 		l.obs = cfg.Obs
@@ -220,10 +253,22 @@ func New(cfg Config) *List {
 		if l.hp != nil {
 			l.hp.SetObserver(cfg.Obs.ReclaimProbe())
 			cfg.Obs.Gauge("deferred_depth", func() uint64 { return l.hp.Stats().Deferred })
+			cfg.Obs.Gauge("peak_deferred", func() uint64 { return l.hp.Stats().PeakDeferred })
 		}
 		if l.ep != nil {
 			l.ep.SetObserver(cfg.Obs.ReclaimProbe())
 			cfg.Obs.Gauge("deferred_depth", func() uint64 { return l.ep.Stats().Deferred })
+			cfg.Obs.Gauge("peak_deferred", func() uint64 { return l.ep.Stats().PeakDeferred })
+		}
+		if l.he != nil {
+			l.he.SetObserver(cfg.Obs.ReclaimProbe())
+			cfg.Obs.Gauge("deferred_depth", func() uint64 { return l.he.Stats().Deferred })
+			cfg.Obs.Gauge("peak_deferred", func() uint64 { return l.he.Stats().PeakDeferred })
+		}
+		if l.vbr != nil {
+			l.vbr.SetObserver(cfg.Obs.ReclaimProbe())
+			cfg.Obs.Gauge("deferred_depth", func() uint64 { return l.vbr.Stats().Deferred })
+			cfg.Obs.Gauge("peak_deferred", func() uint64 { return l.vbr.Stats().PeakDeferred })
 		}
 	}
 	// The head sentinel is allocated fresh (never shared before init), so
@@ -274,6 +319,10 @@ func (l *List) Name() string {
 		return "REF"
 	case ModeER:
 		return "ER"
+	case ModeTMHE:
+		return "TMHE"
+	case ModeTMVBR:
+		return "TMVBR"
 	default:
 		return fmt.Sprintf("list-?%d", l.mode)
 	}
@@ -294,6 +343,13 @@ func (l *List) Finish(tid int) {
 	}
 	if l.ep != nil {
 		l.ep.Flush(tid, l.threads[tid].ops)
+	}
+	if l.he != nil {
+		l.he.ClearSlots(tid)
+		l.he.Flush(tid, l.threads[tid].ops)
+	}
+	if l.vbr != nil {
+		l.vbr.Flush(tid, l.threads[tid].ops)
 	}
 }
 
@@ -337,6 +393,11 @@ func (l *List) Remove(tid int, key uint64) bool {
 // the arena.
 func (l *List) allocNode(tx *stm.Tx, tid int, key uint64, nextH, prevH arena.Handle) arena.Handle {
 	nh := l.ar.Alloc(tid)
+	if l.he != nil {
+		// Birth-era stamp, before the node is published (an aborted alloc
+		// leaves a stale entry; the slot's next incarnation restamps it).
+		l.he.StampAlloc(nh)
+	}
 	tx.OnAbort(func() { l.ar.Free(tid, nh) })
 	n := l.ar.At(nh)
 	// Transactional stores: the slot may be recycled, and some doomed
@@ -367,6 +428,14 @@ func (l *List) unlinkAndReclaim(tx *stm.Tx, tid int, prevH, currH arena.Handle) 
 		curr.dead.Store(tx, 1)
 		stamp := l.threads[tid].ops
 		tx.OnCommit(func() { l.hp.Retire(tid, currH, stamp) })
+	case ModeTMHE:
+		curr.dead.Store(tx, 1)
+		stamp := l.threads[tid].ops
+		tx.OnCommit(func() { l.he.Retire(tid, currH, stamp) })
+	case ModeTMVBR:
+		curr.dead.Store(tx, 1)
+		stamp := l.threads[tid].ops
+		tx.OnCommit(func() { l.vbr.Retire(tid, currH, stamp) })
 	case ModeREF:
 		curr.dead.Store(tx, 1)
 		if l.loadWord(tx, tid, currH, &curr.rc) == 0 {
@@ -400,25 +469,36 @@ func (l *List) refDecrement(tx *stm.Tx, tid int, h arena.Handle) {
 // LiveNodes implements sets.MemoryReporter (includes the head sentinel).
 func (l *List) LiveNodes() uint64 { return l.ar.Stats().Live }
 
+// deferredScheme returns the list's deferred-reclamation scheme, nil for
+// the precise modes.
+func (l *List) deferredScheme() reclaim.Scheme {
+	switch {
+	case l.hp != nil:
+		return l.hp
+	case l.ep != nil:
+		return l.ep
+	case l.he != nil:
+		return l.he
+	case l.vbr != nil:
+		return l.vbr
+	}
+	return nil
+}
+
 // DeferredNodes implements sets.MemoryReporter.
 func (l *List) DeferredNodes() uint64 {
-	if l.hp != nil {
-		return l.hp.Stats().Deferred
-	}
-	if l.ep != nil {
-		return l.ep.Stats().Deferred
+	if s := l.deferredScheme(); s != nil {
+		return s.Stats().Deferred
 	}
 	return 0
 }
 
-// ReclaimStats exposes the deferred-reclamation counters (ModeTMHP's
-// hazard pointers or ModeER's epochs; zero for the precise modes).
+// ReclaimStats exposes the deferred-reclamation counters (TMHP's hazard
+// pointers, ER's epochs, TMHE's hazard eras, TMVBR's version clock; zero
+// for the precise modes).
 func (l *List) ReclaimStats() reclaim.Stats {
-	if l.hp != nil {
-		return l.hp.Stats()
-	}
-	if l.ep != nil {
-		return l.ep.Stats()
+	if s := l.deferredScheme(); s != nil {
+		return s.Stats()
 	}
 	return reclaim.Stats{}
 }
@@ -438,11 +518,8 @@ func (l *List) TMStats() stm.Stats { return l.rt.Stats() }
 
 // PeakDeferred reports the reclamation scheme's deferred high-water mark.
 func (l *List) PeakDeferred() uint64 {
-	if l.hp != nil {
-		return l.hp.Stats().PeakDeferred
-	}
-	if l.ep != nil {
-		return l.ep.Stats().PeakDeferred
+	if s := l.deferredScheme(); s != nil {
+		return s.Stats().PeakDeferred
 	}
 	return 0
 }
@@ -450,11 +527,8 @@ func (l *List) PeakDeferred() uint64 {
 // AvgReclaimDelayOps reports the mean operations between logical deletion
 // and physical free (0 for the precise modes).
 func (l *List) AvgReclaimDelayOps() float64 {
-	if l.hp != nil {
-		return l.hp.Stats().AvgDelayOps()
-	}
-	if l.ep != nil {
-		return l.ep.Stats().AvgDelayOps()
+	if s := l.deferredScheme(); s != nil {
+		return s.Stats().AvgDelayOps()
 	}
 	return 0
 }

@@ -21,6 +21,8 @@ func variants(threads int, w int) []*List {
 	out = append(out,
 		New(Config{Mode: ModeHTM, Threads: threads}),
 		New(Config{Mode: ModeTMHP, Threads: threads, Window: core.Window{W: w}, ScanThreshold: 8}),
+		New(Config{Mode: ModeTMHE, Threads: threads, Window: core.Window{W: w}, ScanThreshold: 8}),
+		New(Config{Mode: ModeTMVBR, Threads: threads, Window: core.Window{W: w}, ScanThreshold: 8}),
 		New(Config{Mode: ModeREF, Threads: threads, Window: core.Window{W: w}}),
 		New(Config{Mode: ModeER, Threads: threads, Window: core.Window{W: w}, ScanThreshold: 8}),
 	)
@@ -285,7 +287,7 @@ func TestConcurrentStressTinyCapacity(t *testing.T) {
 }
 
 func TestDoublySequential(t *testing.T) {
-	for _, mode := range []Mode{ModeRR, ModeHTM, ModeTMHP} {
+	for _, mode := range []Mode{ModeRR, ModeHTM, ModeTMHP, ModeTMHE, ModeTMVBR} {
 		cfg := Config{Mode: mode, RRKind: core.KindFA, Threads: 1, Window: core.Window{W: 3}}
 		d := NewDoubly(cfg)
 		t.Run(d.Name(), func(t *testing.T) {
@@ -354,6 +356,8 @@ func TestDoublyConcurrentStress(t *testing.T) {
 	all = append(all,
 		NewDoubly(Config{Mode: ModeHTM, Threads: threads}),
 		NewDoubly(Config{Mode: ModeTMHP, Threads: threads, Window: core.Window{W: 4}, ScanThreshold: 8}),
+		NewDoubly(Config{Mode: ModeTMHE, Threads: threads, Window: core.Window{W: 4}, ScanThreshold: 8}),
+		NewDoubly(Config{Mode: ModeTMVBR, Threads: threads, Window: core.Window{W: 4}, ScanThreshold: 8}),
 	)
 	for _, d := range all {
 		t.Run(d.Name(), func(t *testing.T) {

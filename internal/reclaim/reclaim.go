@@ -1,8 +1,14 @@
 // Package reclaim implements the deferred memory-reclamation schemes the
-// paper compares revocable reservations against: hazard pointers (Michael,
-// TPDS 2004), epoch-based reclamation (as in user-level RCU), and the
-// "leak" non-scheme (never reclaim, approximating the best case of an
-// epoch allocator or garbage collector, as the paper's LFLeak baselines do).
+// paper's revocable reservations are compared against. The paper's own
+// 2017 baselines: hazard pointers (Michael, TPDS 2004), epoch-based
+// reclamation (as in user-level RCU), and the "leak" non-scheme (never
+// reclaim, approximating the best case of an epoch allocator or garbage
+// collector, as the paper's LFLeak baselines do). The matrix then
+// extends past the paper's publication date with two successors from
+// PAPERS.md: hazard eras (HazardEras — era-interval reservations with
+// the hazard-pointer protocol but epoch-like cost), and version-based
+// reclamation (VBR — no reservations at all; the STM's version fence is
+// the reclamation epoch).
 //
 // All schemes manage arena.Handle values and call back into the owning
 // structure's allocator to perform the physical free. They also keep the

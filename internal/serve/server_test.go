@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"hohtx/internal/bench"
 	"hohtx/internal/serve"
 	"hohtx/internal/sets"
 )
@@ -253,5 +254,94 @@ func TestServerDrain(t *testing.T) {
 	}
 	if _, err := pool.Acquire(context.Background()); err != serve.ErrClosed {
 		t.Fatalf("pool after Shutdown: %v, want serve.ErrClosed", err)
+	}
+}
+
+// TestServerDeferredSchemesLoopback is the extended-matrix loopback smoke
+// CI runs under -race: a server built on each of the post-2017 deferred
+// schemes (TMHE, TMVBR — DESIGN.md §14) survives a concurrent SET/GET/DEL
+// storm, and after shutdown two Finish rounds drain every deferred node so
+// the arena books return exactly to the empty-set baseline — the same
+// contract the precise schemes meet without the drain.
+func TestServerDeferredSchemesLoopback(t *testing.T) {
+	for _, tc := range []struct {
+		family  bench.Family
+		variant string
+	}{
+		{bench.FamilySingly, "TMHE"},
+		{bench.FamilySingly, "TMVBR"},
+		{bench.FamilySkipList, "TMHE"},
+		{bench.FamilySkipList, "TMVBR"},
+	} {
+		t.Run(string(tc.family)+"/"+tc.variant, func(t *testing.T) {
+			const slots = 2
+			set, err := bench.Build(tc.family, bench.VariantSpec{Name: tc.variant}, slots)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			mem := set.(sets.MemoryReporter)
+			baseline := mem.LiveNodes()
+
+			pool := serve.NewPool(set, serve.PoolConfig{Slots: slots})
+			srv := serve.NewServer(serve.ServerConfig{Set: set, Pool: pool})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatalf("listen: %v", err)
+			}
+			serveErr := make(chan error, 1)
+			go func() { serveErr <- srv.Serve(ln) }()
+
+			const conns, opsEach = 4, 40
+			var wg sync.WaitGroup
+			for cid := 0; cid < conns; cid++ {
+				wg.Add(1)
+				go func(cid int) {
+					defer wg.Done()
+					c, err := net.Dial("tcp", ln.Addr().String())
+					if err != nil {
+						t.Errorf("dial: %v", err)
+						return
+					}
+					defer c.Close()
+					br, bw := bufio.NewReader(c), bufio.NewWriter(c)
+					for i := 0; i < opsEach; i++ {
+						key := cid*opsEach + i + 1 // disjoint per connection
+						fmt.Fprintf(bw, "SET %d\nGET %d\nDEL %d\n", key, key, key)
+						if err := bw.Flush(); err != nil {
+							t.Errorf("conn %d flush: %v", cid, err)
+							return
+						}
+						for _, want := range []string{"1\n", "1\n", "1\n"} {
+							line, err := br.ReadString('\n')
+							if err != nil || line != want {
+								t.Errorf("conn %d key %d: reply %q err %v, want %q", cid, key, line, err, want)
+								return
+							}
+						}
+					}
+				}(cid)
+			}
+			wg.Wait()
+
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				t.Fatalf("Shutdown: %v", err)
+			}
+			if err := <-serveErr; err != nil {
+				t.Fatalf("Serve: %v", err)
+			}
+			// Shutdown closed the pool (one Finish sweep); one more round
+			// frees retirees the first sweep left pinned by era
+			// reservations that later slots only cleared in their own
+			// Finish.
+			pool.FinishAll()
+			if live := mem.LiveNodes(); live != baseline {
+				t.Fatalf("live nodes after drain = %d, want baseline %d", live, baseline)
+			}
+			if def := mem.DeferredNodes(); def != 0 {
+				t.Fatalf("deferred nodes after drain = %d, want 0", def)
+			}
+		})
 	}
 }

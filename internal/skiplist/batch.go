@@ -64,10 +64,14 @@ func (s *SkipList) insertInTx(tx *stm.Tx, tid int, key uint64, h int) bool {
 		return false
 	}
 	nh := s.ar.Alloc(tid)
+	if s.he != nil {
+		s.he.StampAlloc(nh)
+	}
 	tx.OnAbort(func() { s.ar.Free(tid, nh) })
 	n := s.ar.At(nh)
 	n.key.Store(tx, key)
 	n.height.Store(tx, uint64(h))
+	n.dead.Store(tx, 0)
 	for l := 0; l < h; l++ {
 		p := s.ar.At(preds[l])
 		n.next[l].Store(tx, uint64(s.loadLink(tx, tid, preds[l], &p.next[l])))
@@ -102,9 +106,20 @@ func (s *SkipList) removeInTx(tx *stm.Tx, tid int, key uint64) bool {
 	for l := 0; l < vh; l++ {
 		s.ar.At(preds[l]).next[l].Store(tx, uint64(s.loadLink(tx, tid, victim, &v.next[l])))
 	}
-	if s.mode == ModeRR {
+	switch s.mode {
+	case ModeRR:
 		s.rr.Revoke(tx, uint64(victim))
+		tx.OnCommit(func() { s.ar.Free(tid, victim) })
+	case ModeTMHE:
+		v.dead.Store(tx, 1)
+		stamp := s.threads[tid].ops
+		tx.OnCommit(func() { s.he.Retire(tid, victim, stamp) })
+	case ModeTMVBR:
+		v.dead.Store(tx, 1)
+		stamp := s.threads[tid].ops
+		tx.OnCommit(func() { s.vbr.Retire(tid, victim, stamp) })
+	default: // ModeHTM
+		tx.OnCommit(func() { s.ar.Free(tid, victim) })
 	}
-	tx.OnCommit(func() { s.ar.Free(tid, victim) })
 	return true
 }

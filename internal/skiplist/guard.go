@@ -16,6 +16,7 @@ import (
 func retireNode(n *node, ver uint64) {
 	n.key.Retire(ver)
 	n.height.Retire(ver)
+	n.dead.Retire(ver)
 	for l := 0; l < MaxHeight; l++ {
 		n.next[l].Retire(ver)
 	}
@@ -26,6 +27,7 @@ func retireNode(n *node, ver uint64) {
 func poisonNode(n *node) {
 	n.key.Poison(arena.PoisonWord)
 	n.height.Poison(arena.PoisonWord)
+	n.dead.Poison(arena.PoisonWord)
 	for l := 0; l < MaxHeight; l++ {
 		n.next[l].Poison(arena.PoisonWord)
 	}

@@ -1,6 +1,7 @@
 package skiplist
 
 import (
+	"hohtx/internal/arena"
 	"hohtx/internal/sets"
 	"hohtx/internal/stm"
 )
@@ -108,20 +109,27 @@ func (s *SkipList) Ascend(tid int, from uint64, fn func(key uint64) bool) error 
 	}
 }
 
-// CanAscend reports that the skiplist supports the reservation cursor in
-// both modes (the serve layer advertises scan capability through it).
+// CanAscend reports that the skiplist supports the windowed cursor in
+// every mode (the serve layer advertises scan capability through it):
+// the deferred modes resume exactly like point operations, via the
+// dead-checked start handle instead of a reservation.
 func (s *SkipList) CanAscend() bool { return true }
 
 // dropHoldOutsideWindow releases the iterator's reservation from outside
 // any window transaction (early consumer termination or a consumer
 // panic).
 func (s *SkipList) dropHoldOutsideWindow(tid int) {
-	if s.mode != ModeRR {
-		return
+	switch s.mode {
+	case ModeRR:
+		s.rt.AtomicT(tid, func(tx *stm.Tx) {
+			s.rr.Release(tx, tid)
+		})
+	case ModeTMHE:
+		s.threads[tid].start = arena.Nil
+		s.he.ClearSlots(tid)
+	case ModeTMVBR:
+		s.threads[tid].start = arena.Nil
 	}
-	s.rt.AtomicT(tid, func(tx *stm.Tx) {
-		s.rr.Release(tx, tid)
-	})
 }
 
 var _ sets.Ascender = (*SkipList)(nil)

@@ -216,3 +216,85 @@ func TestSkipAscendConcurrent(t *testing.T) {
 		t.Fatalf("%d ordering violations", violations.Load())
 	}
 }
+
+// TestSkipAscendDeferredModes runs the cursor protocol over the deferred
+// schemes: sequential correctness including early stop, then the
+// weak-consistency contract under concurrent churn (covering the
+// dead-checked resume path where RR uses revocation).
+func TestSkipAscendDeferredModes(t *testing.T) {
+	for _, mode := range []Mode{ModeTMHE, ModeTMVBR} {
+		s := New(Config{Mode: mode, Threads: 4, Window: core.Window{W: 4}, ScanThreshold: 8})
+		t.Run(s.Name(), func(t *testing.T) {
+			if !s.CanAscend() {
+				t.Fatal("CanAscend = false")
+			}
+			s.Register(0)
+			for k := uint64(1); k <= 99; k += 2 {
+				s.Insert(0, k)
+			}
+			var got []uint64
+			if err := s.Ascend(0, 0, func(key uint64) bool {
+				got = append(got, key)
+				return true
+			}); err != nil {
+				t.Fatalf("Ascend: %v", err)
+			}
+			if len(got) != 50 || got[0] != 1 || got[49] != 99 {
+				t.Fatalf("sequential ascend: %v", got)
+			}
+			// Early stop must not leak the start handle into the next op.
+			count := 0
+			if err := s.Ascend(0, 0, func(uint64) bool { count++; return count < 5 }); err != nil {
+				t.Fatalf("early-stop Ascend: %v", err)
+			}
+			if !s.Lookup(0, 1) {
+				t.Fatal("lookup broken after early-stopped ascend")
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 1; w <= 3; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					s.Register(tid)
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							s.Finish(tid)
+							return
+						default:
+						}
+						k := uint64((i*2+tid*4)%100) + 100
+						s.Insert(tid, k)
+						s.Remove(tid, k)
+					}
+				}(w)
+			}
+			for round := 0; round < 30; round++ {
+				got = got[:0]
+				if err := s.Ascend(0, 0, func(key uint64) bool {
+					got = append(got, key)
+					return true
+				}); err != nil {
+					t.Fatalf("round %d: Ascend: %v", round, err)
+				}
+				seen := 0
+				lastKey := uint64(0)
+				for _, k := range got {
+					if k <= lastKey {
+						t.Fatalf("round %d: ordering violation at %d", round, k)
+					}
+					lastKey = k
+					if k <= 99 && k%2 == 1 {
+						seen++
+					}
+				}
+				if seen != 50 {
+					t.Fatalf("round %d: saw %d of 50 stable keys", round, seen)
+				}
+			}
+			close(stop)
+			wg.Wait()
+		})
+	}
+}

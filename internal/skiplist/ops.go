@@ -73,38 +73,91 @@ func (s *SkipList) run(c *searchCtx, key uint64, budget, noCutBelow, stopLevel i
 	}
 }
 
-// windowStart resolves the traversal origin for one transaction.
+// windowStart resolves the traversal origin for one transaction; the
+// resume protocols are the list engine's (see its protocol note).
 func (s *SkipList) windowStart(tx *stm.Tx, tid int) (arena.Handle, int, bool) {
-	if s.mode == ModeRR {
+	switch s.mode {
+	case ModeRR:
 		if r := s.rr.Get(tx, tid); r != 0 {
 			return arena.Handle(r), s.threads[tid].level, true
+		}
+	case ModeTMHE:
+		st := s.threads[tid].start
+		if !st.IsNil() && s.loadWord(tx, tid, st, &s.ar.At(st).dead) == 0 {
+			return st, s.threads[tid].level, true
+		}
+	case ModeTMVBR:
+		// Nothing pins the held start; bracket the dead load with
+		// arena-generation checks (see the list engine's protocol note).
+		st := s.threads[tid].start
+		if !st.IsNil() && s.ar.Live(st) &&
+			s.loadWord(tx, tid, st, &s.ar.At(st).dead) == 0 && s.ar.Live(st) {
+			return st, s.threads[tid].level, true
 		}
 	}
 	return s.head, MaxHeight - 1, false
 }
 
-// cutWindow reserves the frame's position for the next transaction.
+// cutWindow attaches the frame's position to the thread for the next
+// transaction to resume from.
 func (s *SkipList) cutWindow(c *searchCtx, held bool) {
-	if held {
-		s.rr.Release(c.tx, c.tid)
+	ts := &s.threads[c.tid]
+	curr, level := c.curr, c.level
+	switch s.mode {
+	case ModeRR:
+		if held {
+			s.rr.Release(c.tx, c.tid)
+		}
+		s.rr.Reserve(c.tx, c.tid, uint64(curr))
+		c.tx.OnCommit(func() { ts.level = level })
+	case ModeTMHE:
+		slot := ts.parity & 1
+		s.he.Protect(c.tid, slot, curr)
+		// Ordering re-check; see the list engine's protocol note.
+		_ = s.loadWord(c.tx, c.tid, curr, &s.ar.At(curr).dead)
+		c.tx.OnCommit(func() {
+			ts.start = curr
+			ts.level = level
+			s.he.Protect(c.tid, slot^1, 0)
+			ts.parity++
+		})
+	case ModeTMVBR:
+		c.tx.OnCommit(func() {
+			ts.start = curr
+			ts.level = level
+		})
 	}
-	s.rr.Reserve(c.tx, c.tid, uint64(c.curr))
-	level := c.level
-	c.tx.OnCommit(func() { s.threads[c.tid].level = level })
 }
 
 // release drops the hold at operation end.
 func (s *SkipList) release(c *searchCtx, held bool) {
-	if s.mode == ModeRR && held {
-		s.rr.Release(c.tx, c.tid)
+	switch s.mode {
+	case ModeRR:
+		if held {
+			s.rr.Release(c.tx, c.tid)
+		}
+	case ModeTMHE:
+		tid := c.tid
+		c.tx.OnCommit(func() {
+			s.threads[tid].start = arena.Nil
+			s.he.ClearSlots(tid)
+		})
+	case ModeTMVBR:
+		tid := c.tid
+		c.tx.OnCommit(func() { s.threads[tid].start = arena.Nil })
 	}
 }
 
 // dropHold abandons a resumed position mid-transaction so the operation's
 // next attempt restarts from the head.
 func (s *SkipList) dropHold(c *searchCtx, held bool) {
-	if s.mode == ModeRR && held {
-		s.rr.Release(c.tx, c.tid)
+	switch s.mode {
+	case ModeRR:
+		if held {
+			s.rr.Release(c.tx, c.tid)
+		}
+	case ModeTMHE, ModeTMVBR:
+		s.release(c, held)
 	}
 }
 
@@ -228,10 +281,14 @@ func (s *SkipList) Insert(tid int, key uint64) bool {
 				return
 			}
 			nh := s.ar.Alloc(tid)
+			if s.he != nil {
+				s.he.StampAlloc(nh)
+			}
 			tx.OnAbort(func() { s.ar.Free(tid, nh) })
 			n := s.ar.At(nh)
 			n.key.Store(tx, key)
 			n.height.Store(tx, uint64(h))
+			n.dead.Store(tx, 0)
 			for l := 0; l < h; l++ {
 				p := s.ar.At(preds[l])
 				n.next[l].Store(tx, uint64(s.loadLink(tx, tid, preds[l], &p.next[l])))
@@ -301,10 +358,21 @@ func (s *SkipList) Remove(tid int, key uint64) bool {
 			for l := 0; l < vh; l++ {
 				s.ar.At(preds[l]).next[l].Store(tx, uint64(s.loadLink(tx, tid, victim, &v.next[l])))
 			}
-			if s.mode == ModeRR {
+			switch s.mode {
+			case ModeRR:
 				s.rr.Revoke(tx, uint64(victim))
+				tx.OnCommit(func() { s.ar.Free(tid, victim) })
+			case ModeTMHE:
+				v.dead.Store(tx, 1)
+				stamp := s.threads[tid].ops
+				tx.OnCommit(func() { s.he.Retire(tid, victim, stamp) })
+			case ModeTMVBR:
+				v.dead.Store(tx, 1)
+				stamp := s.threads[tid].ops
+				tx.OnCommit(func() { s.vbr.Retire(tid, victim, stamp) })
+			default: // ModeHTM
+				tx.OnCommit(func() { s.ar.Free(tid, victim) })
 			}
-			tx.OnCommit(func() { s.ar.Free(tid, victim) })
 			res = true
 			s.release(c, held)
 			done = true

@@ -33,6 +33,7 @@ import (
 	"hohtx/internal/core"
 	"hohtx/internal/obs"
 	"hohtx/internal/pad"
+	"hohtx/internal/reclaim"
 	"hohtx/internal/sets"
 	"hohtx/internal/stm"
 )
@@ -49,22 +50,32 @@ const (
 	ModeRR Mode = iota
 	// ModeHTM runs each operation as a single transaction.
 	ModeHTM
+	// ModeTMHE is hand-over-hand with hazard-era deferred reclamation
+	// (the TMHP window protocol with era reservations; DESIGN.md §14).
+	ModeTMHE
+	// ModeTMVBR is hand-over-hand with version-based reclamation: no
+	// reservations at all, resumed positions revalidate (DESIGN.md §14).
+	ModeTMVBR
 )
 
 // node is a skiplist element. height is immutable after the insert that
-// published the node commits; next[0:height] are the forward links.
+// published the node commits; next[0:height] are the forward links; dead
+// is the deferred modes' logical-deletion mark.
 type node struct {
 	key    stm.Word
 	height stm.Word
+	dead   stm.Word
 	next   [MaxHeight]stm.Word
 	_      pad.Line
 }
 
 type threadState struct {
-	level int // resume level for a reserved position
-	ops   uint64
-	rng   uint64
-	_     pad.Line
+	level  int          // resume level for a held position
+	start  arena.Handle // resume node for the deferred modes
+	parity int          // era-slot parity (ModeTMHE)
+	ops    uint64
+	rng    uint64
+	_      pad.Line
 }
 
 // Config parameterizes the skiplist.
@@ -88,6 +99,9 @@ type Config struct {
 	// ClockPolicy selects the TM global-clock policy (see
 	// stm.Profile.ClockPolicy); composes with the Profile like YieldShift.
 	ClockPolicy stm.ClockPolicy
+	// ScanThreshold is the retire batch size for the deferred modes
+	// (ModeTMHE scans, ModeTMVBR self-tick cadence).
+	ScanThreshold int
 	// TableBits/Assoc size the reservation metadata.
 	TableBits int
 	Assoc     int
@@ -122,6 +136,9 @@ func (c Config) withDefaults() Config {
 	if c.Mode == ModeHTM {
 		c.Window = core.Window{}
 	}
+	if c.ScanThreshold <= 0 {
+		c.ScanThreshold = reclaim.DefaultScanThreshold
+	}
 	return c
 }
 
@@ -130,6 +147,8 @@ type SkipList struct {
 	rt      *stm.Runtime
 	ar      *arena.Arena[node]
 	rr      core.Reservation
+	he      *reclaim.HazardEras
+	vbr     *reclaim.VBR
 	mode    Mode
 	win     core.Window
 	head    arena.Handle // sentinel at full height, key 0
@@ -162,9 +181,25 @@ func New(cfg Config) *SkipList {
 	if cfg.Guard {
 		s.ar.SetPoison(poisonNode)
 	}
-	if cfg.Mode == ModeRR {
+	switch cfg.Mode {
+	case ModeRR:
 		s.rr = core.New(cfg.RRKind, core.Config{
 			Threads: cfg.Threads, TableBits: cfg.TableBits, Assoc: cfg.Assoc,
+		})
+	case ModeTMHE:
+		s.he = reclaim.NewHazardEras(reclaim.HEConfig{
+			Threads:        cfg.Threads,
+			SlotsPerThread: 2,
+			ScanThreshold:  cfg.ScanThreshold,
+			Free:           func(tid int, h arena.Handle) { s.ar.Free(tid, h) },
+		})
+	case ModeTMVBR:
+		s.vbr = reclaim.NewVBR(reclaim.VBRConfig{
+			Threads:   cfg.Threads,
+			TickEvery: cfg.ScanThreshold,
+			Clock:     s.rt.VersionFence,
+			Tick:      s.rt.TickVersionFence,
+			Free:      func(tid int, h arena.Handle) { s.ar.Free(tid, h) },
 		})
 	}
 	if cfg.Obs != nil {
@@ -176,6 +211,16 @@ func New(cfg Config) *SkipList {
 		if s.rr != nil {
 			s.rr = core.Observed(s.rr, cfg.Obs.HoldProbe(), cfg.Threads)
 		}
+		if s.he != nil {
+			s.he.SetObserver(cfg.Obs.ReclaimProbe())
+			cfg.Obs.Gauge("deferred_depth", func() uint64 { return s.he.Stats().Deferred })
+			cfg.Obs.Gauge("peak_deferred", func() uint64 { return s.he.Stats().PeakDeferred })
+		}
+		if s.vbr != nil {
+			s.vbr.SetObserver(cfg.Obs.ReclaimProbe())
+			cfg.Obs.Gauge("deferred_depth", func() uint64 { return s.vbr.Stats().Deferred })
+			cfg.Obs.Gauge("peak_deferred", func() uint64 { return s.vbr.Stats().PeakDeferred })
+		}
 	}
 	for i := range s.threads {
 		s.threads[i].rng = uint64(i)*0x9e3779b97f4a7c15 + 0xdeadbeef
@@ -184,6 +229,7 @@ func New(cfg Config) *SkipList {
 	h := s.ar.At(s.head)
 	h.key.Init(0)
 	h.height.Init(MaxHeight)
+	h.dead.Init(0)
 	for l := 0; l < MaxHeight; l++ {
 		h.next[l].Init(0)
 	}
@@ -197,6 +243,10 @@ func (s *SkipList) Name() string {
 		return s.rr.Name() + "/skip"
 	case ModeHTM:
 		return "HTM/skip"
+	case ModeTMHE:
+		return "TMHE/skip"
+	case ModeTMVBR:
+		return "TMVBR/skip"
 	default:
 		return fmt.Sprintf("skip-?%d", s.mode)
 	}
@@ -209,8 +259,17 @@ func (s *SkipList) Register(tid int) {
 	}
 }
 
-// Finish implements sets.Set (reclamation is precise; nothing to flush).
-func (s *SkipList) Finish(tid int) {}
+// Finish implements sets.Set: the deferred modes drain their retired
+// lists (no-op for the precise modes).
+func (s *SkipList) Finish(tid int) {
+	if s.he != nil {
+		s.he.ClearSlots(tid)
+		s.he.Flush(tid, s.threads[tid].ops)
+	}
+	if s.vbr != nil {
+		s.vbr.Flush(tid, s.threads[tid].ops)
+	}
+}
 
 // Runtime exposes the TM runtime.
 func (s *SkipList) Runtime() *stm.Runtime { return s.rt }
@@ -243,14 +302,55 @@ func (s *SkipList) TxSerial() uint64  { return s.rt.Stats().SerialCommits }
 // clock and commit-lock counters).
 func (s *SkipList) TMStats() stm.Stats { return s.rt.Stats() }
 
-// PeakDeferred is always zero: reclamation is precise.
-func (s *SkipList) PeakDeferred() uint64 { return 0 }
+// deferredScheme returns the deferred-reclamation scheme, nil for the
+// precise modes.
+func (s *SkipList) deferredScheme() reclaim.Scheme {
+	switch {
+	case s.he != nil:
+		return s.he
+	case s.vbr != nil:
+		return s.vbr
+	}
+	return nil
+}
+
+// PeakDeferred reports the reclamation scheme's deferred high-water mark
+// (zero for the precise modes).
+func (s *SkipList) PeakDeferred() uint64 {
+	if sc := s.deferredScheme(); sc != nil {
+		return sc.Stats().PeakDeferred
+	}
+	return 0
+}
+
+// ReclaimStats exposes the deferred-reclamation counters (zero for the
+// precise modes).
+func (s *SkipList) ReclaimStats() reclaim.Stats {
+	if sc := s.deferredScheme(); sc != nil {
+		return sc.Stats()
+	}
+	return reclaim.Stats{}
+}
+
+// AvgReclaimDelayOps reports the mean operations between logical deletion
+// and physical free (0 for the precise modes).
+func (s *SkipList) AvgReclaimDelayOps() float64 {
+	if sc := s.deferredScheme(); sc != nil {
+		return sc.Stats().AvgDelayOps()
+	}
+	return 0
+}
 
 // LiveNodes implements sets.MemoryReporter.
 func (s *SkipList) LiveNodes() uint64 { return s.ar.Stats().Live }
 
-// DeferredNodes implements sets.MemoryReporter (always zero).
-func (s *SkipList) DeferredNodes() uint64 { return 0 }
+// DeferredNodes implements sets.MemoryReporter.
+func (s *SkipList) DeferredNodes() uint64 {
+	if sc := s.deferredScheme(); sc != nil {
+		return sc.Stats().Deferred
+	}
+	return 0
+}
 
 // Snapshot implements sets.Set via the bottom level (quiescence required).
 func (s *SkipList) Snapshot() []uint64 {

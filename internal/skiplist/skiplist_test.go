@@ -15,7 +15,11 @@ func variants(threads, w int) []*SkipList {
 	for _, k := range core.Kinds() {
 		out = append(out, New(Config{Mode: ModeRR, RRKind: k, Threads: threads, Window: core.Window{W: w}}))
 	}
-	out = append(out, New(Config{Mode: ModeHTM, Threads: threads}))
+	out = append(out,
+		New(Config{Mode: ModeHTM, Threads: threads}),
+		New(Config{Mode: ModeTMHE, Threads: threads, Window: core.Window{W: w}, ScanThreshold: 8}),
+		New(Config{Mode: ModeTMVBR, Threads: threads, Window: core.Window{W: w}, ScanThreshold: 8}),
+	)
 	return out
 }
 
@@ -178,8 +182,11 @@ func TestConcurrentStress(t *testing.T) {
 			if !s.ValidateLevels() {
 				t.Fatal("levels invalid after stress")
 			}
-			if live := s.LiveNodes(); live != uint64(len(snap))+1 {
-				t.Fatalf("memory books: live=%d want=%d", live, len(snap)+1)
+			// Deferred covers retirees stranded by a racing thread's still-
+			// published reservation at Finish time (bounded; zero for the
+			// precise modes).
+			if live, want := s.LiveNodes(), uint64(len(snap))+1+s.DeferredNodes(); live != want {
+				t.Fatalf("memory books: live=%d want=%d", live, want)
 			}
 		})
 	}

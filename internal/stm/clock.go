@@ -133,6 +133,25 @@ func (rt *Runtime) VersionFence() uint64 {
 	return rt.clock.Load()
 }
 
+// TickVersionFence advances the version frontier so that the next
+// VersionFence result is strictly greater than every fence observed
+// before the call. Version-based reclamation (reclaim.VBR) uses the
+// fence as its reclamation epoch: a retiree stamped with fence f is
+// freeable once the fence has moved past f, and under workloads whose
+// commits do not advance the clock on their own (read-heavy GV5 runs)
+// the scheme ticks the fence itself to bound deferral. The GV1 arm is a
+// plain clock Add, identical to a writing commit; the GV5 arm advances
+// clockTarget, which is exactly what serial and slow-path writers do, so
+// the two-counter protocol's invariants (see the note at the top of this
+// file) are untouched.
+func (rt *Runtime) TickVersionFence() {
+	if rt.prof.ClockPolicy == ClockGV5 {
+		rt.clockTarget.Add(2)
+		return
+	}
+	rt.clock.Add(2)
+}
+
 // casMax lifts c to at least v, counting CAS attempts into *n, and returns
 // the final observed value (>= v).
 func casMax(c *atomic.Uint64, v uint64, n *uint64) uint64 {

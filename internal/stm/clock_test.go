@@ -17,6 +17,25 @@ func TestClockPolicyString(t *testing.T) {
 	}
 }
 
+// TestTickVersionFence checks the property reclaim.VBR's drain rule
+// rests on: after a tick, VersionFence is strictly greater than every
+// fence value observed before the tick — under both clock policies.
+func TestTickVersionFence(t *testing.T) {
+	for _, pol := range []ClockPolicy{ClockGV1, ClockGV5} {
+		rt := NewRuntime(Profile{ClockPolicy: pol})
+		before := rt.VersionFence()
+		rt.TickVersionFence()
+		after := rt.VersionFence()
+		if after <= before {
+			t.Fatalf("%s: fence %d -> %d after tick, want strict advance",
+				pol, before, after)
+		}
+		if after%2 != 0 || before%2 != 0 {
+			t.Fatalf("%s: fences must stay even: %d -> %d", pol, before, after)
+		}
+	}
+}
+
 // TestGV5LazyPublication checks the defining GV5 property: disjoint
 // fast-path writers do not advance the published clock, and a subsequent
 // reader advances it itself (counted in ClockCASes) before trusting the

@@ -32,9 +32,11 @@ func Structures() []string {
 }
 
 // Variants returns the mechanism labels defined for a structure: the six
-// reservation kinds, the whole-operation HTM baseline, and whichever of
-// the deferred-reclamation comparators (TMHP, REF, ER) and lock-free
-// baselines (Leak, LFHP) the paper defines for it.
+// reservation kinds, the whole-operation HTM baseline, whichever of the
+// deferred-reclamation comparators (TMHP, REF, ER) and lock-free
+// baselines (Leak, LFHP) the paper defines for it, plus the extended
+// reclamation matrix's TMHE and TMVBR (DESIGN.md §14) wherever the
+// structure supports deferred modes.
 func Variants(structure string) []string {
 	var rr []string
 	for _, k := range core.Kinds() {
@@ -42,17 +44,17 @@ func Variants(structure string) []string {
 	}
 	switch structure {
 	case StructSingly:
-		return append(rr, "HTM", "TMHP", "REF", "ER", "Leak", "LFHP")
+		return append(rr, "HTM", "TMHP", "TMHE", "TMVBR", "REF", "ER", "Leak", "LFHP")
 	case StructDoubly:
-		return append(rr, "HTM", "TMHP")
+		return append(rr, "HTM", "TMHP", "TMHE", "TMVBR")
 	case StructHash:
-		return append(rr, "HTM", "TMHP", "REF", "ER")
+		return append(rr, "HTM", "TMHP", "TMHE", "TMVBR", "REF", "ER")
 	case StructITree:
 		return append(rr, "HTM")
 	case StructETree:
-		return append(rr, "HTM", "TMHP", "Leak")
+		return append(rr, "HTM", "TMHP", "TMHE", "TMVBR", "Leak")
 	case StructSkip:
-		return append(rr, "HTM")
+		return append(rr, "HTM", "TMHE", "TMVBR")
 	default:
 		return nil
 	}
@@ -96,6 +98,12 @@ type instance struct {
 	// document Apply as per-op, so the batch-atomicity pin skips them.
 	atomicBatch bool
 	rounds      int // Finish rounds needed to drain (2 for hazard schemes)
+	// strandBound: after one Finish round the leftovers are bounded by the
+	// published-slot count (hazard-pointer schemes: one handle per slot).
+	// Hazard Eras is rounds=2 but NOT strand-bound — one stale era
+	// reservation covers every retiree whose [birth, del] interval contains
+	// it, which is not proportional to the slot count.
+	strandBound bool
 	reclaim     func() reclaim.Stats
 	validate    func() error
 }
@@ -191,6 +199,7 @@ func buildOne(cfg Config, guard *guardCollector, obsName string) (*instance, err
 			inst.leak = cfg.Variant == "Leak"
 			if cfg.Variant == "LFHP" {
 				inst.rounds = 2
+				inst.strandBound = true
 			}
 			inst.reclaim = l.ReclaimStats
 			return measureBase(inst), nil
@@ -210,6 +219,14 @@ func buildOne(cfg Config, guard *guardCollector, obsName string) (*instance, err
 			lcfg.Mode = list.ModeTMHP
 			inst.deferred = true
 			inst.rounds = 2
+			inst.strandBound = true
+		case "TMHE":
+			lcfg.Mode = list.ModeTMHE
+			inst.deferred = true
+			inst.rounds = 2
+		case "TMVBR":
+			lcfg.Mode = list.ModeTMVBR
+			inst.deferred = true // Flush provably drains, so one round suffices
 		case "REF":
 			if cfg.Structure == StructDoubly {
 				return nil, fmt.Errorf("torture: REF is undefined for %s", cfg.Structure)
@@ -286,6 +303,20 @@ func buildOne(cfg Config, guard *guardCollector, obsName string) (*instance, err
 			tcfg.Mode = tree.ModeTMHP
 			inst.deferred = true
 			inst.rounds = 2
+			inst.strandBound = true
+		case "TMHE":
+			if cfg.Structure == StructITree {
+				return nil, fmt.Errorf("torture: TMHE is undefined for %s", cfg.Structure)
+			}
+			tcfg.Mode = tree.ModeTMHE
+			inst.deferred = true
+			inst.rounds = 2
+		case "TMVBR":
+			if cfg.Structure == StructITree {
+				return nil, fmt.Errorf("torture: TMVBR is undefined for %s", cfg.Structure)
+			}
+			tcfg.Mode = tree.ModeTMVBR
+			inst.deferred = true
 		default:
 			if !isRR {
 				return nil, fmt.Errorf("torture: unknown variant %q", cfg.Variant)
@@ -329,6 +360,13 @@ func buildOne(cfg Config, guard *guardCollector, obsName string) (*instance, err
 		switch cfg.Variant {
 		case "HTM":
 			scfg.Mode = skiplist.ModeHTM
+		case "TMHE":
+			scfg.Mode = skiplist.ModeTMHE
+			inst.deferred = true
+			inst.rounds = 2
+		case "TMVBR":
+			scfg.Mode = skiplist.ModeTMVBR
+			inst.deferred = true
 		default:
 			if !isRR {
 				return nil, fmt.Errorf("torture: unknown variant %q", cfg.Variant)
@@ -339,6 +377,7 @@ func buildOne(cfg Config, guard *guardCollector, obsName string) (*instance, err
 		s := skiplist.New(scfg)
 		inst.set = s
 		inst.guard = guard
+		inst.reclaim = s.ReclaimStats
 		inst.validate = func() error {
 			if !s.ValidateLevels() {
 				return fmt.Errorf("skiplist level invariant violated")
@@ -384,6 +423,7 @@ func buildSharded(cfg Config, guard *guardCollector) (*instance, error) {
 		leak:        first.leak,
 		atomicBatch: first.atomicBatch,
 		rounds:      first.rounds,
+		strandBound: first.strandBound,
 	}
 	for _, si := range subs {
 		inst.baseLive += si.baseLive

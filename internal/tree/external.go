@@ -52,6 +52,10 @@ func (t *External) Name() string {
 		return "HTM"
 	case ModeTMHP:
 		return "TMHP"
+	case ModeTMHE:
+		return "TMHE"
+	case ModeTMVBR:
+		return "TMVBR"
 	default:
 		return fmt.Sprintf("etree-?%d", t.mode)
 	}

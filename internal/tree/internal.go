@@ -23,8 +23,8 @@ var _ sets.MemoryReporter = (*Internal)(nil)
 // NewInternal constructs an internal-tree set.
 func NewInternal(cfg Config) *Internal {
 	cfg = cfg.withDefaults()
-	if cfg.Mode == ModeTMHP {
-		panic("tree: ModeTMHP is only implemented for the external tree (as in the paper)")
+	if cfg.Mode == ModeTMHP || cfg.Mode == ModeTMHE || cfg.Mode == ModeTMVBR {
+		panic("tree: the deferred-reclamation modes are only implemented for the external tree")
 	}
 	b := newBase(cfg)
 	return &Internal{base: b, root: b.initNode(sent2, arena.Nil, arena.Nil)}

@@ -22,10 +22,10 @@ type Map struct {
 }
 
 // NewMap constructs an ordered map. cfg.Mode must be ModeRR or ModeHTM
-// (the deferred-reclamation mode would alias the value storage and is not
-// what a map user wants anyway).
+// (the deferred-reclamation modes would alias the value storage and are
+// not what a map user wants anyway).
 func NewMap(cfg Config) *Map {
-	if cfg.Mode == ModeTMHP {
+	if cfg.Mode == ModeTMHP || cfg.Mode == ModeTMHE || cfg.Mode == ModeTMVBR {
 		panic("tree: Map requires ModeRR or ModeHTM")
 	}
 	return &Map{t: NewExternal(cfg)}

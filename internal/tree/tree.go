@@ -3,7 +3,10 @@
 // (values in leaves, routers inside), both with hand-over-hand
 // transactions and revocable reservations, plus the whole-operation
 // transaction baseline (HTM) and — for the external tree, as in the
-// paper's Figure 7 — a hazard-pointer variant (TMHP).
+// paper's Figure 7 — a hazard-pointer variant (TMHP). The external tree
+// additionally supports the post-2017 deferred schemes of the extended
+// reclamation matrix (DESIGN.md §14): hazard eras (TMHE) and
+// version-based reclamation (TMVBR).
 //
 // The delicate part is the internal tree's removal of a node with two
 // children: the victim's value is overwritten with its successor l (the
@@ -37,6 +40,12 @@ const (
 	// ModeTMHP is hand-over-hand with hazard pointers (external tree
 	// only; the paper knows of no internal trees using hazard pointers).
 	ModeTMHP
+	// ModeTMHE is hand-over-hand with hazard eras (external tree only,
+	// like TMHP, whose window protocol it shares).
+	ModeTMHE
+	// ModeTMVBR is hand-over-hand with version-based reclamation
+	// (external tree only); no reservations, resumes revalidate.
+	ModeTMVBR
 )
 
 // sentinel keys; user keys must be below sent0.
@@ -81,7 +90,8 @@ type Config struct {
 	Profile stm.Profile
 	// ArenaPolicy selects the allocator free-list policy.
 	ArenaPolicy arena.Policy
-	// ScanThreshold is the hazard batch size for ModeTMHP.
+	// ScanThreshold is the retire batch size for the deferred modes
+	// (ModeTMHP/ModeTMHE scans, ModeTMVBR self-tick cadence).
 	ScanThreshold int
 	// TableBits/Assoc size the reservation metadata (see core.Config).
 	TableBits int
@@ -136,6 +146,8 @@ type base struct {
 	ar          *arena.Arena[node]
 	rr          core.Reservation
 	hp          *reclaim.HazardPointers
+	he          *reclaim.HazardEras
+	vbr         *reclaim.VBR
 	mode        Mode
 	win         core.Window
 	winOverride atomic.Int32
@@ -172,6 +184,21 @@ func newBase(cfg Config) *base {
 			ScanThreshold:  cfg.ScanThreshold,
 			Free:           func(tid int, h arena.Handle) { b.ar.Free(tid, h) },
 		})
+	case ModeTMHE:
+		b.he = reclaim.NewHazardEras(reclaim.HEConfig{
+			Threads:        cfg.Threads,
+			SlotsPerThread: 2,
+			ScanThreshold:  cfg.ScanThreshold,
+			Free:           func(tid int, h arena.Handle) { b.ar.Free(tid, h) },
+		})
+	case ModeTMVBR:
+		b.vbr = reclaim.NewVBR(reclaim.VBRConfig{
+			Threads:   cfg.Threads,
+			TickEvery: cfg.ScanThreshold,
+			Clock:     b.rt.VersionFence,
+			Tick:      b.rt.TickVersionFence,
+			Free:      func(tid int, h arena.Handle) { b.ar.Free(tid, h) },
+		})
 	}
 	if cfg.Obs != nil {
 		b.obs = cfg.Obs
@@ -183,6 +210,17 @@ func newBase(cfg Config) *base {
 		if b.hp != nil {
 			b.hp.SetObserver(cfg.Obs.ReclaimProbe())
 			cfg.Obs.Gauge("deferred_depth", func() uint64 { return b.hp.Stats().Deferred })
+			cfg.Obs.Gauge("peak_deferred", func() uint64 { return b.hp.Stats().PeakDeferred })
+		}
+		if b.he != nil {
+			b.he.SetObserver(cfg.Obs.ReclaimProbe())
+			cfg.Obs.Gauge("deferred_depth", func() uint64 { return b.he.Stats().Deferred })
+			cfg.Obs.Gauge("peak_deferred", func() uint64 { return b.he.Stats().PeakDeferred })
+		}
+		if b.vbr != nil {
+			b.vbr.SetObserver(cfg.Obs.ReclaimProbe())
+			cfg.Obs.Gauge("deferred_depth", func() uint64 { return b.vbr.Stats().Deferred })
+			cfg.Obs.Gauge("peak_deferred", func() uint64 { return b.vbr.Stats().PeakDeferred })
 		}
 	}
 	return b
@@ -207,6 +245,9 @@ func (b *base) initNode(key uint64, left, right arena.Handle) arena.Handle {
 // slots require transactional stores; see package arena).
 func (b *base) allocNode(tx *stm.Tx, tid int, key uint64, left, right arena.Handle) arena.Handle {
 	h := b.ar.Alloc(tid)
+	if b.he != nil {
+		b.he.StampAlloc(h)
+	}
 	tx.OnAbort(func() { b.ar.Free(tid, h) })
 	n := b.ar.At(h)
 	n.key.Store(tx, key)
@@ -245,6 +286,13 @@ func (b *base) Finish(tid int) {
 		b.hp.ClearSlots(tid)
 		b.hp.Flush(tid, b.threads[tid].ops)
 	}
+	if b.he != nil {
+		b.he.ClearSlots(tid)
+		b.he.Flush(tid, b.threads[tid].ops)
+	}
+	if b.vbr != nil {
+		b.vbr.Flush(tid, b.threads[tid].ops)
+	}
 }
 
 // TxCommits reports committed transactions (benchmark statistics).
@@ -260,21 +308,44 @@ func (b *base) TxSerial() uint64 { return b.rt.Stats().SerialCommits }
 // clock and commit-lock counters).
 func (b *base) TMStats() stm.Stats { return b.rt.Stats() }
 
+// deferredScheme returns the tree's deferred-reclamation scheme, nil for
+// the precise modes.
+func (b *base) deferredScheme() reclaim.Scheme {
+	switch {
+	case b.hp != nil:
+		return b.hp
+	case b.he != nil:
+		return b.he
+	case b.vbr != nil:
+		return b.vbr
+	}
+	return nil
+}
+
 // PeakDeferred reports the reclamation scheme's deferred high-water mark.
 func (b *base) PeakDeferred() uint64 {
-	if b.hp != nil {
-		return b.hp.Stats().PeakDeferred
+	if s := b.deferredScheme(); s != nil {
+		return s.Stats().PeakDeferred
 	}
 	return 0
 }
 
-// ReclaimStats exposes the deferred-reclamation counters (ModeTMHP; zero
-// for the precise modes).
+// ReclaimStats exposes the deferred-reclamation counters (zero for the
+// precise modes).
 func (b *base) ReclaimStats() reclaim.Stats {
-	if b.hp != nil {
-		return b.hp.Stats()
+	if s := b.deferredScheme(); s != nil {
+		return s.Stats()
 	}
 	return reclaim.Stats{}
+}
+
+// AvgReclaimDelayOps reports the mean operations between logical deletion
+// and physical free (0 for the precise modes).
+func (b *base) AvgReclaimDelayOps() float64 {
+	if s := b.deferredScheme(); s != nil {
+		return s.Stats().AvgDelayOps()
+	}
+	return 0
 }
 
 // LiveNodes implements sets.MemoryReporter.
@@ -282,8 +353,8 @@ func (b *base) LiveNodes() uint64 { return b.ar.Stats().Live }
 
 // DeferredNodes implements sets.MemoryReporter.
 func (b *base) DeferredNodes() uint64 {
-	if b.hp != nil {
-		return b.hp.Stats().Deferred
+	if s := b.deferredScheme(); s != nil {
+		return s.Stats().Deferred
 	}
 	return 0
 }
@@ -297,12 +368,27 @@ func (b *base) windowStart(tx *stm.Tx, tid int, root arena.Handle) (arena.Handle
 			return arena.Handle(r), true
 		}
 		return root, false
-	case ModeTMHP:
+	case ModeTMHP, ModeTMHE:
 		s := b.threads[tid].start
 		if s.IsNil() {
 			return root, false
 		}
 		if b.loadWord(tx, tid, s, &b.ar.At(s).dead) != 0 {
+			return root, false
+		}
+		return s, true
+	case ModeTMVBR:
+		// Nothing pins the held start between windows; bracket the dead
+		// load with arena-generation checks (see the list engine's
+		// protocol note).
+		s := b.threads[tid].start
+		if s.IsNil() || !b.ar.Live(s) {
+			return root, false
+		}
+		if b.loadWord(tx, tid, s, &b.ar.At(s).dead) != 0 {
+			return root, false
+		}
+		if !b.ar.Live(s) {
 			return root, false
 		}
 		return s, true
@@ -329,6 +415,17 @@ func (b *base) windowHold(tx *stm.Tx, tid int, held bool, currH arena.Handle) {
 			b.hp.Protect(tid, slot^1, 0)
 			ts.parity++
 		})
+	case ModeTMHE:
+		slot := ts.parity & 1
+		b.he.Protect(tid, slot, currH)
+		_ = b.loadWord(tx, tid, currH, &b.ar.At(currH).dead) // ordering re-check (see list)
+		tx.OnCommit(func() {
+			ts.start = currH
+			b.he.Protect(tid, slot^1, 0)
+			ts.parity++
+		})
+	case ModeTMVBR:
+		tx.OnCommit(func() { ts.start = currH })
 	}
 }
 
@@ -345,6 +442,13 @@ func (b *base) windowTerminal(tx *stm.Tx, tid int, held bool) {
 			ts.start = arena.Nil
 			b.hp.ClearSlots(tid)
 		})
+	case ModeTMHE:
+		tx.OnCommit(func() {
+			ts.start = arena.Nil
+			b.he.ClearSlots(tid)
+		})
+	case ModeTMVBR:
+		tx.OnCommit(func() { ts.start = arena.Nil })
 	}
 }
 
@@ -363,11 +467,19 @@ func (b *base) dropHold(tx *stm.Tx, tid int, held bool) {
 			ts.start = arena.Nil
 			b.hp.ClearSlots(tid)
 		})
+	case ModeTMHE:
+		tx.OnCommit(func() {
+			ts.start = arena.Nil
+			b.he.ClearSlots(tid)
+		})
+	case ModeTMVBR:
+		tx.OnCommit(func() { ts.start = arena.Nil })
 	}
 }
 
 // reclaimNode frees h per the tree's mode, revoking reservations first
-// for ModeRR (precise reclamation) or marking and retiring for ModeTMHP.
+// for ModeRR (precise reclamation) or marking and retiring for the
+// deferred modes.
 func (b *base) reclaimNode(tx *stm.Tx, tid int, h arena.Handle) {
 	switch b.mode {
 	case ModeRR:
@@ -379,5 +491,13 @@ func (b *base) reclaimNode(tx *stm.Tx, tid int, h arena.Handle) {
 		b.ar.At(h).dead.Store(tx, 1)
 		stamp := b.threads[tid].ops
 		tx.OnCommit(func() { b.hp.Retire(tid, h, stamp) })
+	case ModeTMHE:
+		b.ar.At(h).dead.Store(tx, 1)
+		stamp := b.threads[tid].ops
+		tx.OnCommit(func() { b.he.Retire(tid, h, stamp) })
+	case ModeTMVBR:
+		b.ar.At(h).dead.Store(tx, 1)
+		stamp := b.threads[tid].ops
+		tx.OnCommit(func() { b.vbr.Retire(tid, h, stamp) })
 	}
 }

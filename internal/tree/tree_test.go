@@ -44,6 +44,8 @@ func externalVariants(threads, w int) []treeUnderTest {
 	out = append(out,
 		mk(Config{Mode: ModeHTM, Threads: threads}),
 		mk(Config{Mode: ModeTMHP, Threads: threads, Window: core.Window{W: w}, ScanThreshold: 8}),
+		mk(Config{Mode: ModeTMHE, Threads: threads, Window: core.Window{W: w}, ScanThreshold: 8}),
+		mk(Config{Mode: ModeTMVBR, Threads: threads, Window: core.Window{W: w}, ScanThreshold: 8}),
 	)
 	return out
 }
