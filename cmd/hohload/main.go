@@ -80,6 +80,7 @@ import (
 
 	"hohtx/internal/bench"
 	"hohtx/internal/obs"
+	"hohtx/internal/serve"
 )
 
 func main() {
@@ -144,6 +145,22 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hohload:", err)
 		os.Exit(1)
+	}
+
+	// GC-pressure baseline: sample the server's runtime-gc panel before
+	// the first measured request, so the cell's allocs_per_op and
+	// gc_cycles are deltas over exactly the measured window (warmup and
+	// monitor-dial churn excluded).
+	gcAddr := *obsAddr
+	if gcAddr == "" {
+		gcAddr = mon.base.obsAddr
+	}
+	var gcBase obs.GCStats
+	gcOK := false
+	if gcAddr != "" {
+		if st, err := fetchGC(gcAddr); err == nil {
+			gcBase, gcOK = st, true
+		}
 	}
 
 	hist := obs.NewHistogram("op_latency", "ns")
@@ -313,6 +330,14 @@ func main() {
 		cell.HotKey = fz.hotKey
 		cell.HotKeyAborts = fz.hotKeyAborts
 	}
+	if gcOK {
+		if gcEnd, err := fetchGC(gcAddr); err == nil && total > 0 {
+			cell.AllocsPerOp = float64(gcEnd.AllocObjects-gcBase.AllocObjects) / float64(total)
+			cell.GCCycles = gcEnd.Cycles - gcBase.Cycles
+			fmt.Printf("  server GC over run: %.3f allocs/op, %d cycles\n",
+				cell.AllocsPerOp, cell.GCCycles)
+		}
+	}
 	sum := bench.Summary{
 		Bench:      bench.BenchNumber(*out),
 		Generated:  time.Now().UTC().Format(time.RFC3339),
@@ -381,6 +406,8 @@ func runConn(cid int, addr string, ops, depth int, keys uint64, reads, scanfrac,
 	defer c.Close()
 	br := bufio.NewReaderSize(c, 16<<10)
 	bw := bufio.NewWriterSize(c, 16<<10)
+	sc := serve.NewLineScanner(br)
+	var req []byte
 
 	rng := seed + uint64(cid+1)*0x9e3779b97f4a7c15
 	sendTimes := make([]time.Time, depth)
@@ -397,7 +424,7 @@ func runConn(cid int, addr string, ops, depth int, keys uint64, reads, scanfrac,
 		if scanfrac > 0 && int((r>>48)%100) < scanfrac {
 			sendTimes[sent%depth] = time.Now()
 			verbs[sent%depth] = 'A'
-			if _, err := fmt.Fprintf(bw, "ASCEND %d %d\n", key, scanlen); err != nil {
+			if err := writeScanReq(bw, &req, key, scanlen); err != nil {
 				return err
 			}
 			sent++
@@ -415,7 +442,7 @@ func runConn(cid int, addr string, ops, depth int, keys uint64, reads, scanfrac,
 		}
 		sendTimes[sent%depth] = time.Now()
 		verbs[sent%depth] = vb
-		if _, err := fmt.Fprintf(bw, "%s %d\n", verb, key); err != nil {
+		if err := writeReq(bw, &req, verb, key); err != nil {
 			return err
 		}
 		sent++
@@ -430,25 +457,24 @@ func runConn(cid int, addr string, ops, depth int, keys uint64, reads, scanfrac,
 		if verbs[recv%depth] == 'A' {
 			// A scan's reply is OK lines up to its END terminator; the
 			// scan is charged from its send time to that terminator.
-			if err := drainScan(br); err != nil {
+			if err := drainScan(sc); err != nil {
 				return fmt.Errorf("scan after %d replies: %w", recv, err)
 			}
 			scanHist.RecordAt(uint64(cid), uint64(time.Since(sendTimes[recv%depth])))
 			scans.Add(1)
 		} else {
-			line, err := br.ReadString('\n')
+			reply, err := sc.Line()
 			if err != nil {
 				return fmt.Errorf("after %d replies: %w", recv, err)
 			}
-			reply := strings.TrimRight(line, "\n")
-			if strings.HasPrefix(reply, "ERR") {
+			if isErrLine(reply) {
 				return fmt.Errorf("server: %s", reply)
 			}
 			hist.RecordAt(uint64(cid), uint64(time.Since(sendTimes[recv%depth])))
 			switch verbs[recv%depth] {
 			case 'G':
 				gets.Add(1)
-				if reply == "1" {
+				if isOne(reply) {
 					hits.Add(1)
 				}
 			case 'S':
@@ -468,23 +494,58 @@ func runConn(cid int, addr string, ops, depth int, keys uint64, reads, scanfrac,
 }
 
 // drainScan consumes one ASCEND reply — OK lines through the END
-// terminator — and fails on an ERR terminator or malformed line.
-func drainScan(br *bufio.Reader) error {
+// terminator — and fails on an ERR terminator or malformed line. It runs
+// over the shared reused-buffer scanner: a long scan used to allocate one
+// string per OK line, on the measuring side of the experiment.
+func drainScan(sc *serve.LineScanner) error {
 	for {
-		line, err := br.ReadString('\n')
+		line, err := sc.Line()
 		if err != nil {
 			return err
 		}
-		reply := strings.TrimRight(line, "\n")
 		switch {
-		case reply == "END":
+		case string(line) == "END":
 			return nil
-		case strings.HasPrefix(reply, "ERR"):
-			return fmt.Errorf("server: %s", reply)
-		case !strings.HasPrefix(reply, "OK "):
-			return fmt.Errorf("malformed scan line %q", reply)
+		case isErrLine(line):
+			return fmt.Errorf("server: %s", line)
+		case len(line) < 3 || line[0] != 'O' || line[1] != 'K' || line[2] != ' ':
+			return fmt.Errorf("malformed scan line %q", line)
 		}
 	}
+}
+
+// isErrLine reports whether a reply line is an ERR terminator, without
+// materializing a string.
+func isErrLine(b []byte) bool {
+	return len(b) >= 3 && b[0] == 'E' && b[1] == 'R' && b[2] == 'R'
+}
+
+// isOne reports a "1" reply.
+func isOne(b []byte) bool { return len(b) == 1 && b[0] == '1' }
+
+// writeReq renders "<verb> <key>\n" through the caller's reused scratch.
+// fmt.Fprintf here cost two heap objects per request (argument boxing),
+// charged to the load generator's own measurement loop.
+func writeReq(bw *bufio.Writer, buf *[]byte, verb string, key uint64) error {
+	b := append((*buf)[:0], verb...)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, key, 10)
+	b = append(b, '\n')
+	*buf = b
+	_, err := bw.Write(b)
+	return err
+}
+
+// writeScanReq renders "ASCEND <lo> <n>\n" the same way.
+func writeScanReq(bw *bufio.Writer, buf *[]byte, lo uint64, n int) error {
+	b := append((*buf)[:0], "ASCEND "...)
+	b = strconv.AppendUint(b, lo, 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(n), 10)
+	b = append(b, '\n')
+	*buf = b
+	_, err := bw.Write(b)
+	return err
 }
 
 // runConnOpen drives one connection open-loop: a writer goroutine sends
@@ -504,6 +565,7 @@ func runConnOpen(cid int, addr string, ops, conns int, interval time.Duration, s
 	defer c.Close()
 	br := bufio.NewReaderSize(c, 64<<10)
 	bw := bufio.NewWriterSize(c, 64<<10)
+	sc := serve.NewLineScanner(br)
 
 	// verbOf classifies request i's random draw the same way runConn does,
 	// so closed- and open-loop runs at the same seed issue the same ops.
@@ -528,6 +590,7 @@ func runConnOpen(cid int, addr string, ops, conns int, interval time.Duration, s
 	writeErr := make(chan error, 1)
 	go func() {
 		rng := seed + uint64(cid+1)*0x9e3779b97f4a7c15
+		var req []byte
 		for i := 0; i < ops; i++ {
 			if d := time.Until(due(i)); d > 0 {
 				// Push buffered requests out before going idle: nothing may
@@ -541,13 +604,13 @@ func runConnOpen(cid int, addr string, ops, conns int, interval time.Duration, s
 			r := splitmix64(&rng)
 			verb, vb := verbOf(r)
 			if vb == 'A' {
-				if _, err := fmt.Fprintf(bw, "ASCEND %d %d\n", 1+(r>>8)%keys, scanlen); err != nil {
+				if err := writeScanReq(bw, &req, 1+(r>>8)%keys, scanlen); err != nil {
 					writeErr <- err
 					return
 				}
 				continue
 			}
-			if _, err := fmt.Fprintf(bw, "%s %d\n", verb, 1+(r>>8)%keys); err != nil {
+			if err := writeReq(bw, &req, verb, 1+(r>>8)%keys); err != nil {
 				writeErr <- err
 				return
 			}
@@ -567,7 +630,7 @@ func runConnOpen(cid int, addr string, ops, conns int, interval time.Duration, s
 		r := splitmix64(&rng)
 		_, vb := verbOf(r)
 		if vb == 'A' {
-			if err := drainScan(br); err != nil {
+			if err := drainScan(sc); err != nil {
 				return fmt.Errorf("scan after %d replies: %w", recv, err)
 			}
 			lat := time.Since(due(recv))
@@ -578,12 +641,11 @@ func runConnOpen(cid int, addr string, ops, conns int, interval time.Duration, s
 			scans.Add(1)
 			continue
 		}
-		line, err := br.ReadString('\n')
+		reply, err := sc.Line()
 		if err != nil {
 			return fmt.Errorf("after %d replies: %w", recv, err)
 		}
-		reply := strings.TrimRight(line, "\n")
-		if strings.HasPrefix(reply, "ERR") {
+		if isErrLine(reply) {
 			return fmt.Errorf("server: %s", reply)
 		}
 		lat := time.Since(due(recv))
@@ -594,7 +656,7 @@ func runConnOpen(cid int, addr string, ops, conns int, interval time.Duration, s
 		switch vb {
 		case 'G':
 			gets.Add(1)
-			if reply == "1" {
+			if isOne(reply) {
 				hits.Add(1)
 			}
 		case 'S':
@@ -607,11 +669,12 @@ func runConnOpen(cid int, addr string, ops, conns int, interval time.Duration, s
 }
 
 // writeFrame appends one MULTI frame of batch ops to bw, drawing the next
-// batch draws from rng, and returns the verb tags in frame order.
-func writeFrame(bw *bufio.Writer, rng *uint64, batch int, keys uint64, reads int, tags []byte) error {
-	if _, err := fmt.Fprintf(bw, "MULTI %d\n", batch); err != nil {
-		return err
-	}
+// batch draws from rng, and returns the verb tags in frame order. buf is
+// the caller's reused request scratch.
+func writeFrame(bw *bufio.Writer, buf *[]byte, rng *uint64, batch int, keys uint64, reads int, tags []byte) error {
+	b := append((*buf)[:0], "MULTI "...)
+	b = strconv.AppendInt(b, int64(batch), 10)
+	b = append(b, '\n')
 	for j := 0; j < batch; j++ {
 		r := splitmix64(rng)
 		key := 1 + (r>>8)%keys
@@ -624,19 +687,22 @@ func writeFrame(bw *bufio.Writer, rng *uint64, batch int, keys uint64, reads int
 		default:
 			verb, tags[j] = "DEL", 'D'
 		}
-		if _, err := fmt.Fprintf(bw, "%s %d\n", verb, key); err != nil {
-			return err
-		}
+		b = append(b, verb...)
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, key, 10)
+		b = append(b, '\n')
 	}
-	return nil
+	*buf = b
+	_, err := bw.Write(b)
+	return err
 }
 
 // tallyReply classifies one batch reply line against its verb tag.
-func tallyReply(reply string, tag byte, gets, sets, dels, hits *atomic.Uint64) {
+func tallyReply(reply []byte, tag byte, gets, sets, dels, hits *atomic.Uint64) {
 	switch tag {
 	case 'G':
 		gets.Add(1)
-		if reply == "1" {
+		if isOne(reply) {
 			hits.Add(1)
 		}
 	case 'S':
@@ -665,11 +731,12 @@ func runConnBatch(cid int, addr string, ops, depth, batch int, keys uint64, read
 	rng := seed + uint64(cid+1)*0x9e3779b97f4a7c15
 	sendTimes := make([]time.Time, depth)
 	tags := make([]byte, depth*batch)
+	var req []byte
 	var sent, recv int
 
 	send := func() error {
 		sendTimes[sent%depth] = time.Now()
-		if err := writeFrame(bw, &rng, batch, keys, reads, tags[(sent%depth)*batch:(sent%depth)*batch+batch]); err != nil {
+		if err := writeFrame(bw, &req, &rng, batch, keys, reads, tags[(sent%depth)*batch:(sent%depth)*batch+batch]); err != nil {
 			return err
 		}
 		sent++
@@ -680,15 +747,15 @@ func runConnBatch(cid int, addr string, ops, depth, batch int, keys uint64, read
 			return err
 		}
 	}
+	sc := serve.NewLineScanner(br)
 	for recv < frames {
 		slot := recv % depth
 		for j := 0; j < batch; j++ {
-			line, err := br.ReadString('\n')
+			reply, err := sc.Line()
 			if err != nil {
 				return fmt.Errorf("frame %d op %d: %w", recv, j, err)
 			}
-			reply := strings.TrimRight(line, "\n")
-			if strings.HasPrefix(reply, "ERR") {
+			if isErrLine(reply) {
 				return fmt.Errorf("server: %s", reply)
 			}
 			opHist.RecordAt(uint64(cid), uint64(time.Since(sendTimes[slot])))
@@ -735,6 +802,7 @@ func runConnOpenBatch(cid int, addr string, ops, conns, batch int, interval time
 	go func() {
 		rng := seed + uint64(cid+1)*0x9e3779b97f4a7c15
 		tags := make([]byte, batch)
+		var req []byte
 		for f := 0; f < frames; f++ {
 			if d := time.Until(opDue(f, batch-1)); d > 0 {
 				if err := bw.Flush(); err != nil {
@@ -743,7 +811,7 @@ func runConnOpenBatch(cid int, addr string, ops, conns, batch int, interval time
 				}
 				time.Sleep(d)
 			}
-			if err := writeFrame(bw, &rng, batch, keys, reads, tags); err != nil {
+			if err := writeFrame(bw, &req, &rng, batch, keys, reads, tags); err != nil {
 				writeErr <- err
 				return
 			}
@@ -763,14 +831,14 @@ func runConnOpenBatch(cid int, addr string, ops, conns, batch int, interval time
 			return 'D'
 		}
 	}
+	sc := serve.NewLineScanner(br)
 	for f := 0; f < frames; f++ {
 		for j := 0; j < batch; j++ {
-			line, err := br.ReadString('\n')
+			reply, err := sc.Line()
 			if err != nil {
 				return fmt.Errorf("frame %d op %d: %w", f, j, err)
 			}
-			reply := strings.TrimRight(line, "\n")
-			if strings.HasPrefix(reply, "ERR") {
+			if isErrLine(reply) {
 				return fmt.Errorf("server: %s", reply)
 			}
 			lat := time.Since(opDue(f, j))
@@ -802,6 +870,8 @@ func prefill(addr string, keys uint64) error {
 	defer c.Close()
 	br := bufio.NewReaderSize(c, 16<<10)
 	bw := bufio.NewWriterSize(c, 16<<10)
+	sc := serve.NewLineScanner(br)
+	var req []byte
 	const chunk = 256
 	pending := 0
 	drain := func() error {
@@ -809,14 +879,14 @@ func prefill(addr string, keys uint64) error {
 			return err
 		}
 		for ; pending > 0; pending-- {
-			if _, err := br.ReadString('\n'); err != nil {
+			if _, err := sc.Line(); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 	for k := uint64(1); k <= keys; k += 2 {
-		if _, err := fmt.Fprintf(bw, "SET %d\n", k); err != nil {
+		if err := writeReq(bw, &req, "SET", k); err != nil {
 			return err
 		}
 		if pending++; pending == chunk {
@@ -863,6 +933,42 @@ func fetchObs(addr string) (*obs.DomainSnapshot, error) {
 		}
 	}
 	return merged, nil
+}
+
+// fetchGC pulls just the runtime-gc panel's cumulative counters from the
+// server's /snapshot (see obs.GCSnapshot). Sampled before and after the
+// measured run, the deltas become the cell's GC-pressure columns.
+func fetchGC(addr string) (obs.GCStats, error) {
+	resp, err := http.Get("http://" + addr + "/snapshot")
+	if err != nil {
+		return obs.GCStats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return obs.GCStats{}, fmt.Errorf("GET /snapshot: %s", resp.Status)
+	}
+	var doms []obs.DomainSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&doms); err != nil {
+		return obs.GCStats{}, fmt.Errorf("decode /snapshot: %w", err)
+	}
+	var st obs.GCStats
+	for _, d := range doms {
+		if d.Name != "runtime-gc" {
+			continue
+		}
+		for _, g := range d.Gauges {
+			switch g.Name {
+			case "gc_cycles":
+				st.Cycles = g.Value
+			case "heap_allocs_objects":
+				st.AllocObjects = g.Value
+			case "heap_allocs_bytes":
+				st.AllocBytes = g.Value
+			}
+		}
+		return st, nil
+	}
+	return st, fmt.Errorf("no runtime-gc domain in /snapshot")
 }
 
 // reclaimCellFields lifts the deferred-reclamation view out of the merged
@@ -1096,14 +1202,14 @@ func oneShot(addr, script string) {
 		fmt.Fprintln(os.Stderr, "hohload:", err)
 		os.Exit(1)
 	}
-	br := bufio.NewReader(c)
+	sc := serve.NewLineScanner(bufio.NewReader(c))
 	read := func(r string) {
-		line, err := br.ReadString('\n')
+		line, err := sc.Line()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hohload:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("%-12s -> %s", r, line)
+		fmt.Printf("%-12s -> %s\n", r, line)
 	}
 	for i := 0; i < len(reqs); i++ {
 		if strings.HasPrefix(reqs[i], "ASCEND ") || strings.HasPrefix(reqs[i], "SLOWLOG") {
@@ -1111,14 +1217,13 @@ func oneShot(addr, script string) {
 			// for a scan, SLOW lines for a slowlog dump.
 			fmt.Printf("%-12s    (stream)\n", reqs[i])
 			for {
-				line, err := br.ReadString('\n')
+				line, err := sc.Line()
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "hohload:", err)
 					os.Exit(1)
 				}
-				fmt.Printf("%-12s -> %s", "", line)
-				l := strings.TrimRight(line, "\n")
-				if l == "END" || strings.HasPrefix(l, "ERR") {
+				fmt.Printf("%-12s -> %s\n", "", line)
+				if string(line) == "END" || isErrLine(line) {
 					break
 				}
 			}

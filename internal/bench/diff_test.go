@@ -112,6 +112,22 @@ func TestDiffReclaimColumnsAreOutcomes(t *testing.T) {
 	}
 }
 
+// TestDiffGCColumnsAreOutcomes pins allocs_per_op and gc_cycles as
+// outcome columns: a BENCH_8 cell recorded with GC telemetry must still
+// join against a BENCH_7 cell recorded before the columns existed.
+func TestDiffGCColumnsAreOutcomes(t *testing.T) {
+	withGC := func(c Cell) Cell {
+		c.AllocsPerOp = 0.02
+		c.GCCycles = 3
+		return c
+	}
+	old := Summary{Cells: []Cell{cell("RR-V", 2, 2, 1.0, 0, 0)}}
+	cur := Summary{Cells: []Cell{withGC(cell("RR-V", 2, 2, 1.0, 0, 0))}}
+	if deltas := Diff(old, cur, DiffOptions{Tolerance: 0.10}); len(deltas) != 1 {
+		t.Fatalf("GC outcome columns split the identity join: %+v", deltas)
+	}
+}
+
 // TestLatestPair pins the -auto pair selection: the two highest-numbered
 // snapshots win (numeric, not lexicographic order), and fewer than two is
 // an error with an actionable message, never a silent empty diff.

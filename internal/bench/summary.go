@@ -105,6 +105,16 @@ type Cell struct {
 	HotKey         uint64 `json:"hot_key,omitempty"`
 	HotKeyAborts   uint64 `json:"hot_key_aborts,omitempty"`
 
+	// GC-pressure fields (DESIGN.md §15): the server process's heap
+	// allocations per served op and completed GC cycles over the measured
+	// run, deltas of the runtime-gc panel sampled from /snapshot before
+	// and after. The wire codec pins the steady state at zero allocations
+	// per op in CI; these columns put the same budget in every recorded
+	// cell, where a regression shows up as GC cycles smeared over the
+	// latency histograms. Outcome fields only — never join keys.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	GCCycles    uint64  `json:"gc_cycles,omitempty"`
+
 	// Obs is the final trial's full domain snapshot (log₂-bucket
 	// histograms, gauges, abort-attribution edges); nil when detached.
 	Obs *obs.DomainSnapshot `json:"obs,omitempty"`

@@ -29,11 +29,17 @@ type holdSlot struct {
 }
 
 // observed decorates a Reservation with hold-time measurement. Register,
-// Revoke, Strict and Name pass through via embedding.
+// Revoke, Strict and Name pass through via embedding. The hooks are bound
+// function values built once at construction and scheduled with
+// OnCommitCall (tid and the reserved ref travel in the argument slots),
+// so a hold's bookkeeping costs no per-call closure — the measurement
+// must not itself allocate on the path whose budget it verifies.
 type observed struct {
 	Reservation
-	p     *obs.HoldProbe
-	holds []holdSlot
+	p           *obs.HoldProbe
+	holds       []holdSlot
+	reserveHook func(a, b, c uint64) // a=tid, b=ref: close the old hold, maybe start timing
+	endHook     func(a, b, c uint64) // a=tid: close the hold
 }
 
 // Observed wraps r so that reservation hold times are recorded into p's
@@ -46,26 +52,30 @@ func Observed(r Reservation, p *obs.HoldProbe, threads int) Reservation {
 	if threads <= 0 {
 		threads = 64
 	}
-	return &observed{Reservation: r, p: p, holds: make([]holdSlot, threads)}
+	o := &observed{Reservation: r, p: p, holds: make([]holdSlot, threads)}
+	o.reserveHook = func(a, b, _ uint64) {
+		tid := int(int64(a))
+		o.end(tid)
+		if b != 0 && o.p.D.Sampled(uint64(tid)) {
+			o.holds[tid].t0 = time.Now()
+		}
+	}
+	o.endHook = func(a, _, _ uint64) { o.end(int(int64(a))) }
+	return o
 }
 
 func (o *observed) Reserve(tx *stm.Tx, tid int, ref uint64) {
 	o.Reservation.Reserve(tx, tid, ref)
 	if o.p.D.SampleShift() < 0 && o.holds[tid].t0.IsZero() {
-		return // disabled and nothing to close out: skip the hook allocation
+		return // disabled and nothing to close out: skip the hook entirely
 	}
-	tx.OnCommit(func() {
-		o.end(tid)
-		if ref != 0 && o.p.D.Sampled(uint64(tid)) {
-			o.holds[tid].t0 = time.Now()
-		}
-	})
+	tx.OnCommitCall(o.reserveHook, uint64(int64(tid)), ref, 0)
 }
 
 func (o *observed) Release(tx *stm.Tx, tid int) {
 	o.Reservation.Release(tx, tid)
 	if !o.holds[tid].t0.IsZero() {
-		tx.OnCommit(func() { o.end(tid) })
+		tx.OnCommitCall(o.endHook, uint64(int64(tid)), 0, 0)
 	}
 }
 
@@ -74,7 +84,7 @@ func (o *observed) Get(tx *stm.Tx, tid int) uint64 {
 	if ref == 0 && !o.holds[tid].t0.IsZero() {
 		// The reservation is gone (revoked, or spuriously lost under a
 		// relaxed scheme — either way the hold is over if this commits).
-		tx.OnCommit(func() { o.end(tid) })
+		tx.OnCommitCall(o.endHook, uint64(int64(tid)), 0, 0)
 	}
 	return ref
 }

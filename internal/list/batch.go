@@ -1,8 +1,6 @@
 package list
 
 import (
-	"sort"
-
 	"hohtx/internal/arena"
 	"hohtx/internal/sets"
 	"hohtx/internal/stm"
@@ -35,9 +33,8 @@ func (l *List) applyBatch(tid int, ops []sets.Op,
 	insertAt func(tx *stm.Tx, tid int, key uint64, prevH, currH arena.Handle) arena.Handle,
 	removeAt func(tx *stm.Tx, tid int, prevH, currH arena.Handle),
 ) []sets.Result {
-	out := make([]sets.Result, len(ops))
 	if len(ops) == 0 {
-		return out
+		return nil
 	}
 	ts := &l.threads[tid]
 	ts.ops += uint64(len(ops))
@@ -46,23 +43,27 @@ func (l *List) applyBatch(tid int, ops []sets.Op,
 		l.ep.Enter(tid)
 		defer l.ep.Exit(tid)
 	}
+	// Result and visit-order buffers live in per-thread state and are
+	// reused across batches (grow-only): the returned slice is valid until
+	// the same thread's next Apply, which every caller respects — the
+	// serving layer copies per-shard results out before the next shard
+	// runs. A fresh pair of slices per batch was measurable GC pressure
+	// at wire speed.
+	if cap(ts.batchOut) < len(ops) {
+		ts.batchOut = make([]sets.Result, len(ops))
+		ts.batchOrder = make([]int, len(ops))
+	}
+	out := ts.batchOut[:len(ops)]
 	// Visit order: chain, then key, then arrival order — one monotone
 	// cursor pass per chain, with same-key ops applied in program order.
-	order := make([]int, len(ops))
+	// Sorted by hand (shellsort) rather than sort.Slice: the latter boxes
+	// the slice into an interface and heap-allocates its closure on every
+	// batch.
+	order := ts.batchOrder[:len(ops)]
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ia, ib := order[a], order[b]
-		ca, cb := chainOf(ops[ia].Key), chainOf(ops[ib].Key)
-		if ca != cb {
-			return ca < cb
-		}
-		if ops[ia].Key != ops[ib].Key {
-			return ops[ia].Key < ops[ib].Key
-		}
-		return ia < ib
-	})
+	sortOrder(order, ops, chainOf)
 	l.rt.AtomicBatchT(tid, len(ops), func(tx *stm.Tx) {
 		pos := 0
 		for pos < len(order) {
@@ -166,21 +167,12 @@ func (d *DList) removeDoublyInTx(tx *stm.Tx, tid int, prevH, currH arena.Handle)
 	switch d.mode {
 	case ModeRR:
 		d.rr.Revoke(tx, uint64(currH))
-		tx.OnCommit(func() { d.ar.Free(tid, currH) })
+		tx.OnCommitCall(d.freeHook, uint64(int64(tid)), uint64(currH), 0)
 	case ModeHTM:
-		tx.OnCommit(func() { d.ar.Free(tid, currH) })
-	case ModeTMHP:
+		tx.OnCommitCall(d.freeHook, uint64(int64(tid)), uint64(currH), 0)
+	case ModeTMHP, ModeTMHE, ModeTMVBR:
 		d.ar.At(currH).dead.Store(tx, 1)
-		stamp := d.threads[tid].ops
-		tx.OnCommit(func() { d.hp.Retire(tid, currH, stamp) })
-	case ModeTMHE:
-		d.ar.At(currH).dead.Store(tx, 1)
-		stamp := d.threads[tid].ops
-		tx.OnCommit(func() { d.he.Retire(tid, currH, stamp) })
-	case ModeTMVBR:
-		d.ar.At(currH).dead.Store(tx, 1)
-		stamp := d.threads[tid].ops
-		tx.OnCommit(func() { d.vbr.Retire(tid, currH, stamp) })
+		tx.OnCommitCall(d.retireHook, uint64(int64(tid)), uint64(currH), d.threads[tid].ops)
 	}
 }
 
@@ -194,3 +186,33 @@ func (h *HashTable) Apply(tid int, ops []sets.Op) []sets.Result {
 		h.l.unlinkAndReclaim,
 	)
 }
+
+// sortOrder sorts the visit order by (chain, key, arrival index) with a
+// gapped insertion sort (Ciura's shellsort gaps). It exists instead of
+// sort.Slice because this runs once per batch on the serving hot path and
+// must not allocate; batches are small (the server caps them at a few
+// thousand ops), where shellsort is competitive anyway.
+func sortOrder(order []int, ops []sets.Op, chainOf func(key uint64) int) {
+	for _, gap := range shellGaps {
+		if gap >= len(order) {
+			continue
+		}
+		for i := gap; i < len(order); i++ {
+			v := order[i]
+			cv := chainOf(ops[v].Key)
+			j := i
+			for j >= gap {
+				u := order[j-gap]
+				cu := chainOf(ops[u].Key)
+				if cu < cv || (cu == cv && (ops[u].Key < ops[v].Key || (ops[u].Key == ops[v].Key && u < v))) {
+					break
+				}
+				order[j] = u
+				j -= gap
+			}
+			order[j] = v
+		}
+	}
+}
+
+var shellGaps = [...]int{8929, 3905, 2161, 929, 505, 209, 109, 41, 19, 5, 1}

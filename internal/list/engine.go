@@ -226,59 +226,40 @@ func (l *List) windowHold(tx *stm.Tx, tid int, held bool, startH, currH arena.Ha
 		l.hp.Protect(tid, slot, currH)
 		// Ordering re-check; see the protocol note atop this file.
 		_ = l.loadWord(tx, tid, currH, &l.ar.At(currH).dead)
-		tx.OnCommit(func() {
-			ts.start = currH
-			l.hp.Protect(tid, slot^1, 0) // drop the previous window's hazard
-			ts.parity++
-		})
+		tx.OnCommitCall(l.holdHook, uint64(int64(tid)), uint64(currH), uint64(slot))
 	case ModeTMHE:
 		slot := ts.parity & 1
 		l.he.Protect(tid, slot, currH)
 		// Ordering re-check; see the protocol note atop this file.
 		_ = l.loadWord(tx, tid, currH, &l.ar.At(currH).dead)
-		tx.OnCommit(func() {
-			ts.start = currH
-			l.he.Protect(tid, slot^1, 0) // drop the previous window's reservation
-			ts.parity++
-		})
+		tx.OnCommitCall(l.holdHook, uint64(int64(tid)), uint64(currH), uint64(slot))
 	case ModeTMVBR:
 		// No reservation to publish; windowStart revalidates on resume.
-		tx.OnCommit(func() { ts.start = currH })
+		tx.OnCommitCall(l.holdHook, uint64(int64(tid)), uint64(currH), 0)
 	case ModeREF:
 		n := l.ar.At(currH)
 		n.rc.Store(tx, l.loadWord(tx, tid, currH, &n.rc)+1)
 		if held {
 			l.refDecrement(tx, tid, startH)
 		}
-		tx.OnCommit(func() { ts.start = currH })
+		tx.OnCommitCall(l.holdHook, uint64(int64(tid)), uint64(currH), 0)
 	default: // ModeHTM: unbounded windows never cut or hold
 	}
 }
 
 // windowTerminal releases the thread's hold (if any) at operation end.
 func (l *List) windowTerminal(tx *stm.Tx, tid int, held bool, startH arena.Handle) {
-	ts := &l.threads[tid]
 	switch l.mode {
 	case ModeRR:
 		if held {
 			l.rr.Release(tx, tid)
 		}
-	case ModeTMHP:
-		tx.OnCommit(func() {
-			ts.start = arena.Nil
-			l.hp.ClearSlots(tid)
-		})
-	case ModeTMHE:
-		tx.OnCommit(func() {
-			ts.start = arena.Nil
-			l.he.ClearSlots(tid)
-		})
-	case ModeTMVBR:
-		tx.OnCommit(func() { ts.start = arena.Nil })
+	case ModeTMHP, ModeTMHE, ModeTMVBR:
+		tx.OnCommitCall(l.termHook, uint64(int64(tid)), 0, 0)
 	case ModeREF:
 		if held {
 			l.refDecrement(tx, tid, startH)
 		}
-		tx.OnCommit(func() { ts.start = arena.Nil })
+		tx.OnCommitCall(l.termHook, uint64(int64(tid)), 0, 0)
 	}
 }

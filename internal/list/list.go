@@ -86,7 +86,13 @@ type threadState struct {
 	parity int          // TMHP/TMHE hazard slot alternation
 	ops    uint64
 	marks  []uint64 // ModeER: read marks of the last W spine nodes
-	_      pad.Line
+
+	// Grow-only batch scratch (see applyBatch): the result and visit-order
+	// buffers are reused across this thread's batches, so steady-state
+	// Apply allocates nothing.
+	batchOut   []sets.Result
+	batchOrder []int
+	_          pad.Line
 }
 
 // Config parameterizes list construction.
@@ -183,6 +189,19 @@ type List struct {
 	obs         *obs.Domain
 	scanWindows *obs.Histogram // window txs per Ascend (nil without Obs)
 	scanRenavs  *obs.Histogram // re-navigations per Ascend (nil without Obs)
+
+	// Bound commit/abort hooks, created once here and registered on the
+	// hot paths via stm.OnCommitCall/OnAbortCall with inline arguments.
+	// A fresh closure per operation would heap-allocate on every
+	// insert/remove — allocator traffic the arena's exact books never
+	// see, and exactly the GC pressure the paper's Fig. 5 warns distorts
+	// reclamation comparisons. Argument encoding: a = tid (two's
+	// complement through uint64), b = arena handle, c = retire stamp or
+	// hazard parity slot.
+	freeHook   func(a, b, c uint64) // ar.Free(tid, handle)
+	retireHook func(a, b, c uint64) // mode's deferred retire(tid, handle, stamp)
+	holdHook   func(a, b, c uint64) // publish window hold: resume at handle b, parity slot c
+	termHook   func(a, b, c uint64) // drop window hold at operation end
 }
 
 var _ sets.Set = (*List)(nil)
@@ -240,6 +259,44 @@ func New(cfg Config) *List {
 			Tick:      l.rt.TickVersionFence,
 			Free:      func(tid int, h arena.Handle) { l.ar.Free(tid, h) },
 		})
+	}
+	l.freeHook = func(a, b, _ uint64) { l.ar.Free(int(int64(a)), arena.Handle(b)) }
+	switch cfg.Mode {
+	case ModeTMHP:
+		l.retireHook = func(a, b, c uint64) { l.hp.Retire(int(int64(a)), arena.Handle(b), c) }
+		l.holdHook = func(a, b, c uint64) {
+			tid := int(int64(a))
+			l.threads[tid].start = arena.Handle(b)
+			l.hp.Protect(tid, int(c)^1, 0) // drop the previous window's hazard
+			l.threads[tid].parity++
+		}
+		l.termHook = func(a, _, _ uint64) {
+			tid := int(int64(a))
+			l.threads[tid].start = arena.Nil
+			l.hp.ClearSlots(tid)
+		}
+	case ModeTMHE:
+		l.retireHook = func(a, b, c uint64) { l.he.Retire(int(int64(a)), arena.Handle(b), c) }
+		l.holdHook = func(a, b, c uint64) {
+			tid := int(int64(a))
+			l.threads[tid].start = arena.Handle(b)
+			l.he.Protect(tid, int(c)^1, 0) // drop the previous window's reservation
+			l.threads[tid].parity++
+		}
+		l.termHook = func(a, _, _ uint64) {
+			tid := int(int64(a))
+			l.threads[tid].start = arena.Nil
+			l.he.ClearSlots(tid)
+		}
+	case ModeTMVBR:
+		l.retireHook = func(a, b, c uint64) { l.vbr.Retire(int(int64(a)), arena.Handle(b), c) }
+		l.holdHook = func(a, b, _ uint64) { l.threads[int(int64(a))].start = arena.Handle(b) }
+		l.termHook = func(a, _, _ uint64) { l.threads[int(int64(a))].start = arena.Nil }
+	case ModeER:
+		l.retireHook = func(a, b, c uint64) { l.ep.Retire(int(int64(a)), arena.Handle(b), c) }
+	case ModeREF:
+		l.holdHook = func(a, b, _ uint64) { l.threads[int(int64(a))].start = arena.Handle(b) }
+		l.termHook = func(a, _, _ uint64) { l.threads[int(int64(a))].start = arena.Nil }
 	}
 	if cfg.Obs != nil {
 		l.obs = cfg.Obs
@@ -398,7 +455,7 @@ func (l *List) allocNode(tx *stm.Tx, tid int, key uint64, nextH, prevH arena.Han
 		// leaves a stale entry; the slot's next incarnation restamps it).
 		l.he.StampAlloc(nh)
 	}
-	tx.OnAbort(func() { l.ar.Free(tid, nh) })
+	tx.OnAbortCall(l.freeHook, uint64(int64(tid)), uint64(nh), 0)
 	n := l.ar.At(nh)
 	// Transactional stores: the slot may be recycled, and some doomed
 	// reader may still hold a stale handle to it (see package arena).
@@ -420,26 +477,17 @@ func (l *List) unlinkAndReclaim(tx *stm.Tx, tid int, prevH, currH arena.Handle) 
 	switch l.mode {
 	case ModeRR:
 		l.rr.Revoke(tx, uint64(currH))
-		tx.OnCommit(func() { l.ar.Free(tid, currH) })
+		tx.OnCommitCall(l.freeHook, uint64(int64(tid)), uint64(currH), 0)
 	case ModeHTM:
 		// No reservations exist; no transaction ever resumes at a node.
-		tx.OnCommit(func() { l.ar.Free(tid, currH) })
-	case ModeTMHP:
+		tx.OnCommitCall(l.freeHook, uint64(int64(tid)), uint64(currH), 0)
+	case ModeTMHP, ModeTMHE, ModeTMVBR:
 		curr.dead.Store(tx, 1)
-		stamp := l.threads[tid].ops
-		tx.OnCommit(func() { l.hp.Retire(tid, currH, stamp) })
-	case ModeTMHE:
-		curr.dead.Store(tx, 1)
-		stamp := l.threads[tid].ops
-		tx.OnCommit(func() { l.he.Retire(tid, currH, stamp) })
-	case ModeTMVBR:
-		curr.dead.Store(tx, 1)
-		stamp := l.threads[tid].ops
-		tx.OnCommit(func() { l.vbr.Retire(tid, currH, stamp) })
+		tx.OnCommitCall(l.retireHook, uint64(int64(tid)), uint64(currH), l.threads[tid].ops)
 	case ModeREF:
 		curr.dead.Store(tx, 1)
 		if l.loadWord(tx, tid, currH, &curr.rc) == 0 {
-			tx.OnCommit(func() { l.ar.Free(tid, currH) })
+			tx.OnCommitCall(l.freeHook, uint64(int64(tid)), uint64(currH), 0)
 		}
 		// Otherwise the last window-holder's decrement frees it.
 	case ModeER:
@@ -450,8 +498,7 @@ func (l *List) unlinkAndReclaim(tx *stm.Tx, tid int, prevH, currH arena.Handle) 
 		// though the writes to our predecessor were early-released.
 		curr.next.Store(tx, uint64(l.loadLink(tx, tid, currH, &curr.next)))
 		curr.dead.Store(tx, 1)
-		stamp := l.threads[tid].ops
-		tx.OnCommit(func() { l.ep.Retire(tid, currH, stamp) })
+		tx.OnCommitCall(l.retireHook, uint64(int64(tid)), uint64(currH), l.threads[tid].ops)
 	}
 }
 
@@ -462,7 +509,7 @@ func (l *List) refDecrement(tx *stm.Tx, tid int, h arena.Handle) {
 	v := l.loadWord(tx, tid, h, &n.rc) - 1
 	n.rc.Store(tx, v)
 	if v == 0 && l.loadWord(tx, tid, h, &n.dead) != 0 {
-		tx.OnCommit(func() { l.ar.Free(tid, h) })
+		tx.OnCommitCall(l.freeHook, uint64(int64(tid)), uint64(h), 0)
 	}
 }
 

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestReadGCStats checks the cumulative counters move when the program
+// allocates and collects: the panel must reflect real runtime activity,
+// not zero-valued placeholder gauges.
+func TestReadGCStats(t *testing.T) {
+	before := ReadGCStats()
+	garbage := make([][]byte, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		garbage = append(garbage, make([]byte, 1024))
+	}
+	_ = garbage
+	runtime.GC()
+	after := ReadGCStats()
+	if after.Cycles <= before.Cycles {
+		t.Errorf("gc cycles did not advance across runtime.GC(): %d -> %d", before.Cycles, after.Cycles)
+	}
+	if after.AllocObjects < before.AllocObjects+1024 {
+		t.Errorf("alloc objects %d -> %d, want +1024 at least", before.AllocObjects, after.AllocObjects)
+	}
+	if after.AllocBytes < before.AllocBytes+1024*1024 {
+		t.Errorf("alloc bytes %d -> %d, want +1MiB at least", before.AllocBytes, after.AllocBytes)
+	}
+}
+
+// TestGCSnapshot checks the synthetic domain's shape: the three gauges in
+// order, and (after a forced collection) a populated pause histogram in
+// the repo's log₂-ns bucket layout.
+func TestGCSnapshot(t *testing.T) {
+	runtime.GC()
+	s := GCSnapshot()
+	if s.Name != "runtime-gc" {
+		t.Fatalf("name = %q", s.Name)
+	}
+	want := []string{"gc_cycles", "heap_allocs_objects", "heap_allocs_bytes"}
+	if len(s.Gauges) != len(want) {
+		t.Fatalf("gauges = %+v, want %v", s.Gauges, want)
+	}
+	for i, g := range s.Gauges {
+		if g.Name != want[i] {
+			t.Errorf("gauge %d = %q, want %q", i, g.Name, want[i])
+		}
+		if g.Value == 0 {
+			t.Errorf("gauge %s = 0 after runtime.GC()", g.Name)
+		}
+	}
+	h, ok := s.Hist("gc_pause")
+	if !ok {
+		t.Fatalf("no gc_pause histogram in %+v", s.Histograms)
+	}
+	if h.Count == 0 || h.Unit != "ns" {
+		t.Errorf("gc_pause count=%d unit=%q, want populated ns histogram", h.Count, h.Unit)
+	}
+	if h.P99 == 0 || h.P99 < h.P50 {
+		t.Errorf("gc_pause quantiles p50=%d p99=%d", h.P50, h.P99)
+	}
+	// Sanity: a STW pause is under a second; a mapping bug (seconds kept
+	// as seconds, or a 1e9 slip) would land buckets wildly off.
+	if h.Max > uint64(10_000_000_000) {
+		t.Errorf("gc_pause max = %dns, implausibly long", h.Max)
+	}
+}
+
+// TestRegistrySnapshotsIncludeGC checks the panel rides along on the
+// export surface even with no registered domains.
+func TestRegistrySnapshotsIncludeGC(t *testing.T) {
+	snaps := NewRegistry().Snapshots()
+	for _, s := range snaps {
+		if s.Name == "runtime-gc" {
+			return
+		}
+	}
+	t.Fatalf("runtime-gc missing from %d snapshots", len(snaps))
+}

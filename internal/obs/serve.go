@@ -45,7 +45,9 @@ func (r *Registry) Unregister(d *Domain) {
 	r.mu.Unlock()
 }
 
-// Snapshots returns every registered domain's snapshot, name-ordered.
+// Snapshots returns every registered domain's snapshot, name-ordered,
+// plus the synthetic "runtime-gc" panel (see gc.go) — every export
+// surface built on Snapshots gets the GC telemetry for free.
 func (r *Registry) Snapshots() []DomainSnapshot {
 	r.mu.Lock()
 	ds := make([]*Domain, 0, len(r.domains))
@@ -53,10 +55,11 @@ func (r *Registry) Snapshots() []DomainSnapshot {
 		ds = append(ds, d)
 	}
 	r.mu.Unlock()
-	out := make([]DomainSnapshot, 0, len(ds))
+	out := make([]DomainSnapshot, 0, len(ds)+1)
 	for _, d := range ds {
 		out = append(out, d.Snapshot())
 	}
+	out = append(out, GCSnapshot())
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }

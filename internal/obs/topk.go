@@ -26,9 +26,10 @@ type TopKItem struct {
 // request granularity, not per memory access, and k is small enough that
 // the linear min scan is cheaper than heap bookkeeping.
 type TopK struct {
-	k  int
-	mu sync.Mutex
-	m  map[uint64]*topkSlot
+	k     int
+	mu    sync.Mutex
+	keys  []uint64   // tracked keys; parallel to slots, grow-once to k
+	slots []topkSlot // counts + error bounds
 }
 
 type topkSlot struct {
@@ -41,34 +42,42 @@ func NewTopK(k int) *TopK {
 	if k <= 0 {
 		k = DefaultTopK
 	}
-	return &TopK{k: k, m: make(map[uint64]*topkSlot, k)}
+	return &TopK{k: k, keys: make([]uint64, 0, k), slots: make([]topkSlot, 0, k)}
 }
 
-// Add adds weight w for key (w 0 is a no-op).
+// Add adds weight w for key (w 0 is a no-op). Allocation-free after the
+// sketch fills: the tracked set lives in two fixed parallel arrays, and
+// eviction overwrites in place. (The earlier map-of-pointers layout
+// allocated one slot per eviction — one heap object per request whenever
+// the key space outruns k, which is the common case — and the serving
+// layer's allocation budget, DESIGN.md §15, counts that as a leak.)
 func (t *TopK) Add(key uint64, w uint64) {
 	if t == nil || w == 0 {
 		return
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if s, ok := t.m[key]; ok {
-		s.count += w
-		return
+	for i := range t.keys {
+		if t.keys[i] == key {
+			t.slots[i].count += w
+			return
+		}
 	}
-	if len(t.m) < t.k {
-		t.m[key] = &topkSlot{count: w}
+	if len(t.keys) < t.k {
+		t.keys = append(t.keys, key)
+		t.slots = append(t.slots, topkSlot{count: w})
 		return
 	}
 	// Evict the minimum; the newcomer inherits its count as error.
-	var minKey uint64
-	var min *topkSlot
-	for k, s := range t.m {
-		if min == nil || s.count < min.count {
-			minKey, min = k, s
+	mi := 0
+	for i := range t.slots {
+		if t.slots[i].count < t.slots[mi].count {
+			mi = i
 		}
 	}
-	delete(t.m, minKey)
-	t.m[key] = &topkSlot{count: min.count + w, err: min.count}
+	minCount := t.slots[mi].count
+	t.keys[mi] = key
+	t.slots[mi] = topkSlot{count: minCount + w, err: minCount}
 }
 
 // Items returns the tracked keys, highest estimated count first (ties by
@@ -78,9 +87,9 @@ func (t *TopK) Items() []TopKItem {
 		return nil
 	}
 	t.mu.Lock()
-	out := make([]TopKItem, 0, len(t.m))
-	for k, s := range t.m {
-		out = append(out, TopKItem{Key: k, Count: s.count, Err: s.err})
+	out := make([]TopKItem, 0, len(t.keys))
+	for i, k := range t.keys {
+		out = append(out, TopKItem{Key: k, Count: t.slots[i].count, Err: t.slots[i].err})
 	}
 	t.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"net"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -495,58 +494,91 @@ func (l *connLeases) releaseAll() {
 	}
 }
 
+// conn is one connection's serving state: the scanner, writer, leases,
+// and — the point of this struct — the reused scratch buffers that make
+// the steady-state request path free of heap allocations. Everything here
+// is sized once (or grows to a high-water mark) per connection; per
+// request nothing escapes. alloc_test.go pins the budget at zero.
+type conn struct {
+	srv    *Server
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	sc     *LineScanner
+	leases *connLeases
+
+	scratch  []byte        // reply/error rendering
+	pend     []sets.Op     // auto-batch accumulation
+	ops      []sets.Op     // MULTI body
+	results  []sets.Result // execOps: per-op outcomes, op order
+	executed []bool        // execOps: which ops ran before a lease failure
+	idx      []int         // execOps: single-shard identity index
+	subOps   [][]sets.Op   // execOps: per-shard op split
+	subIdx   [][]int       // execOps: per-shard original positions
+	cursors  []shardCursor // ASCEND merge state
+}
+
+// writeErr renders "ERR <diagnosis>\n".
+func (c *conn) writeErr(we wireErr) {
+	c.scratch = append(c.scratch[:0], "ERR "...)
+	c.scratch = appendWireErr(c.scratch, we, c.srv.maxKey)
+	c.scratch = append(c.scratch, '\n')
+	c.bw.Write(c.scratch)
+}
+
 // handle runs one connection: read a line, lease a slot on the target
 // shard (kept across a burst of buffered requests), execute, reply. With
 // AutoBatch configured, consecutive single-key lines accumulate into a
 // pending batch that executes (as capacity-split batch transactions) when
 // the burst ends, a non-key verb arrives, or the split threshold fills.
-func (s *Server) handle(c net.Conn) {
+func (s *Server) handle(nc net.Conn) {
 	s.conns.Add(1)
 	defer func() {
 		s.conns.Add(-1)
 		s.mu.Lock()
-		delete(s.open, c)
+		delete(s.open, nc)
 		s.mu.Unlock()
-		_ = c.Close()
+		_ = nc.Close()
 		s.wg.Done()
 	}()
 
-	br := bufio.NewReaderSize(c, 4<<10)
-	bw := bufio.NewWriterSize(c, 4<<10)
-	leases := newConnLeases(s.shards)
-	defer leases.releaseAll()
+	br := bufio.NewReaderSize(nc, 4<<10)
+	c := &conn{
+		srv:    s,
+		br:     br,
+		bw:     bufio.NewWriterSize(nc, 4<<10),
+		sc:     NewLineScanner(br),
+		leases: newConnLeases(s.shards),
+	}
+	defer c.leases.releaseAll()
 
-	var pend []sets.Op
 	flush := func() bool {
-		if len(pend) == 0 {
+		if len(c.pend) == 0 {
 			return true
 		}
-		ok := s.execOps(leases, pend, s.autoBatch, bw, true)
-		pend = pend[:0]
+		ok := c.execOps(c.pend, s.autoBatch, true)
+		c.pend = c.pend[:0]
 		return ok
 	}
 	for {
 		if s.draining.Load() && br.Buffered() == 0 {
-			_ = bw.Flush()
+			_ = c.bw.Flush()
 			return
 		}
-		line, err := br.ReadString('\n')
-		if err != nil {
-			if line == "" {
-				_ = flush()
-				_ = bw.Flush()
-				return
-			}
-			// final unterminated request: serve it, then drop the conn
+		line, err := c.sc.Line()
+		if err != nil && len(line) == 0 {
+			_ = flush()
+			_ = c.bw.Flush()
+			return
 		}
-		trimmed := strings.TrimRight(line, "\r\n")
+		// err != nil with a non-empty line is a final unterminated
+		// request: serve it, then drop the conn.
 		coalesced := false
 		if s.autoBatch > 1 {
-			if op, perr := s.parseOp(trimmed); perr == nil {
-				pend = append(pend, op)
+			if op, we := s.parseOp(line); we.code == wireOK {
+				c.pend = append(c.pend, op)
 				coalesced = true
-				if len(pend) >= s.autoBatch && !flush() {
-					_ = bw.Flush()
+				if len(c.pend) >= s.autoBatch && !flush() {
+					_ = c.bw.Flush()
 					return
 				}
 			}
@@ -555,8 +587,8 @@ func (s *Server) handle(c net.Conn) {
 			// Anything that is not a clean single-key request (including
 			// MULTI, LEN, INFO, and malformed keys) first drains the
 			// pending batch so replies stay in order.
-			if !flush() || !s.serveLine(leases, trimmed, br, bw) {
-				_ = bw.Flush()
+			if !flush() || !c.serveLine(line) {
+				_ = c.bw.Flush()
 				return
 			}
 		}
@@ -564,39 +596,49 @@ func (s *Server) handle(c net.Conn) {
 			// Burst over: run what accumulated, give the slots back before
 			// blocking on the network, and push the replies out.
 			if !flush() {
-				_ = bw.Flush()
+				_ = c.bw.Flush()
 				return
 			}
-			leases.releaseAll()
-			if ferr := bw.Flush(); ferr != nil || err != nil {
+			c.leases.releaseAll()
+			if ferr := c.bw.Flush(); ferr != nil || err != nil {
 				return
 			}
 		}
 	}
 }
 
-// serveLine executes one request line and appends the reply to bw. br is
-// the connection's reader, consulted only by MULTI to read its body. It
-// returns false when the connection must drop (a lease could not be
-// acquired — saturation or shutdown — or a MULTI frame was unrecoverable).
-func (s *Server) serveLine(leases *connLeases, line string, br *bufio.Reader, bw *bufio.Writer) bool {
-	verb, rest, _ := strings.Cut(line, " ")
-	switch verb {
+// serveLine executes one request line and appends the reply to the
+// writer. It returns false when the connection must drop (a lease could
+// not be acquired — saturation or shutdown — or a MULTI frame was
+// unrecoverable). The line aliases the scanner's buffer: everything that
+// must outlive the next read is parsed or copied out here.
+func (c *conn) serveLine(line []byte) bool {
+	s := c.srv
+	bw := c.bw
+	verb, rest := cutSpace(line)
+	switch string(verb) {
 	case "GET", "SET", "DEL":
-		key, err := s.parseKey(rest)
-		if err != nil {
-			bw.WriteString("ERR ")
-			bw.WriteString(err.Error())
-			bw.WriteByte('\n')
+		key, we := s.parseKey(rest)
+		if we.code != wireOK {
+			c.writeErr(we)
 			return true
 		}
+		var vs string
+		switch verb[0] {
+		case 'G':
+			vs = "GET"
+		case 'S':
+			vs = "SET"
+		default:
+			vs = "DEL"
+		}
 		shard := ShardOf(key, len(s.shards))
-		sp := s.span(verb)
+		sp := s.span(vs)
 		if sp != nil {
 			sp.AddKey(key)
 			sp.MarkShard(shard)
 		}
-		slot, err := leases.slot(shard, sp)
+		slot, err := c.leases.slot(shard, sp)
 		if err != nil {
 			// The span still finishes: a shed request is a tail-latency
 			// event too (all wait, no work), and the slowlog should show it.
@@ -617,10 +659,10 @@ func (s *Server) serveLine(leases *connLeases, line string, br *bufio.Reader, bw
 			opT0 = time.Now()
 		}
 		var ok bool
-		switch verb {
-		case "GET":
+		switch verb[0] {
+		case 'G':
 			ok = set.Lookup(slot, key)
-		case "SET":
+		case 'S':
 			if ok = set.Insert(slot, key); ok {
 				s.keys.Add(1)
 			}
@@ -635,10 +677,10 @@ func (s *Server) serveLine(leases *connLeases, line string, br *bufio.Reader, bw
 		}
 		if sampled {
 			d := uint64(time.Since(t0))
-			switch verb {
-			case "GET":
+			switch verb[0] {
+			case 'G':
 				s.probe.GetNs.RecordAt(uint64(slot), d)
-			case "SET":
+			case 'S':
 				s.probe.SetNs.RecordAt(uint64(slot), d)
 			default:
 				s.probe.DelNs.RecordAt(uint64(slot), d)
@@ -658,15 +700,18 @@ func (s *Server) serveLine(leases *connLeases, line string, br *bufio.Reader, bw
 			s.finishSpan(sp)
 		}
 	case "MULTI":
-		return s.serveMulti(leases, rest, br, bw)
+		return c.serveMulti(rest)
 	case "ASCEND":
-		return s.serveAscend(leases, rest, bw)
+		return c.serveAscend(rest)
 	case "SLOWLOG":
-		s.serveSlowlog(rest, bw)
+		c.serveSlowlog(rest)
 	case "LEN":
-		bw.WriteString(strconv.FormatInt(s.keys.Load(), 10))
-		bw.WriteByte('\n')
+		c.scratch = strconv.AppendInt(c.scratch[:0], s.keys.Load(), 10)
+		c.scratch = append(c.scratch, '\n')
+		bw.Write(c.scratch)
 	case "INFO":
+		// INFO is the cold aggregate view (monitors poll it a few times a
+		// second); fmt is fine here and keeps the field list readable.
 		live, deferred := s.memTotals()
 		multi := "atomic"
 		if len(s.shards) > 1 {
@@ -699,20 +744,28 @@ func (s *Server) serveLine(leases *connLeases, line string, br *bufio.Reader, bw
 // stale position). A lease failure mid-stream terminates the scan with
 // an ERR line — the scan's alternate terminator — and the connection
 // survives iff the failure was saturation.
-func (s *Server) serveAscend(leases *connLeases, args string, bw *bufio.Writer) bool {
-	loArg, nArg, ok := strings.Cut(args, " ")
-	if !ok {
+func (c *conn) serveAscend(args []byte) bool {
+	s := c.srv
+	bw := c.bw
+	loArg, nArg := cutSpace(args)
+	if nArg == nil {
 		bw.WriteString("ERR ascend: want ASCEND <lo> <n>\n")
 		return true
 	}
-	lo, err := s.parseKey(loArg)
-	if err != nil {
-		fmt.Fprintf(bw, "ERR ascend: %v\n", err)
+	lo, we := s.parseKey(loArg)
+	if we.code != wireOK {
+		c.scratch = append(c.scratch[:0], "ERR ascend: "...)
+		c.scratch = appendWireErr(c.scratch, we, s.maxKey)
+		c.scratch = append(c.scratch, '\n')
+		bw.Write(c.scratch)
 		return true
 	}
-	n, err := strconv.Atoi(nArg)
-	if err != nil || n < 1 {
-		fmt.Fprintf(bw, "ERR ascend: bad count %q\n", nArg)
+	n, nok := parseIntBytes(nArg)
+	if !nok || n < 1 {
+		c.scratch = append(c.scratch[:0], "ERR ascend: bad count "...)
+		c.scratch = appendQuoted(c.scratch, nArg)
+		c.scratch = append(c.scratch, '\n')
+		bw.Write(c.scratch)
 		return true
 	}
 	if !s.scanOK {
@@ -729,9 +782,12 @@ func (s *Server) serveAscend(leases *connLeases, args string, bw *bufio.Writer) 
 	if sampled {
 		t0 = time.Now()
 	}
-	cursors := make([]shardCursor, len(s.shards))
+	if cap(c.cursors) < len(s.shards) {
+		c.cursors = make([]shardCursor, len(s.shards))
+	}
+	cursors := c.cursors[:len(s.shards)]
 	for i := range cursors {
-		cursors[i].next = lo
+		cursors[i] = shardCursor{next: lo}
 	}
 	emitted := 0
 	for emitted < n {
@@ -746,9 +802,11 @@ func (s *Server) serveAscend(leases *connLeases, args string, bw *bufio.Writer) 
 			if sp != nil {
 				sp.MarkShard(i)
 			}
-			slot, err := leases.slot(i, sp)
+			slot, err := c.leases.slot(i, sp)
 			if err != nil {
-				fmt.Fprintf(bw, "ERR ascend: %v\n", err)
+				bw.WriteString("ERR ascend: ")
+				bw.WriteString(err.Error())
+				bw.WriteByte('\n')
 				return errors.Is(err, ErrSaturated)
 			}
 			max := ascendChunk
@@ -798,9 +856,10 @@ func (s *Server) serveAscend(leases *connLeases, args string, bw *bufio.Writer) 
 		if best < 0 {
 			break // every shard exhausted
 		}
-		bw.WriteString("OK ")
-		bw.WriteString(strconv.FormatUint(cursors[best].buf[0], 10))
-		bw.WriteByte('\n')
+		c.scratch = append(c.scratch[:0], "OK "...)
+		c.scratch = strconv.AppendUint(c.scratch, cursors[best].buf[0], 10)
+		c.scratch = append(c.scratch, '\n')
+		bw.Write(c.scratch)
 		cursors[best].buf = cursors[best].buf[1:]
 		emitted++
 	}
@@ -822,94 +881,129 @@ func (s *Server) serveAscend(leases *connLeases, args string, bw *bufio.Writer) 
 // terminated by END (the ASCEND framing, so one-shot clients reuse the
 // same reader). Each line is the wire rendering of one slowlog entry —
 // total, phase breakdown, attempt/abort counts, keys, shards and abort
-// owners as key=value fields. Servers running without an obs domain have
-// no slowlog and answer a single ERR line.
-func (s *Server) serveSlowlog(countArg string, bw *bufio.Writer) {
-	n, err := strconv.Atoi(countArg)
-	if err != nil || n < 1 {
-		fmt.Fprintf(bw, "ERR slowlog: bad count %q\n", countArg)
+// owners as key=value fields, built with append into the connection's
+// one scratch buffer (a fresh strings.Builder per field per entry was
+// the old cost). Servers running without an obs domain have no slowlog
+// and answer a single ERR line.
+func (c *conn) serveSlowlog(countArg []byte) {
+	s := c.srv
+	n, nok := parseIntBytes(countArg)
+	if !nok || n < 1 {
+		c.scratch = append(c.scratch[:0], "ERR slowlog: bad count "...)
+		c.scratch = appendQuoted(c.scratch, countArg)
+		c.scratch = append(c.scratch, '\n')
+		c.bw.Write(c.scratch)
 		return
 	}
 	if !s.trace {
-		bw.WriteString("ERR slowlog unavailable (server has no obs domain)\n")
+		c.bw.WriteString("ERR slowlog unavailable (server has no obs domain)\n")
 		return
 	}
 	for rank, e := range s.slow.Entries(n) {
-		fmt.Fprintf(bw, "SLOW rank=%d verb=%s total_ns=%d worst=%s wait_ns=%d lease_ns=%d attempts_ns=%d serial_ns=%d reclaim_ns=%d write_ns=%d attempts=%d serial_txs=%d keys=%s key_n=%d shards=%s owners=%s\n",
-			rank+1, e.Verb, e.TotalNs, e.WorstPhase,
-			e.WaitNs, e.LeaseNs, e.AttemptsNs, e.SerialNs, e.ReclaimNs, e.WriteNs,
-			e.Attempts, e.SerialTxs,
-			joinUints(e.Keys), e.KeyN, joinInts(e.Shards), joinInt32s(e.Owners))
+		b := append(c.scratch[:0], "SLOW rank="...)
+		b = strconv.AppendInt(b, int64(rank+1), 10)
+		b = append(b, " verb="...)
+		b = append(b, e.Verb...)
+		b = append(b, " total_ns="...)
+		b = strconv.AppendUint(b, e.TotalNs, 10)
+		b = append(b, " worst="...)
+		b = append(b, e.WorstPhase...)
+		b = append(b, " wait_ns="...)
+		b = strconv.AppendUint(b, e.WaitNs, 10)
+		b = append(b, " lease_ns="...)
+		b = strconv.AppendUint(b, e.LeaseNs, 10)
+		b = append(b, " attempts_ns="...)
+		b = strconv.AppendUint(b, e.AttemptsNs, 10)
+		b = append(b, " serial_ns="...)
+		b = strconv.AppendUint(b, e.SerialNs, 10)
+		b = append(b, " reclaim_ns="...)
+		b = strconv.AppendUint(b, e.ReclaimNs, 10)
+		b = append(b, " write_ns="...)
+		b = strconv.AppendUint(b, e.WriteNs, 10)
+		b = append(b, " attempts="...)
+		b = strconv.AppendUint(b, uint64(e.Attempts), 10)
+		b = append(b, " serial_txs="...)
+		b = strconv.AppendUint(b, uint64(e.SerialTxs), 10)
+		b = append(b, " keys="...)
+		b = appendUints(b, e.Keys)
+		b = append(b, " key_n="...)
+		b = strconv.AppendInt(b, int64(e.KeyN), 10)
+		b = append(b, " shards="...)
+		b = appendInts(b, e.Shards)
+		b = append(b, " owners="...)
+		b = appendInt32s(b, e.Owners)
+		b = append(b, '\n')
+		c.scratch = b
+		c.bw.Write(b)
 	}
-	bw.WriteString("END\n")
+	c.bw.WriteString("END\n")
 }
 
-// joinUints renders a list as comma-separated decimals ("-" when empty,
-// so the SLOW line's field count is stable for text tooling).
-func joinUints(v []uint64) string {
+// appendUints renders a list as comma-separated decimals ("-" when
+// empty, so the SLOW line's field count is stable for text tooling).
+func appendUints(dst []byte, v []uint64) []byte {
 	if len(v) == 0 {
-		return "-"
+		return append(dst, '-')
 	}
-	var b strings.Builder
 	for i, x := range v {
 		if i > 0 {
-			b.WriteByte(',')
+			dst = append(dst, ',')
 		}
-		b.WriteString(strconv.FormatUint(x, 10))
+		dst = strconv.AppendUint(dst, x, 10)
 	}
-	return b.String()
+	return dst
 }
 
-func joinInts(v []int) string {
+func appendInts(dst []byte, v []int) []byte {
 	if len(v) == 0 {
-		return "-"
+		return append(dst, '-')
 	}
-	var b strings.Builder
 	for i, x := range v {
 		if i > 0 {
-			b.WriteByte(',')
+			dst = append(dst, ',')
 		}
-		b.WriteString(strconv.Itoa(x))
+		dst = strconv.AppendInt(dst, int64(x), 10)
 	}
-	return b.String()
+	return dst
 }
 
-func joinInt32s(v []int32) string {
+func appendInt32s(dst []byte, v []int32) []byte {
 	if len(v) == 0 {
-		return "-"
+		return append(dst, '-')
 	}
-	var b strings.Builder
 	for i, x := range v {
 		if i > 0 {
-			b.WriteByte(',')
+			dst = append(dst, ',')
 		}
-		b.WriteString(strconv.FormatInt(int64(x), 10))
+		dst = strconv.AppendInt(dst, int64(x), 10)
 	}
-	return b.String()
+	return dst
 }
 
-// parseKey validates a decimal key in [1, maxKey].
-func (s *Server) parseKey(arg string) (uint64, error) {
-	if arg == "" {
-		return 0, fmt.Errorf("missing key")
+// parseKey validates a decimal key in [1, maxKey], straight off the line
+// bytes — no string materializes, and the three failure shapes are value
+// diagnoses, not heap-allocated errors.
+func (s *Server) parseKey(arg []byte) (uint64, wireErr) {
+	if len(arg) == 0 {
+		return 0, wireErr{code: errMissingKey}
 	}
-	key, err := strconv.ParseUint(arg, 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad key %q", arg)
+	key, ok := parseUintBytes(arg)
+	if !ok {
+		return 0, wireErr{code: errBadKey, arg: arg}
 	}
 	if key < 1 || key > s.maxKey {
-		return 0, fmt.Errorf("key %d out of range [1, %d]", key, s.maxKey)
+		return 0, wireErr{code: errKeyRange, key: key}
 	}
-	return key, nil
+	return key, wireErr{}
 }
 
 // parseOp parses one single-key request line (GET/SET/DEL) into a set op.
 // Everything else — other verbs, malformed keys — errors, which routes the
 // line back to serveLine's per-verb handling.
-func (s *Server) parseOp(line string) (sets.Op, error) {
-	verb, rest, _ := strings.Cut(line, " ")
+func (s *Server) parseOp(line []byte) (sets.Op, wireErr) {
+	verb, rest := cutSpace(line)
 	var kind sets.OpKind
-	switch verb {
+	switch string(verb) {
 	case "GET":
 		kind = sets.OpLookup
 	case "SET":
@@ -917,13 +1011,23 @@ func (s *Server) parseOp(line string) (sets.Op, error) {
 	case "DEL":
 		kind = sets.OpRemove
 	default:
-		return sets.Op{}, fmt.Errorf("not a key op")
+		return sets.Op{}, wireErr{code: errNotKeyOp}
 	}
-	key, err := s.parseKey(rest)
-	if err != nil {
-		return sets.Op{}, err
+	key, we := s.parseKey(rest)
+	if we.code != wireOK {
+		return sets.Op{}, we
 	}
-	return sets.Op{Kind: kind, Key: key}, nil
+	return sets.Op{Kind: kind, Key: key}, wireErr{}
+}
+
+// writeMultiOversize renders serveMulti's oversized-batch rejection.
+func (c *conn) writeMultiOversize(n int) {
+	c.scratch = append(c.scratch[:0], "ERR multi: batch of "...)
+	c.scratch = strconv.AppendInt(c.scratch, int64(n), 10)
+	c.scratch = append(c.scratch, " exceeds max "...)
+	c.scratch = strconv.AppendInt(c.scratch, int64(c.srv.maxBatch), 10)
+	c.scratch = append(c.scratch, '\n')
+	c.bw.Write(c.scratch)
 }
 
 // serveMulti reads and executes one MULTI frame: countArg body lines, each
@@ -934,16 +1038,22 @@ func (s *Server) parseOp(line string) (sets.Op, error) {
 // is drained only up to maxBatch×oversizeDrainFactor lines (beyond that
 // the connection drops — false — rather than stream unbounded garbage).
 // A malformed count is not drained at all: the client did not follow the
-// grammar, so there is no body to be in frame with.
-func (s *Server) serveMulti(leases *connLeases, countArg string, br *bufio.Reader, bw *bufio.Writer) bool {
-	n, err := strconv.Atoi(countArg)
-	if err != nil || n < 1 {
-		fmt.Fprintf(bw, "ERR multi: bad count %q\n", countArg)
+// grammar, so there is no body to be in frame with. Draining goes through
+// the reused line scanner: a rejected frame used to re-allocate a string
+// per drained line, which made garbage cheaper to send than to refuse.
+func (c *conn) serveMulti(countArg []byte) bool {
+	s := c.srv
+	n, nok := parseIntBytes(countArg)
+	if !nok || n < 1 {
+		c.scratch = append(c.scratch[:0], "ERR multi: bad count "...)
+		c.scratch = appendQuoted(c.scratch, countArg)
+		c.scratch = append(c.scratch, '\n')
+		c.bw.Write(c.scratch)
 		return true
 	}
 	drain := func(k int) bool {
 		for i := 0; i < k; i++ {
-			if _, err := br.ReadString('\n'); err != nil {
+			if line, err := c.sc.Line(); err != nil && len(line) == 0 {
 				return false
 			}
 		}
@@ -951,31 +1061,36 @@ func (s *Server) serveMulti(leases *connLeases, countArg string, br *bufio.Reade
 	}
 	if n > s.maxBatch {
 		if n > s.maxBatch*oversizeDrainFactor {
-			fmt.Fprintf(bw, "ERR multi: batch of %d exceeds max %d\n", n, s.maxBatch)
+			c.writeMultiOversize(n)
 			return false
 		}
 		ok := drain(n)
-		fmt.Fprintf(bw, "ERR multi: batch of %d exceeds max %d\n", n, s.maxBatch)
+		c.writeMultiOversize(n)
 		return ok
 	}
-	ops := make([]sets.Op, 0, n)
+	c.ops = c.ops[:0]
 	for i := 0; i < n; i++ {
-		line, err := br.ReadString('\n')
-		if err != nil && line == "" {
+		line, err := c.sc.Line()
+		if err != nil && len(line) == 0 {
 			return false
 		}
-		op, perr := s.parseOp(strings.TrimRight(line, "\r\n"))
-		if perr != nil {
+		op, we := s.parseOp(line)
+		if we.code != wireOK {
 			ok := drain(n - 1 - i)
-			fmt.Fprintf(bw, "ERR multi: op %d: %v\n", i, perr)
+			c.scratch = append(c.scratch[:0], "ERR multi: op "...)
+			c.scratch = strconv.AppendInt(c.scratch, int64(i), 10)
+			c.scratch = append(c.scratch, ": "...)
+			c.scratch = appendWireErr(c.scratch, we, s.maxKey)
+			c.scratch = append(c.scratch, '\n')
+			c.bw.Write(c.scratch)
 			return ok
 		}
-		ops = append(ops, op)
+		c.ops = append(c.ops, op)
 	}
 	// Explicit MULTI is never capacity-split (split=0): the client asked
 	// for atomicity, so an over-capacity batch takes the serial fallback
 	// instead — that cliff is the measurement, not a failure.
-	return s.execOps(leases, ops, 0, bw, false)
+	return c.execOps(c.ops, 0, false)
 }
 
 // execOps runs a batch of single-key ops and writes one 1/0 reply line per
@@ -994,7 +1109,9 @@ func (s *Server) serveMulti(leases *connLeases, countArg string, br *bufio.Reade
 // ERR line with no body replies, matching serveMulti's other rejections.
 // Either way the return value follows the shedding contract: true (keep
 // the connection) iff the failure was saturation.
-func (s *Server) execOps(leases *connLeases, ops []sets.Op, split int, bw *bufio.Writer, perOpErr bool) bool {
+func (c *conn) execOps(ops []sets.Op, split int, perOpErr bool) bool {
+	s := c.srv
+	bw := c.bw
 	verb := "MULTI"
 	if perOpErr {
 		verb = "BATCH" // auto-batched pipelined burst
@@ -1011,14 +1128,21 @@ func (s *Server) execOps(leases *connLeases, ops []sets.Op, split int, bw *bufio
 	if sampled {
 		t0 = time.Now()
 	}
-	results := make([]sets.Result, len(ops))
-	executed := make([]bool, len(ops))
+	if cap(c.results) < len(ops) {
+		c.results = make([]sets.Result, len(ops))
+		c.executed = make([]bool, len(ops))
+	}
+	results := c.results[:len(ops)]
+	executed := c.executed[:len(ops)]
+	for i := range executed {
+		executed[i] = false
+	}
 	var leaseErr error
 	run := func(shard int, sub []sets.Op, idx []int) bool {
 		if sp != nil {
 			sp.MarkShard(shard)
 		}
-		slot, err := leases.slot(shard, sp)
+		slot, err := c.leases.slot(shard, sp)
 		if err != nil {
 			leaseErr = err
 			return false
@@ -1062,14 +1186,25 @@ func (s *Server) execOps(leases *connLeases, ops []sets.Op, split int, bw *bufio
 		return true
 	}
 	if len(s.shards) == 1 {
-		idx := make([]int, len(ops))
+		if cap(c.idx) < len(ops) {
+			c.idx = make([]int, len(ops))
+		}
+		idx := c.idx[:len(ops)]
 		for i := range idx {
 			idx[i] = i
 		}
 		run(0, ops, idx)
 	} else {
-		subOps := make([][]sets.Op, len(s.shards))
-		subIdx := make([][]int, len(s.shards))
+		if len(c.subOps) < len(s.shards) {
+			c.subOps = make([][]sets.Op, len(s.shards))
+			c.subIdx = make([][]int, len(s.shards))
+		}
+		subOps := c.subOps[:len(s.shards)]
+		subIdx := c.subIdx[:len(s.shards)]
+		for i := range subOps {
+			subOps[i] = subOps[i][:0]
+			subIdx[i] = subIdx[i][:0]
+		}
 		for i, op := range ops {
 			sh := ShardOf(op.Key, len(s.shards))
 			subOps[sh] = append(subOps[sh], op)
@@ -1083,6 +1218,8 @@ func (s *Server) execOps(leases *connLeases, ops []sets.Op, split int, bw *bufio
 				break
 			}
 		}
+		copy(c.subOps, subOps)
+		copy(c.subIdx, subIdx)
 	}
 	if sampled {
 		s.probe.BatchNs.RecordAt(uint64(len(ops)), uint64(time.Since(t0)))
@@ -1099,13 +1236,17 @@ func (s *Server) execOps(leases *connLeases, ops []sets.Op, split int, bw *bufio
 		}
 	}()
 	if leaseErr != nil && !perOpErr {
-		fmt.Fprintf(bw, "ERR multi: %v\n", leaseErr)
+		bw.WriteString("ERR multi: ")
+		bw.WriteString(leaseErr.Error())
+		bw.WriteByte('\n')
 		return errors.Is(leaseErr, ErrSaturated)
 	}
 	for i, r := range results {
 		switch {
 		case leaseErr != nil && !executed[i]:
-			fmt.Fprintf(bw, "ERR %v\n", leaseErr)
+			bw.WriteString("ERR ")
+			bw.WriteString(leaseErr.Error())
+			bw.WriteByte('\n')
 		case r:
 			bw.WriteString("1\n")
 		default:

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"bufio"
+	"strconv"
+)
+
+// Zero-allocation wire codec. The protocol is newline-framed decimal text
+// (see Server), and both sides of it — this server and cmd/hohload — move
+// every request and reply through the helpers in this file so the steady
+// state costs no heap allocations: lines are scanned into reused buffers,
+// keys are parsed straight off those bytes without materializing strings,
+// and replies are rendered with strconv.Append* into per-connection
+// scratch. The paper's own argument motivates the discipline: its repro
+// names GC interference as the central obstacle to measuring *precise*
+// reclamation (PAPER.md §1), so the serving layer must not smear Go GC
+// cycles over the arena's exact books. testing.AllocsPerRun pins the
+// budget at zero in alloc_test.go, and CI runs those pins as a gate.
+
+// LineScanner reads newline-terminated lines from a bufio.Reader into a
+// reused buffer. The common case returns a slice of the reader's internal
+// buffer (zero copies, zero allocations); lines longer than that buffer
+// take the grow-and-retry path through the scanner's own scratch, which
+// grows once and is reused for every later long line.
+type LineScanner struct {
+	br  *bufio.Reader
+	buf []byte // overflow scratch; grow-only
+}
+
+// NewLineScanner returns a scanner over br.
+func NewLineScanner(br *bufio.Reader) *LineScanner {
+	return &LineScanner{br: br}
+}
+
+// Line returns the next line with every trailing '\r' and '\n' trimmed
+// (the strings.TrimRight(line, "\r\n") framing the protocol has always
+// used). The returned slice aliases either the reader's internal buffer
+// or the scanner's scratch: it is valid only until the next Line call.
+// On error the partial line read so far is returned alongside it, so a
+// final unterminated request is still servable — callers distinguish a
+// clean EOF (len(line) == 0) from a truncated request exactly as they
+// would with bufio.ReadString.
+func (ls *LineScanner) Line() ([]byte, error) {
+	frag, err := ls.br.ReadSlice('\n')
+	if err == nil {
+		return trimEOL(frag), nil
+	}
+	ls.buf = ls.buf[:0]
+	for {
+		ls.buf = append(ls.buf, frag...)
+		if err != bufio.ErrBufferFull {
+			if len(ls.buf) == 0 {
+				return nil, err
+			}
+			return trimEOL(ls.buf), err
+		}
+		frag, err = ls.br.ReadSlice('\n')
+		if err == nil {
+			ls.buf = append(ls.buf, frag...)
+			return trimEOL(ls.buf), nil
+		}
+	}
+}
+
+// trimEOL drops every trailing '\r' and '\n'.
+func trimEOL(b []byte) []byte {
+	for len(b) > 0 && (b[len(b)-1] == '\n' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// cutSpace splits at the first space: "SET 42" → ("SET", "42"). A line
+// with no space returns (line, nil) — the bytes analogue of strings.Cut.
+func cutSpace(b []byte) (verb, rest []byte) {
+	for i, c := range b {
+		if c == ' ' {
+			return b[:i], b[i+1:]
+		}
+	}
+	return b, nil
+}
+
+// parseUintBytes is strconv.ParseUint(string(b), 10, 64) without the
+// string: digits only (no signs, leading zeros fine), overflow rejected.
+func parseUintBytes(b []byte) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	const cutoff = ^uint64(0)/10 + 1
+	var v uint64
+	for _, c := range b {
+		d := c - '0'
+		if d > 9 {
+			return 0, false
+		}
+		if v >= cutoff {
+			return 0, false
+		}
+		v = v*10 + uint64(d)
+		if v < uint64(d) {
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+// parseIntBytes is strconv.Atoi without the string: an optional sign,
+// then digits. Counts on the wire are small, so the int64 range check is
+// only about rejecting garbage consistently with the old parser.
+func parseIntBytes(b []byte) (int, bool) {
+	neg := false
+	if len(b) > 0 && (b[0] == '+' || b[0] == '-') {
+		neg = b[0] == '-'
+		b = b[1:]
+	}
+	v, ok := parseUintBytes(b)
+	if !ok || v > 1<<62 {
+		return 0, false
+	}
+	if neg {
+		return -int(v), true
+	}
+	return int(v), true
+}
+
+// wireErr is a malformed-request diagnosis carried as a value, not an
+// error: the old fmt.Errorf path built 2+ heap objects per bad line,
+// which let a garbage flood allocate its way past the budget. The code
+// selects one of a fixed set of messages; arg (aliasing the request
+// line — render before the next read) and key/max feed its formatter.
+// The zero value means no error.
+type wireErr struct {
+	code uint8
+	arg  []byte // errBadKey, errBadCount: the offending token
+	key  uint64 // errKeyRange: the out-of-range key
+}
+
+const (
+	wireOK uint8 = iota
+	errMissingKey
+	errBadKey
+	errKeyRange
+	errNotKeyOp
+)
+
+// appendWireErr renders the diagnosis (message only, no "ERR " prefix —
+// MULTI nests these inside its own error line) into dst. The messages
+// are byte-for-byte what the fmt.Errorf calls used to produce, so wire
+// tests and clients keep matching.
+func appendWireErr(dst []byte, we wireErr, maxKey uint64) []byte {
+	switch we.code {
+	case errMissingKey:
+		return append(dst, "missing key"...)
+	case errBadKey:
+		dst = append(dst, "bad key "...)
+		return appendQuoted(dst, we.arg)
+	case errKeyRange:
+		dst = append(dst, "key "...)
+		dst = strconv.AppendUint(dst, we.key, 10)
+		dst = append(dst, " out of range [1, "...)
+		dst = strconv.AppendUint(dst, maxKey, 10)
+		return append(dst, ']')
+	case errNotKeyOp:
+		return append(dst, "not a key op"...)
+	}
+	return dst
+}
+
+// appendQuoted renders b as a double-quoted Go string the way %q would.
+// AppendQuote wants a string; for the short tokens that reach this path
+// the conversion stays on the stack (it is a read-only argument), so the
+// quoting itself is what bounds the cost.
+func appendQuoted(dst, b []byte) []byte {
+	return strconv.AppendQuote(dst, string(b))
+}

@@ -150,9 +150,9 @@ func (tx *Tx) runAttempt(fn func(*Tx)) (committed bool) {
 	return tx.commit()
 }
 
-func runHooks(hooks []func()) {
-	for _, h := range hooks {
-		h()
+func runHooks(hooks []txHook) {
+	for i := range hooks {
+		hooks[i].run()
 	}
 }
 

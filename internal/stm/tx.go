@@ -57,8 +57,8 @@ type Tx struct {
 	ws     []wentry
 	wmap   map[*atomic.Uint64]int // lazily built past wsMapThreshold
 
-	commitHooks []func()
-	abortHooks  []func()
+	commitHooks []txHook
+	abortHooks  []txHook
 
 	rng        uint64 // xorshift state for backoff jitter
 	extensions uint64 // snapshot extensions performed (stats)
@@ -116,6 +116,26 @@ func (tx *Tx) Restart() {
 	tx.abort(CauseExplicit)
 }
 
+// txHook is one deferred effect. Two shapes share the queue: a plain
+// closure (fn) and an argument-carrying call fn3(a, b, c). The latter
+// exists so per-operation hot paths can register reclamation work against
+// a function value bound once at construction time — a closure capturing
+// the operation's (tid, handle, stamp) heap-allocates on every removal,
+// while fn3 carries them inline and allocates nothing.
+type txHook struct {
+	fn      func()
+	fn3     func(a, b, c uint64)
+	a, b, c uint64
+}
+
+func (h *txHook) run() {
+	if h.fn != nil {
+		h.fn()
+		return
+	}
+	h.fn3(h.a, h.b, h.c)
+}
+
 // OnCommit registers fn to run exactly once, after this transaction has
 // committed and released all commit-time locks. The paper observes that
 // memory management inside transactions hurts performance; the data
@@ -123,13 +143,26 @@ func (tx *Tx) Restart() {
 // reclamation *immediate* (it happens at the commit point, before the
 // enclosing operation returns) while staying outside speculation.
 func (tx *Tx) OnCommit(fn func()) {
-	tx.commitHooks = append(tx.commitHooks, fn)
+	tx.commitHooks = append(tx.commitHooks, txHook{fn: fn})
+}
+
+// OnCommitCall is OnCommit's zero-allocation form: fn(a, b, c) runs at
+// the commit point. Pass a function value bound once (a struct field, a
+// method value hoisted out of the hot path), not a fresh closure — the
+// arguments travel inline, so nothing escapes per call.
+func (tx *Tx) OnCommitCall(fn func(a, b, c uint64), a, b, c uint64) {
+	tx.commitHooks = append(tx.commitHooks, txHook{fn3: fn, a: a, b: b, c: c})
 }
 
 // OnAbort registers fn to run if this attempt aborts (it is discarded on
 // commit). Used to return speculatively allocated nodes to the allocator.
 func (tx *Tx) OnAbort(fn func()) {
-	tx.abortHooks = append(tx.abortHooks, fn)
+	tx.abortHooks = append(tx.abortHooks, txHook{fn: fn})
+}
+
+// OnAbortCall is OnAbort's zero-allocation form (see OnCommitCall).
+func (tx *Tx) OnAbortCall(fn func(a, b, c uint64), a, b, c uint64) {
+	tx.abortHooks = append(tx.abortHooks, txHook{fn3: fn, a: a, b: b, c: c})
 }
 
 // abort unwinds the attempt with the given cause.
